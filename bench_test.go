@@ -1,0 +1,210 @@
+// Package psaflow's root benchmark harness regenerates every table and
+// figure of the paper's evaluation as Go benchmarks:
+//
+//	BenchmarkFig5/<app>          one full uninformed PSA-flow run per app,
+//	                             reporting the Fig. 5 speedup bars as metrics
+//	BenchmarkFig5Informed/<app>  the informed run (Auto-Selected bar)
+//	BenchmarkTable1              the added-LOC analysis (Table I)
+//	BenchmarkFig6                the cost trade-off curves (Fig. 6)
+//	BenchmarkUnrollDSE           the Fig. 2 unroll-until-overmap meta-program
+//
+// Run with: go test -bench=. -benchmem
+package psaflow_test
+
+import (
+	"fmt"
+	"testing"
+
+	"psaflow/internal/bench"
+	"psaflow/internal/core"
+	"psaflow/internal/experiments"
+	"psaflow/internal/hls"
+	"psaflow/internal/interp"
+	"psaflow/internal/minic"
+	"psaflow/internal/platform"
+	"psaflow/internal/tasks"
+	"psaflow/internal/transform"
+)
+
+// BenchmarkFig5 runs the uninformed PSA-flow per benchmark and reports the
+// five design speedups (the bars of Fig. 5) as custom metrics.
+func BenchmarkFig5(b *testing.B) {
+	for _, app := range bench.All() {
+		b.Run(app.Name, func(b *testing.B) {
+			var results []experiments.DesignResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				results, err = experiments.RunBenchmark(app, tasks.Uninformed, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, r := range results {
+				label := metricLabel(r.Design)
+				if r.Infeasible {
+					b.ReportMetric(0, label+"-overmap")
+					continue
+				}
+				b.ReportMetric(r.Speedup, label)
+			}
+		})
+	}
+}
+
+// BenchmarkFig5Informed runs the informed flow, reporting the
+// Auto-Selected speedup.
+func BenchmarkFig5Informed(b *testing.B) {
+	for _, app := range bench.All() {
+		b.Run(app.Name, func(b *testing.B) {
+			var best float64
+			for i := 0; i < b.N; i++ {
+				results, err := experiments.RunBenchmark(app, tasks.Informed, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				best = 0
+				for _, r := range results {
+					if r.Speedup > best {
+						best = r.Speedup
+					}
+				}
+			}
+			b.ReportMetric(best, "auto-speedupX")
+		})
+	}
+}
+
+func metricLabel(d *core.Design) string {
+	switch {
+	case d.Target == platform.TargetCPU:
+		return "omp-speedupX"
+	case d.Device == platform.GTX1080Ti.Name:
+		return "gtx1080-speedupX"
+	case d.Device == platform.RTX2080Ti.Name:
+		return "rtx2080-speedupX"
+	case d.Device == platform.Arria10.Name:
+		return "a10-speedupX"
+	case d.Device == platform.Stratix10.Name:
+		return "s10-speedupX"
+	}
+	return "unknown"
+}
+
+// BenchmarkTable1 regenerates the added-LOC analysis and reports the
+// average percentages per design family.
+func BenchmarkTable1(b *testing.B) {
+	var rows []experiments.Table1Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RunTable1(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	avg := experiments.Table1Average(rows)
+	b.ReportMetric(avg.OMP, "omp-addedLOC%")
+	b.ReportMetric(avg.HIP1080, "hip-addedLOC%")
+	b.ReportMetric(avg.A10, "a10-addedLOC%")
+	b.ReportMetric(avg.S10, "s10-addedLOC%")
+	b.ReportMetric(avg.Total, "total-addedLOC%")
+}
+
+// BenchmarkFig6 regenerates the cost trade-off curves and reports the
+// crossover price ratios.
+func BenchmarkFig6(b *testing.B) {
+	var series []experiments.Fig6Series
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunFig5(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		series = experiments.RunFig6(rows)
+	}
+	for _, s := range series {
+		b.ReportMetric(s.Crossover, s.Benchmark+"-crossover")
+	}
+}
+
+// BenchmarkUnrollDSE measures the Fig. 2 meta-program itself: the
+// doubling unroll search with HLS re-estimation each step.
+func BenchmarkUnrollDSE(b *testing.B) {
+	src := `
+void k(int n, const float *a, float *b) {
+    for (int i = 0; i < n; i++) {
+        b[i] = sqrtf(a[i] * a[i] + 1.0f);
+    }
+}
+`
+	b.ReportAllocs()
+	finalUnroll := 0
+	for i := 0; i < b.N; i++ {
+		prog := minic.MustParse(src)
+		fn := prog.MustFunc("k")
+		loop := firstFor(fn)
+		finalUnroll = 0
+		for n := 1; n <= 1<<16; n *= 2 {
+			transform.RemoveLoopPragmas(loop, "unroll")
+			if err := transform.InsertLoopPragma(loop, fmt.Sprintf("unroll %d", n)); err != nil {
+				b.Fatal(err)
+			}
+			rep := hls.Estimate(prog, fn, platform.Arria10, 0)
+			if !rep.Fits {
+				break
+			}
+			finalUnroll = n
+		}
+	}
+	b.ReportMetric(float64(finalUnroll), "final-unroll")
+}
+
+// BenchmarkInterp measures the dynamic-analysis substrate: one profiled
+// execution of each benchmark application.
+func BenchmarkInterp(b *testing.B) {
+	for _, app := range bench.All() {
+		b.Run(app.Name, func(b *testing.B) {
+			prog := app.Parse()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := runApp(prog, app); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHLSEstimate measures the resource estimator on the largest
+// kernel (Rush Larsen).
+func BenchmarkHLSEstimate(b *testing.B) {
+	app, _ := bench.ByName("rushlarsen")
+	prog := app.Parse()
+	fn := prog.MustFunc("rush_larsen")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		hls.Estimate(prog, fn, platform.Stratix10, 0)
+	}
+}
+
+func firstFor(fn *minic.FuncDecl) minic.Stmt {
+	var loop minic.Stmt
+	minic.Walk(fn, func(n minic.Node) bool {
+		if loop != nil {
+			return false
+		}
+		if _, ok := n.(*minic.ForStmt); ok {
+			loop = n.(minic.Stmt)
+			return false
+		}
+		return true
+	})
+	return loop
+}
+
+func runApp(prog *minic.Program, app *bench.Benchmark) (any, error) {
+	w := bench.Workload{B: app}
+	return runEntry(prog, w)
+}
+
+func runEntry(prog *minic.Program, w bench.Workload) (*interp.Result, error) {
+	return interp.Run(prog, interp.Config{Entry: w.Entry(), Args: w.Args()})
+}

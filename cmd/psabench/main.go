@@ -1,0 +1,113 @@
+// Command psabench regenerates the paper's evaluation artifacts: the
+// Fig. 5 speedup table (informed + uninformed PSA-flow runs over all five
+// benchmarks), the Table I added-LOC analysis, and the Fig. 6 cost
+// trade-off curves. Each output prints measured values next to the
+// paper's reported numbers.
+//
+// Usage:
+//
+//	psabench [-fig5] [-table1] [-fig6] [-ablate] [-json out.json] [-v]
+//
+// With no selection flags, everything runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"psaflow/internal/experiments"
+)
+
+func main() {
+	fig5 := flag.Bool("fig5", false, "reproduce Fig. 5 (design speedups)")
+	table1 := flag.Bool("table1", false, "reproduce Table I (added lines of code)")
+	fig6 := flag.Bool("fig6", false, "reproduce Fig. 6 (FPGA vs GPU cost trade-off)")
+	ablate := flag.Bool("ablate", false, "run the optimisation-task ablation study")
+	jsonOut := flag.String("json", "", "also write the selected results as JSON to this file")
+	verbose := flag.Bool("v", false, "log flow execution")
+	flag.Parse()
+
+	all := !*fig5 && !*table1 && !*fig6 && !*ablate
+	var logf func(string, ...any)
+	if *verbose {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	var fig5Rows []experiments.Fig5Row
+	needFig5 := all || *fig5 || *fig6
+	if needFig5 {
+		rows, err := experiments.RunFig5(logf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fig5:", err)
+			os.Exit(1)
+		}
+		fig5Rows = rows
+	}
+
+	if all || *fig5 {
+		fmt.Println("== Fig. 5: accelerated hotspot speedups (measured vs paper) ==")
+		fmt.Println(experiments.FormatFig5(fig5Rows))
+		winners := 0
+		for _, r := range fig5Rows {
+			if r.InformedPickedWinner(0.05) {
+				winners++
+			}
+		}
+		fmt.Printf("informed PSA strategy selected the best target for %d/%d benchmarks\n\n",
+			winners, len(fig5Rows))
+	}
+
+	if all || *table1 {
+		rows, err := experiments.RunTable1(logf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "table1:", err)
+			os.Exit(1)
+		}
+		fmt.Println("== Table I: added lines of code per generated design ==")
+		fmt.Println(experiments.FormatTable1(rows))
+		fmt.Println()
+	}
+
+	if all || *fig6 {
+		fmt.Println("== Fig. 6: FPGA vs GPU cost trade-off ==")
+		fmt.Println(experiments.FormatFig6(experiments.RunFig6(fig5Rows)))
+	}
+
+	var ablations []experiments.AblationRow
+	if all || *ablate {
+		rows, err := experiments.RunAblations(logf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ablate:", err)
+			os.Exit(1)
+		}
+		ablations = rows
+		fmt.Println("== Ablations: optimisation tasks on/off ==")
+		fmt.Println(experiments.FormatAblations(rows))
+	}
+
+	if *jsonOut != "" {
+		rep := experiments.ReportJSON{Ablations: ablations}
+		if fig5Rows != nil {
+			rep.Fig5 = experiments.Fig5ToJSON(fig5Rows)
+			rep.Fig6 = experiments.RunFig6(fig5Rows)
+		}
+		if all || *table1 {
+			if rows, err := experiments.RunTable1(nil); err == nil {
+				rep.Table1 = rows
+			}
+		}
+		data, err := experiments.MarshalReport(rep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "json:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "json:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+}

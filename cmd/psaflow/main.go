@@ -1,0 +1,113 @@
+// Command psaflow runs the implemented PSA-flow (paper Fig. 4) on one of
+// the five evaluation benchmarks and reports the generated designs: target
+// and device, tuned parameters, estimated performance, execution trace,
+// and (optionally) the full generated target source.
+//
+// Usage:
+//
+//	psaflow -bench nbody [-mode informed|uninformed] [-trace] [-emit] [-v]
+//	psaflow -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"psaflow/internal/bench"
+	"psaflow/internal/experiments"
+	"psaflow/internal/tasks"
+)
+
+func main() {
+	name := flag.String("bench", "", "benchmark to run (see -list)")
+	mode := flag.String("mode", "informed", "branch point A mode: informed or uninformed")
+	list := flag.Bool("list", false, "list available benchmarks")
+	sharing := flag.Bool("sharing", false, "enable FPGA resource sharing (recovers overmapped designs)")
+	trace := flag.Bool("trace", false, "print the provenance trace of each design")
+	emit := flag.Bool("emit", false, "print the generated target source of each design")
+	outDir := flag.String("out", "", "export each design (source, trace, summary) under this directory")
+	verbose := flag.Bool("v", false, "log flow execution")
+	flag.Parse()
+
+	if *list {
+		for _, b := range bench.All() {
+			fmt.Printf("%-12s %s (expected informed target: %s)\n", b.Name, b.Descr, b.ExpectTarget)
+		}
+		return
+	}
+	b, err := bench.ByName(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(os.Stderr, "use -list to see available benchmarks")
+		os.Exit(2)
+	}
+	var m tasks.Mode
+	switch *mode {
+	case "informed":
+		m = tasks.Informed
+	case "uninformed":
+		m = tasks.Uninformed
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	var logf func(string, ...any)
+	if *verbose {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	results, err := experiments.RunBenchmarkOpts(b,
+		tasks.FlowOptions{Mode: m, Strategy: tasks.DefaultStrategy, ResourceSharing: *sharing}, logf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s (%s mode): %d design(s)\n\n", b.Name, *mode, len(results))
+	for _, r := range results {
+		d := r.Design
+		fmt.Printf("design %s\n", d.Label())
+		if r.Infeasible {
+			fmt.Printf("  NOT SYNTHESIZABLE: %s\n", d.Infeasible)
+		} else {
+			fmt.Printf("  estimated speedup over 1-thread CPU: %.1fX\n", r.Speedup)
+			fmt.Printf("  time breakdown: kernel=%.4gs transfer=%.4gs overhead=%.4gs (%s)\n",
+				r.Breakdown.KernelTime, r.Breakdown.TransferTime, r.Breakdown.Overhead, r.Breakdown.Note)
+			switch {
+			case d.NumThreads > 0:
+				fmt.Printf("  tuned: %d OpenMP threads\n", d.NumThreads)
+			case d.Blocksize > 0:
+				fmt.Printf("  tuned: blocksize=%d pinned=%t sharedmem=%v fastmath=%t\n",
+					d.Blocksize, d.Pinned, d.SharedMem, d.Specialised)
+			case d.UnrollFactor > 0:
+				fmt.Printf("  tuned: unroll=%d zerocopy=%t (%s)\n",
+					d.UnrollFactor, d.ZeroCopy, d.HLSReport)
+			}
+			if d.Artifact != nil {
+				fmt.Printf("  generated %s source: %d LOC (+%d over the %d-line reference)\n",
+					d.Artifact.Target, d.Artifact.LOC, d.Artifact.AddedLOC, d.RefLOC)
+			}
+		}
+		if *trace {
+			fmt.Println("  trace:")
+			for _, ev := range d.Trace {
+				fmt.Printf("    %s\n", ev)
+			}
+		}
+		if *emit && d.Artifact != nil {
+			fmt.Println("  ---- generated source ----")
+			fmt.Println(d.Artifact.Source)
+		}
+		if *outDir != "" {
+			dir, err := d.Export(*outDir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "export:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("  exported to %s\n", dir)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,86 @@
+// Heterogeneous cloud runtime mapping (paper §IV-D): the uninformed
+// PSA-flow generates all five designs per application; a cloud scheduler
+// then maps a stream of incoming jobs onto priced CPU/GPU/FPGA resources
+// using the designs' modeled execution times. The cost-aware policy beats
+// the performance-first and static policies on spend — "the most
+// performant design for a given application and workload might not be the
+// most cost effective".
+//
+//	go run ./examples/cloud
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"psaflow/internal/bench"
+	"psaflow/internal/cloud"
+	"psaflow/internal/experiments"
+	"psaflow/internal/platform"
+	"psaflow/internal/tasks"
+)
+
+func main() {
+	// 1. Generate the diverse designs (uninformed mode) for three
+	// applications and collect each design's modeled execution time.
+	resources := []*cloud.Resource{
+		{Name: "cpu-32core", Target: platform.TargetCPU, PricePerSec: 0.5, Instances: 4},
+		{Name: "gpu-2080ti", Target: platform.TargetGPU, PricePerSec: 3.0, Instances: 2},
+		{Name: "fpga-s10", Target: platform.TargetFPGA, PricePerSec: 2.0, Instances: 2},
+	}
+	resourceFor := func(r experiments.DesignResult) string {
+		switch {
+		case r.Design.Target == platform.TargetCPU:
+			return "cpu-32core"
+		case r.Design.Device == platform.RTX2080Ti.Name:
+			return "gpu-2080ti"
+		case r.Design.Device == platform.Stratix10.Name:
+			return "fpga-s10"
+		}
+		return ""
+	}
+
+	var classes []*cloud.JobClass
+	for _, name := range []string{"nbody", "kmeans", "adpredictor"} {
+		b, err := bench.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("generating designs for %s...\n", name)
+		results, err := experiments.RunBenchmark(b, tasks.Uninformed, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cls := &cloud.JobClass{Name: name, ExecTime: map[string]float64{}}
+		for _, r := range results {
+			res := resourceFor(r)
+			if res == "" || r.Infeasible || math.IsInf(r.Breakdown.Total, 1) {
+				continue
+			}
+			cls.ExecTime[res] = r.Breakdown.Total
+		}
+		classes = append(classes, cls)
+		fmt.Printf("  design times: %v\n", cls.ExecTime)
+	}
+
+	// 2. A deterministic Poisson-ish job stream mixing the applications.
+	var jobs []cloud.Job
+	t := 0.0
+	for i := 0; i < 120; i++ {
+		cls := classes[i%len(classes)]
+		t += 0.0004 * float64(1+(i*7)%5)
+		jobs = append(jobs, cloud.Job{Class: cls, Arrival: t, Deadline: t + 0.25})
+	}
+
+	// 3. Compare mapping policies.
+	fmt.Printf("\nmapping %d jobs over %d applications:\n", len(jobs), len(classes))
+	for _, p := range []cloud.Policy{cloud.StaticBest{}, cloud.FastestFinish{}, cloud.CheapestFeasible{}} {
+		res, err := cloud.Simulate(resources, jobs, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("  " + res.Summary())
+	}
+	fmt.Println("\ncheapest-feasible trades latency for spend; static-best queues on one device.")
+}

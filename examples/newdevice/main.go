@@ -1,0 +1,102 @@
+// Plugging in new technology: the paper's Fig. 1 shows an AMD CPU+GPU
+// design next to the NVIDIA ones, and §III states "the approach is not
+// limited to the programming models or vendor device types in our
+// implemented PSA-flow. To target new technology, target-specific
+// design-flow tasks can be implemented and seamlessly plugged in."
+//
+// This example defines an AMD Radeon VII from its datasheet, plugs a third
+// device path into branch point B — reusing the existing HIP tasks, which
+// are AMD-native — and runs N-Body across all three GPUs.
+//
+//	go run ./examples/newdevice
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"psaflow/internal/bench"
+	"psaflow/internal/core"
+	"psaflow/internal/perfmodel"
+	"psaflow/internal/platform"
+	"psaflow/internal/tasks"
+)
+
+// radeonVII is the new device: pure data, defined outside the catalog.
+// Datasheet: Vega 20, 60 CUs (modeled as SMs of 64 lanes), 1.75 GHz,
+// 13.44 TFLOPS FP32, 1 TB/s HBM2, 256 KB register file per CU.
+var radeonVII = platform.GPUSpec{
+	Name:            "AMD Radeon VII",
+	SMs:             60,
+	CoresPerSM:      64,
+	ClockHz:         1.75e9,
+	PeakFP32:        13.44e12,
+	MemBWBps:        1024e9,
+	RegsPerSM:       65536,
+	MaxThreadsPerSM: 1024,
+	MaxBlockSize:    1024,
+	PCIeBps:         9.0e9,
+	PinnedScale:     1.25,
+	Sustained:       0.55, // ROCm-era compiler maturity
+	LatIPC:          0.70,
+	SpecialDiv:      6.0,
+}
+
+// buildFlow is the paper's PSA-flow with a three-way branch point B.
+func buildFlow() *core.Flow {
+	flow := &core.Flow{Name: "psa-flow+amd"}
+	for _, t := range tasks.TargetIndependent() {
+		flow.AddTask(t)
+	}
+	gpuFlow := &core.Flow{Name: "gpu-path"}
+	gpuFlow.AddTask(tasks.GenerateHIP)
+	gpuFlow.AddTask(tasks.PinnedMemory)
+	gpuFlow.AddTask(tasks.SinglePrecisionFns)
+	gpuFlow.AddTask(tasks.SinglePrecisionLiterals)
+	gpuFlow.AddTask(tasks.SharedMemBuffer)
+	gpuFlow.AddTask(tasks.SpecialisedMathFns)
+	gpuFlow.AddTask(tasks.VerifyKernelRuns)
+
+	var paths []core.Path
+	for _, dev := range append(platform.GPUs(), radeonVII) {
+		devFlow := &core.Flow{Name: "gpu/" + dev.Name}
+		devFlow.AddTask(tasks.BlocksizeDSE(dev)) // the same DSE task, new device
+		devFlow.AddTask(tasks.RenderDesign)
+		paths = append(paths, core.Path{Name: dev.Name, Flow: devFlow})
+	}
+	gpuFlow.AddBranch(core.Branch{PointName: "B", Paths: paths, Select: core.SelectAll{}})
+
+	flow.AddBranch(core.Branch{
+		PointName: "A",
+		Paths:     []core.Path{{Name: "gpu", Flow: gpuFlow}},
+		Select:    core.SelectAll{},
+	})
+	return flow
+}
+
+func main() {
+	b, err := bench.ByName("nbody")
+	if err != nil {
+		log.Fatal(err)
+	}
+	design := core.NewDesign(b.Name, b.Parse())
+	ctx := &core.Context{Workload: bench.Workload{B: b}, CPU: platform.EPYC7543, Parallel: true}
+	designs, err := buildFlow().Run(ctx, design)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("branch point B now carries %d device paths:\n\n", len(designs))
+	for _, d := range designs {
+		feat := b.Scale.Apply(d.Report.Features())
+		dev, ok := platform.GPUByName(d.Device)
+		if !ok {
+			dev = radeonVII
+		}
+		bd := perfmodel.GPUTime(dev, feat, d.Blocksize, d.Pinned)
+		fmt.Printf("  %-45s blocksize=%-5d speedup %.0fX (%s)\n",
+			d.Label(), d.Blocksize, perfmodel.Speedup(ctx.CPU, feat, bd), bd.Note)
+	}
+	fmt.Println("\nno new tasks were written: the HIP generator, the SP/fast-math")
+	fmt.Println("transforms, and the blocksize DSE are device-parameterized, so the")
+	fmt.Println("AMD path is pure configuration — the paper's extensibility claim.")
+}

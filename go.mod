@@ -1,0 +1,3 @@
+module psaflow
+
+go 1.22

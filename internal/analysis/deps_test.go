@@ -1,0 +1,259 @@
+package analysis
+
+import (
+	"testing"
+
+	"psaflow/internal/minic"
+	"psaflow/internal/query"
+)
+
+// loopOf parses src and returns the first outermost loop of function f.
+func loopOf(t *testing.T, src string) minic.Stmt {
+	t.Helper()
+	prog := minic.MustParse(src)
+	q := query.New(prog)
+	loops := q.OutermostLoops(prog.Funcs[0])
+	if len(loops) == 0 {
+		t.Fatal("no loops in source")
+	}
+	return loops[0]
+}
+
+func TestParallelElementwise(t *testing.T) {
+	loop := loopOf(t, `void f(int n, double *a, const double *b) {
+        for (int i = 0; i < n; i++) { a[i] = b[i] * 2.0; }
+    }`)
+	d := AnalyzeLoop(loop)
+	if !d.Parallel() {
+		t.Fatalf("elementwise loop should be parallel: %+v", d)
+	}
+	if d.Var != "i" {
+		t.Errorf("var = %q", d.Var)
+	}
+}
+
+func TestParallelWithStride(t *testing.T) {
+	loop := loopOf(t, `void f(int n, int m, double *a, const double *b) {
+        for (int i = 0; i < n; i++) {
+            for (int j = 0; j < m; j++) {
+                a[i * m + j] = b[i * m + j] + 1.0;
+            }
+        }
+    }`)
+	d := AnalyzeLoop(loop)
+	if !d.Parallel() {
+		t.Fatalf("outer loop of 2D elementwise should be parallel: %+v", d)
+	}
+}
+
+func TestScalarReduction(t *testing.T) {
+	loop := loopOf(t, `double f(int n, const double *a) {
+        double s = 0.0;
+        for (int i = 0; i < n; i++) { s += a[i]; }
+        return s;
+    }`)
+	d := AnalyzeLoop(loop)
+	if d.Parallel() {
+		t.Fatal("reduction loop must not be fully parallel")
+	}
+	if !d.ParallelWithReduction() {
+		t.Fatalf("should be reduction-parallel: %+v", d.Carried)
+	}
+	if len(d.Reductions) != 1 || d.Reductions[0].Name != "s" || d.Reductions[0].Array {
+		t.Fatalf("reductions = %+v", d.Reductions)
+	}
+}
+
+func TestScalarCarriedWhenReadElsewhere(t *testing.T) {
+	loop := loopOf(t, `void f(int n, double *a) {
+        double s = 0.0;
+        for (int i = 0; i < n; i++) {
+            s += a[i];
+            a[i] = s;
+        }
+    }`)
+	d := AnalyzeLoop(loop)
+	if d.ParallelWithReduction() {
+		t.Fatalf("prefix-sum must be carried: %+v", d)
+	}
+	found := false
+	for _, c := range d.Carried {
+		if c.Kind == DepScalar && c.Name == "s" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected scalar dep on s: %+v", d.Carried)
+	}
+}
+
+func TestLocalScalarNotCarried(t *testing.T) {
+	loop := loopOf(t, `void f(int n, int m, const double *b, double *out) {
+        for (int i = 0; i < n; i++) {
+            double acc = 0.0;
+            for (int j = 0; j < m; j++) { acc += b[j]; }
+            out[i] = acc;
+        }
+    }`)
+	d := AnalyzeLoop(loop)
+	if !d.Parallel() {
+		t.Fatalf("loop-local accumulator must not carry across outer iterations: %+v", d)
+	}
+}
+
+func TestArrayFlowDepShiftedRead(t *testing.T) {
+	loop := loopOf(t, `void f(int n, double *a) {
+        for (int i = 1; i < n; i++) { a[i] = a[i - 1] * 0.5; }
+    }`)
+	d := AnalyzeLoop(loop)
+	if d.ParallelWithReduction() {
+		t.Fatalf("recurrence must be carried: %+v", d)
+	}
+}
+
+func TestArrayOutputDepInvariantWrite(t *testing.T) {
+	loop := loopOf(t, `void f(int n, double *a, const double *b) {
+        for (int i = 0; i < n; i++) { a[0] = b[i]; }
+    }`)
+	d := AnalyzeLoop(loop)
+	if len(d.Carried) == 0 {
+		t.Fatalf("invariant write target must be carried: %+v", d)
+	}
+	if d.Carried[0].Kind != DepArrayOutput {
+		t.Errorf("kind = %v, want array-output", d.Carried[0].Kind)
+	}
+}
+
+func TestArrayReduction(t *testing.T) {
+	loop := loopOf(t, `void f(int n, const int *label, double *hist, const double *w) {
+        for (int i = 0; i < n; i++) { hist[label[i]] += w[i]; }
+    }`)
+	d := AnalyzeLoop(loop)
+	if d.Parallel() {
+		t.Fatal("histogram must not be fully parallel")
+	}
+	if !d.ParallelWithReduction() {
+		t.Fatalf("histogram should be reduction-only: %+v", d.Carried)
+	}
+	if len(d.Reductions) != 1 || !d.Reductions[0].Array || d.Reductions[0].Name != "hist" {
+		t.Fatalf("reductions = %+v", d.Reductions)
+	}
+}
+
+func TestNonAffineSubscriptConservative(t *testing.T) {
+	loop := loopOf(t, `void f(int n, int m, double *a) {
+        for (int i = 0; i < n; i++) { a[i % m] = 1.0; }
+    }`)
+	d := AnalyzeLoop(loop)
+	if d.Parallel() {
+		t.Fatalf("non-affine write subscript must be conservative: %+v", d)
+	}
+}
+
+func TestSymbolicStrideWriteParallel(t *testing.T) {
+	// a[i*m] with symbolic stride m: parallel under the delinearization
+	// assumption (distinct i touch distinct rows).
+	loop := loopOf(t, `void f(int n, int m, double *a) {
+        for (int i = 0; i < n; i++) { a[i * m] = 1.0; }
+    }`)
+	d := AnalyzeLoop(loop)
+	if !d.Parallel() {
+		t.Fatalf("symbolic stride write should be parallel: %+v", d)
+	}
+}
+
+func TestReadOnlyArraysIgnored(t *testing.T) {
+	loop := loopOf(t, `void f(int n, double *out, const double *table) {
+        for (int i = 0; i < n; i++) { out[i] = table[0] + table[i] + table[n - i - 1]; }
+    }`)
+	d := AnalyzeLoop(loop)
+	if !d.Parallel() {
+		t.Fatalf("read-only gather must be parallel: %+v", d)
+	}
+}
+
+func TestWhileLoopUnknown(t *testing.T) {
+	loop := loopOf(t, `void f(int n) { while (n > 0) { n--; } }`)
+	d := AnalyzeLoop(loop)
+	if d.ParallelWithReduction() {
+		t.Fatal("while loops must be conservatively carried")
+	}
+	if d.Carried[0].Kind != DepUnknown {
+		t.Errorf("kind = %v", d.Carried[0].Kind)
+	}
+}
+
+func TestInnerSequentialOuterParallel(t *testing.T) {
+	// AdPredictor-like shape: outer parallel, inner fixed loop carries a
+	// scalar dependence through a multiplicative accumulation.
+	src := `void f(int n, const double *w, double *out) {
+        for (int i = 0; i < n; i++) {
+            double p = 1.0;
+            for (int j = 0; j < 12; j++) {
+                p = p * w[i * 12 + j] + 0.5;
+            }
+            out[i] = p;
+        }
+    }`
+	prog := minic.MustParse(src)
+	q := query.New(prog)
+	outer := q.OutermostLoops(prog.Funcs[0])[0]
+	inner := q.InnerLoops(outer)[0]
+	dOuter := AnalyzeLoop(outer)
+	if !dOuter.Parallel() {
+		t.Fatalf("outer must be parallel: %+v", dOuter)
+	}
+	dInner := AnalyzeLoop(inner)
+	if dInner.ParallelWithReduction() {
+		t.Fatalf("inner p = p*w + c must be carried (not a recognized reduction): %+v", dInner)
+	}
+}
+
+func TestAnalyzeUnrollability(t *testing.T) {
+	src := `void f(int n, int m, const double *w, double *out) {
+        for (int i = 0; i < n; i++) {
+            double p = 1.0;
+            for (int j = 0; j < 12; j++) { p = p * w[j] + 0.5; }
+            out[i] = p;
+        }
+    }`
+	prog := minic.MustParse(src)
+	q := query.New(prog)
+	outer := q.OutermostLoops(prog.Funcs[0])[0]
+	u := AnalyzeUnrollability(q, outer, 64)
+	if u.InnerLoopCount != 1 || u.InnerWithDeps != 1 {
+		t.Fatalf("unrollability = %+v", u)
+	}
+	if !u.AllDepsFixed || u.MaxFixedTrip != 12 {
+		t.Fatalf("inner fixed-12 dep loop should be fully unrollable: %+v", u)
+	}
+	// Same shape but runtime-bounded inner loop: not fully unrollable.
+	src2 := `void f(int n, int m, const double *w, double *out) {
+        for (int i = 0; i < n; i++) {
+            double p = 1.0;
+            for (int j = 0; j < m; j++) { p = p * w[j] + 0.5; }
+            out[i] = p;
+        }
+    }`
+	prog2 := minic.MustParse(src2)
+	q2 := query.New(prog2)
+	outer2 := q2.OutermostLoops(prog2.Funcs[0])[0]
+	u2 := AnalyzeUnrollability(q2, outer2, 64)
+	if u2.AllDepsFixed {
+		t.Fatalf("runtime-bounded dep loop must not be fully unrollable: %+v", u2)
+	}
+	// Fixed bound above the limit: also not fully unrollable.
+	src3 := `void f(int n, const double *w, double *out) {
+        for (int i = 0; i < n; i++) {
+            double p = 1.0;
+            for (int j = 0; j < 500; j++) { p = p * w[j] + 0.5; }
+            out[i] = p;
+        }
+    }`
+	prog3 := minic.MustParse(src3)
+	q3 := query.New(prog3)
+	outer3 := q3.OutermostLoops(prog3.Funcs[0])[0]
+	if u3 := AnalyzeUnrollability(q3, outer3, 64); u3.AllDepsFixed {
+		t.Fatalf("500-trip dep loop above limit 64 must not be fully unrollable: %+v", u3)
+	}
+}

@@ -1,0 +1,498 @@
+package analysis
+
+import (
+	"psaflow/internal/interp"
+	"psaflow/internal/minic"
+	"psaflow/internal/query"
+)
+
+// OpCounts is a histogram of operations in a code region. Counts are
+// per single execution of the region unless produced by WeightedOps,
+// which scales by statically known trip counts.
+type OpCounts struct {
+	AddSub   float64
+	Mul      float64
+	Div      float64
+	Cmp      float64
+	Special  float64 // sqrt/exp/log/pow/trig/erf calls
+	IntOps   float64
+	Loads    float64 // array element reads
+	Stores   float64 // array element writes
+	Calls    float64 // user function calls
+	FlopsW   float64 // FLOPs weighted like the interpreter counts them
+	BytesRW  float64 // bytes moved by Loads+Stores (element-size aware)
+	SpecialK map[string]float64
+}
+
+func newOpCounts() *OpCounts { return &OpCounts{SpecialK: map[string]float64{}} }
+
+// Flops returns the weighted floating-point operation count.
+func (o *OpCounts) Flops() float64 { return o.FlopsW }
+
+// AI returns the static arithmetic intensity (FLOPs per byte); 0 when no
+// memory traffic is present.
+func (o *OpCounts) AI() float64 {
+	if o.BytesRW == 0 {
+		return 0
+	}
+	return o.FlopsW / o.BytesRW
+}
+
+func (o *OpCounts) addScaled(src *OpCounts, k float64) {
+	o.AddSub += k * src.AddSub
+	o.Mul += k * src.Mul
+	o.Div += k * src.Div
+	o.Cmp += k * src.Cmp
+	o.Special += k * src.Special
+	o.IntOps += k * src.IntOps
+	o.Loads += k * src.Loads
+	o.Stores += k * src.Stores
+	o.Calls += k * src.Calls
+	o.FlopsW += k * src.FlopsW
+	o.BytesRW += k * src.BytesRW
+	for name, n := range src.SpecialK {
+		o.SpecialK[name] += k * n
+	}
+}
+
+// typeEnv records array element kinds and integer-typed scalars for the
+// enclosing function, supporting byte accounting and int/float operation
+// classification.
+type typeEnv struct {
+	arrays map[string]minic.BasicKind
+	ints   map[string]bool
+}
+
+func typesIn(fn *minic.FuncDecl) typeEnv {
+	env := typeEnv{arrays: map[string]minic.BasicKind{}, ints: map[string]bool{}}
+	for _, p := range fn.Params {
+		if p.Type.Ptr {
+			env.arrays[p.Name] = p.Type.Kind
+		} else if p.Type.Kind == minic.Int {
+			env.ints[p.Name] = true
+		}
+	}
+	minic.Walk(fn, func(n minic.Node) bool {
+		if d, ok := n.(*minic.DeclStmt); ok {
+			if d.ArrayLen != nil {
+				env.arrays[d.Name] = d.Type.Kind
+			} else if d.Type.Kind == minic.Int {
+				env.ints[d.Name] = true
+			}
+		}
+		return true
+	})
+	return env
+}
+
+func (env typeEnv) bytes(array string) float64 {
+	switch env.arrays[array] {
+	case minic.Float, minic.Int:
+		return 4
+	case minic.Double:
+		return 8
+	default:
+		return 8 // unknown arrays default to double width
+	}
+}
+
+// isIntExpr reports whether e is statically integer-typed (int literals,
+// int scalars, int array elements, int-returning builtins, and arithmetic
+// over those). Anything unknown defaults to floating.
+func (env typeEnv) isIntExpr(e minic.Expr) bool {
+	switch v := e.(type) {
+	case *minic.IntLit:
+		return true
+	case *minic.BoolLit:
+		return true
+	case *minic.Ident:
+		return env.ints[v.Name]
+	case *minic.UnaryExpr:
+		return env.isIntExpr(v.X)
+	case *minic.BinaryExpr:
+		switch v.Op {
+		case minic.TokPlus, minic.TokMinus, minic.TokStar, minic.TokSlash, minic.TokPercent:
+			return env.isIntExpr(v.L) && env.isIntExpr(v.R)
+		}
+		return false
+	case *minic.IndexExpr:
+		if name := identName(v.Base); name != "" {
+			return env.arrays[name] == minic.Int
+		}
+		return false
+	case *minic.CallExpr:
+		switch v.Fun {
+		case "abs", "min", "max":
+			return true
+		}
+		return false
+	case *minic.CastExpr:
+		return v.To.Kind == minic.Int
+	case *minic.IncDecExpr:
+		return env.isIntExpr(v.X)
+	}
+	return false
+}
+
+// specialNames classifies builtin calls counted as Special ops.
+func isSpecialFn(name string) bool {
+	return interp.BuiltinFlops(name) > 1 // transcendental-weighted builtins
+}
+
+// CountOps statically counts operations in a region, treating every
+// statement as executing once (loops are NOT scaled; see WeightedOps).
+// fn provides element types for byte accounting.
+func CountOps(region minic.Node, fn *minic.FuncDecl) *OpCounts {
+	env := typesIn(fn)
+	out := newOpCounts()
+	countInto(region, env, out)
+	return out
+}
+
+func countInto(region minic.Node, env typeEnv, out *OpCounts) {
+	minic.Walk(region, func(n minic.Node) bool {
+		switch e := n.(type) {
+		case *minic.BinaryExpr:
+			isInt := env.isIntExpr(e)
+			switch e.Op {
+			case minic.TokPlus, minic.TokMinus:
+				if isInt {
+					out.IntOps++
+				} else {
+					out.AddSub++
+					out.FlopsW++
+				}
+			case minic.TokStar:
+				if isInt {
+					out.IntOps++
+				} else {
+					out.Mul++
+					out.FlopsW++
+				}
+			case minic.TokSlash, minic.TokPercent:
+				if isInt {
+					out.IntOps++
+				} else {
+					out.Div++
+					out.FlopsW++
+				}
+			case minic.TokLt, minic.TokGt, minic.TokLe, minic.TokGe, minic.TokEqEq, minic.TokNe:
+				out.Cmp++
+			}
+		case *minic.AssignExpr:
+			if e.Op != minic.TokAssign {
+				if env.isIntExpr(e.LHS) {
+					out.IntOps++
+				} else {
+					out.AddSub++
+					out.FlopsW++
+				}
+			}
+			if ix, ok := e.LHS.(*minic.IndexExpr); ok {
+				out.Stores++
+				out.BytesRW += env.bytes(identName(ix.Base))
+				if e.Op != minic.TokAssign {
+					out.Loads++
+					out.BytesRW += env.bytes(identName(ix.Base))
+				}
+			}
+		case *minic.IncDecExpr:
+			if env.isIntExpr(e.X) {
+				out.IntOps++
+			} else {
+				out.AddSub++
+				out.FlopsW++
+			}
+			if ix, ok := e.X.(*minic.IndexExpr); ok {
+				out.Loads++
+				out.Stores++
+				out.BytesRW += 2 * env.bytes(identName(ix.Base))
+			}
+		case *minic.IndexExpr:
+			// Reads: stores were handled at the Assign/IncDec level; the
+			// spurious double count for store targets is corrected there by
+			// not recording the LHS again — so skip IndexExpr that are
+			// direct LHS targets.
+			if !isStoreTarget(region, e) {
+				out.Loads++
+				out.BytesRW += env.bytes(identName(e.Base))
+			}
+		case *minic.CallExpr:
+			if flops := interp.BuiltinFlops(e.Fun); flops > 0 {
+				if isSpecialFn(e.Fun) {
+					out.Special++
+					out.SpecialK[e.Fun]++
+				} else {
+					out.AddSub++
+				}
+				out.FlopsW += float64(flops)
+			} else if !interp.IsBuiltin(e.Fun) {
+				out.Calls++
+			}
+		}
+		return true
+	})
+}
+
+// storeTargets caches nothing; for the sizes involved a direct check is
+// fine: an IndexExpr is a store target if some Assign/IncDec in the region
+// has it as the LHS pointer-identical node.
+func isStoreTarget(region minic.Node, ix *minic.IndexExpr) bool {
+	found := false
+	minic.Walk(region, func(n minic.Node) bool {
+		if found {
+			return false
+		}
+		switch e := n.(type) {
+		case *minic.AssignExpr:
+			if e.LHS == minic.Expr(ix) {
+				// Both plain and compound stores account their target at
+				// the assignment level (compound adds the extra load there).
+				found = true
+			}
+		case *minic.IncDecExpr:
+			if e.X == minic.Expr(ix) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// WeightedOps counts operations in the body of fn with statically known
+// loop trip counts multiplied through; loops with unknown bounds count as
+// one iteration. The result approximates "work per call" up to the unknown
+// outer dimensions, which dynamic trip counts supply.
+func WeightedOps(fn *minic.FuncDecl) *OpCounts {
+	env := typesIn(fn)
+	return weightedBlock(fn.Body, env)
+}
+
+// WeightedOpsPerIteration counts work for one iteration of the given loop
+// (its body with nested fixed loops scaled).
+func WeightedOpsPerIteration(loop minic.Stmt, fn *minic.FuncDecl) *OpCounts {
+	env := typesIn(fn)
+	switch l := loop.(type) {
+	case *minic.ForStmt:
+		return weightedBlock(l.Body, env)
+	case *minic.WhileStmt:
+		return weightedBlock(l.Body, env)
+	}
+	return newOpCounts()
+}
+
+func weightedBlock(b *minic.Block, env typeEnv) *OpCounts {
+	out := newOpCounts()
+	for _, s := range b.Stmts {
+		out.addScaled(weightedStmt(s, env), 1)
+	}
+	return out
+}
+
+func weightedStmt(s minic.Stmt, env typeEnv) *OpCounts {
+	out := newOpCounts()
+	switch v := s.(type) {
+	case *minic.Block:
+		out.addScaled(weightedBlock(v, env), 1)
+	case *minic.ForStmt:
+		trips := 1.0
+		if n, fixed := query.FixedTripCount(v); fixed && n > 0 && !LoopMarkedRolled(v) {
+			trips = float64(n)
+		}
+		inner := weightedBlock(v.Body, env)
+		// Loop control overhead: one compare + one increment per trip.
+		inner.Cmp++
+		inner.IntOps++
+		out.addScaled(inner, trips)
+	case *minic.WhileStmt:
+		out.addScaled(weightedBlock(v.Body, env), 1)
+	case *minic.IfStmt:
+		countInto(v.Cond, env, out)
+		out.addScaled(weightedBlock(v.Then, env), 1)
+		if v.Else != nil {
+			out.addScaled(weightedStmt(v.Else, env), 1)
+		}
+	default:
+		countInto(s, env, out)
+	}
+	return out
+}
+
+// RegisterEstimate approximates the per-thread register demand of a kernel
+// when compiled for a GPU: declared scalar locals (weighted by the trip
+// count of enclosing fixed loops, which GPU compilers unroll, multiplying
+// live values), expression temporaries, and special-function call sites.
+// The constants are calibrated so register-heavy ODE solver kernels land
+// near the paper's observed 255 registers/thread while simple streaming
+// kernels stay below 64.
+func RegisterEstimate(fn *minic.FuncDecl) int {
+	scalars := 0.0
+	maxDepth := 0
+	specials := 0
+	weight := registerLoopWeights(fn)
+	minic.Walk(fn, func(n minic.Node) bool {
+		switch e := n.(type) {
+		case *minic.DeclStmt:
+			if e.ArrayLen == nil && e.Type.IsFloating() {
+				w := 1.0
+				if lw, ok := weight[e.ID()]; ok {
+					w = lw
+				}
+				scalars += w
+			}
+		case *minic.CallExpr:
+			if isSpecialFn(e.Fun) {
+				specials++
+			}
+		}
+		if ex, ok := n.(minic.Expr); ok {
+			if d := exprDepth(ex); d > maxDepth {
+				maxDepth = d
+			}
+		}
+		return true
+	})
+	regs := 16 + int(4*scalars) + 2*specials + 2*maxDepth
+	if regs > 255 {
+		regs = 255
+	}
+	return regs
+}
+
+// registerLoopWeights maps declaration node IDs to the unroll pressure of
+// their enclosing fixed-trip loops (capped — compilers stop keeping
+// everything live at some point).
+func registerLoopWeights(fn *minic.FuncDecl) map[int]float64 {
+	const unrollCap = 24
+	out := map[int]float64{}
+	var rec func(n minic.Node, w float64)
+	rec = func(n minic.Node, w float64) {
+		if l, ok := n.(minic.Stmt); ok && n != minic.Node(fn) {
+			if trips, fixed := query.FixedTripCount(l); fixed && trips > 1 {
+				t := float64(trips)
+				if t > unrollCap {
+					t = unrollCap
+				}
+				w *= t
+			}
+		}
+		if d, ok := n.(*minic.DeclStmt); ok {
+			out[d.ID()] = w
+		}
+		for _, c := range minic.Children(n) {
+			rec(c, w)
+		}
+	}
+	rec(fn, 1)
+	return out
+}
+
+// heavySpecials are transcendentals that execute as multi-pass SFU
+// sequences on consumer GPUs (range reduction + polynomial), unlike the
+// single-pass sqrt/sin/cos/pow fast paths.
+var heavySpecials = map[string]bool{
+	"exp": true, "expf": true, "__expf": true,
+	"log": true, "logf": true, "__logf": true,
+	"tanh": true, "tanhf": true,
+	"erf": true, "erff": true,
+}
+
+// HeavySpecialFraction returns the statically weighted fraction of special
+// FLOPs in fn attributable to heavy transcendentals (exp/log/tanh/erf).
+func HeavySpecialFraction(fn *minic.FuncDecl) float64 {
+	ops := WeightedOps(fn)
+	var heavy, total float64
+	for name, n := range ops.SpecialK {
+		flops := float64(interp.BuiltinFlops(name)) * n
+		total += flops
+		if heavySpecials[name] {
+			heavy += flops
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return heavy / total
+}
+
+func exprDepth(e minic.Expr) int {
+	max := 0
+	for _, c := range minic.Children(e) {
+		if ce, ok := c.(minic.Expr); ok {
+			if d := exprDepth(ce); d > max {
+				max = d
+			}
+		}
+	}
+	return max + 1
+}
+
+// Unrollability summarizes the "inner loops with dependences" PSA test on
+// one outer loop: whether any inner loop carries a dependence, and whether
+// all such loops have fixed trip counts at or below limit ("fully
+// unrollable" on an FPGA).
+type Unrollability struct {
+	InnerWithDeps  int
+	AllDepsFixed   bool
+	MaxFixedTrip   int64
+	InnerLoopCount int
+}
+
+// AnalyzeUnrollability inspects the inner loops of outer within fn.
+func AnalyzeUnrollability(q *query.Q, outer minic.Stmt, limit int64) Unrollability {
+	u := Unrollability{AllDepsFixed: true}
+	for _, inner := range q.InnerLoops(outer) {
+		u.InnerLoopCount++
+		deps := AnalyzeLoop(inner)
+		if deps.Parallel() {
+			continue
+		}
+		u.InnerWithDeps++
+		n, fixed := query.FixedTripCount(inner)
+		if !fixed || n > limit {
+			u.AllDepsFixed = false
+		} else if n > u.MaxFixedTrip {
+			u.MaxFixedTrip = n
+		}
+	}
+	return u
+}
+
+// LoopMarkedRolled reports whether a loop carries an explicit "unroll 1"
+// pragma — the resource-sharing annotation: the loop body is instantiated
+// once in hardware and time-multiplexed instead of spatially unrolled.
+func LoopMarkedRolled(loop minic.Stmt) bool {
+	var pragmas []string
+	switch l := loop.(type) {
+	case *minic.ForStmt:
+		pragmas = l.Pragmas
+	case *minic.WhileStmt:
+		pragmas = l.Pragmas
+	}
+	for _, p := range pragmas {
+		if p == "unroll 1" {
+			return true
+		}
+	}
+	return false
+}
+
+// HasDPSpecialCalls reports whether fn calls any double-precision
+// transcendental (exp, erf, pow, ... without the single-precision suffix).
+// Kernels that keep such calls pay the consumer-GPU FP64 special-function
+// penalty in the performance model.
+func HasDPSpecialCalls(fn *minic.FuncDecl) bool {
+	dp := map[string]bool{
+		"sqrt": true, "exp": true, "log": true, "pow": true,
+		"sin": true, "cos": true, "tanh": true, "erf": true,
+	}
+	found := false
+	minic.Walk(fn, func(n minic.Node) bool {
+		if c, ok := n.(*minic.CallExpr); ok && dp[c.Fun] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"psaflow/internal/interp"
+	"psaflow/internal/minic"
+)
+
+// adpredictorSrc is a Bayesian click-through-rate predictor in the style
+// of AdPredictor: for each impression, Gaussian belief messages over 6
+// feature weights are combined sequentially — the inner loop carries the
+// mean/variance chain through erf/exp corrections (CDF, PDF, and an
+// exponential forgetting term). The inner loop has a fixed bound and
+// loop-carried dependences — exactly the "fully unrollable inner
+// dependence loop" shape the PSA strategy maps to the CPU+FPGA branch,
+// where the Stratix 10 pipeline achieves the paper's best result (32X,
+// §IV-B-iii).
+const adpredictorSrc = `
+void adpredictor_init(int n, float *x, double *wmean, double *wvar, int seed) {
+    int s = seed;
+    for (int i = 0; i < 6 * n; i++) {
+        s = (s * 1103515245 + 12345) % 2147483647;
+        if (s < 0) {
+            s = 0 - s;
+        }
+        x[i] = (float)((double)s / 2147483647.0);
+    }
+    for (int j = 0; j < 6; j++) {
+        s = (s * 1103515245 + 12345) % 2147483647;
+        if (s < 0) {
+            s = 0 - s;
+        }
+        wmean[j] = (double)s / 2147483647.0 - 0.5;
+        s = (s * 1103515245 + 12345) % 2147483647;
+        if (s < 0) {
+            s = 0 - s;
+        }
+        wvar[j] = (double)s / 2147483647.0 * 0.9 + 0.1;
+    }
+}
+
+double adpredictor_logloss(int n, const float *pred) {
+    double loss = 0.0;
+    for (int i = 0; i < n; i++) {
+        double p = (double)pred[i];
+        if (p < 0.0001) {
+            p = 0.0001;
+        }
+        if (p > 0.9999) {
+            p = 0.9999;
+        }
+        loss += 0.0 - log(p);
+    }
+    return loss / (double)n;
+}
+
+double adpredictor_mean_pred(int n, const float *pred) {
+    double total = 0.0;
+    for (int i = 0; i < n; i++) {
+        total += (double)pred[i];
+    }
+    return total / (double)n;
+}
+
+void adpredictor_batch(int n, const float *x, const double *wmean, const double *wvar, float *pred) {
+    for (int i = 0; i < n; i++) {
+        double mean = 0.0;
+        double var = 1.0;
+        for (int j = 0; j < 6; j++) {
+            double xv = (double)x[i * 6 + j];
+            double m = wmean[j] * xv;
+            double s2 = wvar[j] * xv * xv + 0.01;
+            double z = (mean + m) / (s2 + var);
+            double cdf = 0.5 * (1.0 + erf(z * 0.7071067811865475));
+            double pdf = exp(-0.5 * z * z) * 0.3989422804014327;
+            double decay = exp(-0.1 * s2);
+            double v = pdf / (cdf + 0.000000001);
+            mean = mean + m + v * decay * 0.01;
+            var = var * (1.0 - v * (v + z) * decay * 0.05);
+        }
+        pred[i] = (float)(mean / (1.0 + var));
+    }
+}
+
+void adpredictor_main(int n, int seed, float *x, double *wmean, double *wvar, float *pred) {
+    adpredictor_init(n, x, wmean, wvar, seed);
+    adpredictor_batch(n, x, wmean, wvar, pred);
+    double mp = adpredictor_mean_pred(n, pred);
+    double loss = adpredictor_logloss(n, pred);
+    printf("adpredictor mean=%f logloss=%f", mp, loss);
+}
+`
+
+const (
+	adpredProfileN = 2048
+	adpredEvalN    = 32768 // impressions per batch in deployment
+	adpredCalls    = 4     // streamed batches in the deployment scenario
+)
+
+// AdPredictor returns the AdPredictor benchmark. Profiling runs one batch
+// of 2048 impressions; the deployment scenario streams 4 batches of 32768.
+func AdPredictor() *Benchmark {
+	r := float64(adpredEvalN) / float64(adpredProfileN)
+	return &Benchmark{
+		Name:   "adpredictor",
+		Descr:  "Bayesian CTR prediction over 6-feature impressions",
+		Source: adpredictorSrc,
+		Entry:  "adpredictor_main",
+		MakeArgs: func() []interp.Value {
+			n := adpredProfileN
+			return []interp.Value{
+				interp.IntVal(int64(n)),
+				interp.IntVal(99),
+				interp.BufVal(interp.NewFloatBuffer("x", minic.Float, make([]float64, 6*n))),
+				interp.BufVal(interp.NewFloatBuffer("wmean", minic.Double, make([]float64, 6))),
+				interp.BufVal(interp.NewFloatBuffer("wvar", minic.Double, make([]float64, 6))),
+				interp.BufVal(interp.NewFloatBuffer("pred", minic.Float, make([]float64, n))),
+			}
+		},
+		Scale: EvalScale{
+			Work:      r * adpredCalls,
+			Footprint: r * adpredCalls,
+			Threads:   r,
+			Pipelined: r * adpredCalls,
+			Calls:     adpredCalls,
+		},
+		ExpectTarget: "fpga",
+	}
+}

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"psaflow/internal/interp"
+	"psaflow/internal/minic"
+)
+
+// bezierSrc evaluates a degree-(m,n) Bezier surface on a flat sample grid.
+// Per sample point (parallel outer loop) the nested control-point loops
+// accumulate Bernstein-weighted control coordinates through pow() — a
+// complex multi-nested inner loop structure with runtime bounds, which the
+// PSA strategy maps to the CPU+GPU branch (paper §IV-B-ii: neither GPU is
+// fully saturated at this grid size, so the two devices land close
+// together).
+const bezierSrc = `
+void bezier_init_ctrl(int m, int n, double *ctrl, int seed) {
+    int s = seed;
+    for (int i = 0; i < (m + 1) * (n + 1) * 3; i++) {
+        s = (s * 1103515245 + 12345) % 2147483647;
+        if (s < 0) {
+            s = 0 - s;
+        }
+        ctrl[i] = (double)s / 2147483647.0 * 4.0 - 2.0;
+    }
+}
+
+void bezier_init_binom(double *binom) {
+    for (int d = 0; d < 17; d++) {
+        binom[d * 17] = 1.0;
+        for (int k = 1; k < 17; k++) {
+            binom[d * 17 + k] = 0.0;
+        }
+    }
+    for (int d = 1; d < 17; d++) {
+        for (int k = 1; k <= d; k++) {
+            binom[d * 17 + k] = binom[(d - 1) * 17 + k - 1] + binom[(d - 1) * 17 + k];
+        }
+    }
+}
+
+double bezier_surface_area_estimate(int su, int sv, const double *surf) {
+    double area = 0.0;
+    for (int p = 0; p < su * sv - sv - 1; p++) {
+        double dx = surf[(p + 1) * 3] - surf[p * 3];
+        double dy = surf[(p + 1) * 3 + 1] - surf[p * 3 + 1];
+        double dz = surf[(p + sv) * 3 + 2] - surf[p * 3 + 2];
+        area += sqrt(dx * dx + dy * dy + dz * dz);
+    }
+    return area;
+}
+
+double bezier_checksum(int su, int sv, const double *surf) {
+    double acc = 0.0;
+    for (int i = 0; i < su * sv * 3; i++) {
+        acc += surf[i];
+    }
+    return acc;
+}
+
+void bezier_surface(int su, int sv, int m, int n, const double *ctrl, const double *binom, double *surf) {
+    for (int p = 0; p < su * sv; p++) {
+        int ui = p / sv;
+        int vi = p % sv;
+        double u = (double)ui / (double)(su - 1);
+        double v = (double)vi / (double)(sv - 1);
+        double sx = 0.0;
+        double sy = 0.0;
+        double sz = 0.0;
+        for (int i = 0; i <= m; i++) {
+            double bu = binom[m * 17 + i] * pow(u, (double)i) * pow(1.0 - u, (double)(m - i));
+            for (int j = 0; j <= n; j++) {
+                double bv = binom[n * 17 + j] * pow(v, (double)j) * pow(1.0 - v, (double)(n - j));
+                double w = bu * bv;
+                int cidx = (i * (n + 1) + j) * 3;
+                sx = sx + w * ctrl[cidx];
+                sy = sy + w * ctrl[cidx + 1];
+                sz = sz + w * ctrl[cidx + 2];
+            }
+        }
+        surf[p * 3] = sx;
+        surf[p * 3 + 1] = sy;
+        surf[p * 3 + 2] = sz;
+    }
+}
+
+void bezier_main(int su, int sv, int m, int n, int seed, double *ctrl, double *binom, double *surf) {
+    bezier_init_ctrl(m, n, ctrl, seed);
+    bezier_init_binom(binom);
+    bezier_surface(su, sv, m, n, ctrl, binom, surf);
+    double area = bezier_surface_area_estimate(su, sv, surf);
+    double sum = bezier_checksum(su, sv, surf);
+    printf("bezier area=%f checksum=%f", area, sum);
+}
+`
+
+const (
+	bezierProfileGrid = 32 // 32x32 sample points
+	bezierProfileDeg  = 8
+	bezierEvalGrid    = 64 // 64x64 sample points
+	bezierEvalDeg     = 16
+)
+
+// Bezier returns the Bezier Surface Generation benchmark. Profiling
+// evaluates a degree-8 patch on a 32×32 grid; the evaluation scenario is a
+// degree-16 patch on 64×64 (work scales with grid × (deg+1)²).
+func Bezier() *Benchmark {
+	gridScale := float64(bezierEvalGrid*bezierEvalGrid) / float64(bezierProfileGrid*bezierProfileGrid)
+	degScale := float64((bezierEvalDeg+1)*(bezierEvalDeg+1)) / float64((bezierProfileDeg+1)*(bezierProfileDeg+1))
+	return &Benchmark{
+		Name:   "bezier",
+		Descr:  "Bezier surface evaluation over a sample grid",
+		Source: bezierSrc,
+		Entry:  "bezier_main",
+		MakeArgs: func() []interp.Value {
+			deg := bezierProfileDeg
+			grid := bezierProfileGrid
+			nCtrl := (deg + 1) * (deg + 1) * 3
+			return []interp.Value{
+				interp.IntVal(int64(grid)),
+				interp.IntVal(int64(grid)),
+				interp.IntVal(int64(deg)),
+				interp.IntVal(int64(deg)),
+				interp.IntVal(3),
+				interp.BufVal(interp.NewFloatBuffer("ctrl", minic.Double, make([]float64, nCtrl))),
+				interp.BufVal(interp.NewFloatBuffer("binom", minic.Double, make([]float64, 17*17))),
+				interp.BufVal(interp.NewFloatBuffer("surf", minic.Double, make([]float64, grid*grid*3))),
+			}
+		},
+		Scale: EvalScale{
+			Work:      gridScale * degScale,
+			Footprint: gridScale,
+			Threads:   gridScale,
+			Pipelined: gridScale * degScale,
+			Calls:     1,
+		},
+		ExpectTarget: "gpu",
+	}
+}

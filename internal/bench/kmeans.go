@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"psaflow/internal/interp"
+	"psaflow/internal/minic"
+)
+
+// kmeansSrc is one Lloyd iteration of K-Means with K=8 clusters in D=4
+// dimensions: the assignment step (the hotspot: low arithmetic intensity,
+// memory-bound, so the informed PSA strategy keeps it on the multi-thread
+// CPU — paper §IV-B-i) followed by the centroid update.
+const kmeansSrc = `
+void kmeans_init(int n, double *points, double *centroids, int seed) {
+    int s = seed;
+    for (int i = 0; i < 4 * n; i++) {
+        s = (s * 1103515245 + 12345) % 2147483647;
+        if (s < 0) {
+            s = 0 - s;
+        }
+        points[i] = (double)s / 2147483647.0 * 20.0 - 10.0;
+    }
+    for (int c = 0; c < 32; c++) {
+        s = (s * 1103515245 + 12345) % 2147483647;
+        if (s < 0) {
+            s = 0 - s;
+        }
+        centroids[c] = (double)s / 2147483647.0 * 20.0 - 10.0;
+    }
+}
+
+double kmeans_inertia(int n, const double *points, const double *centroids, const int *labels) {
+    double total = 0.0;
+    for (int i = 0; i < n; i++) {
+        int c = labels[i];
+        for (int j = 0; j < 4; j++) {
+            double diff = points[i * 4 + j] - centroids[c * 4 + j];
+            total += diff * diff;
+        }
+    }
+    return total;
+}
+
+int kmeans_label_histogram(int n, const int *labels, int *hist) {
+    int nonempty = 0;
+    for (int c = 0; c < 8; c++) {
+        hist[c] = 0;
+    }
+    for (int i = 0; i < n; i++) {
+        hist[labels[i]] += 1;
+    }
+    for (int c = 0; c < 8; c++) {
+        if (hist[c] > 0) {
+            nonempty++;
+        }
+    }
+    return nonempty;
+}
+
+void kmeans_iter(int n, const double *points, double *centroids, int *labels, double *sums, int *counts) {
+    for (int i = 0; i < n; i++) {
+        double best = 1e30;
+        int bestc = 0;
+        for (int c = 0; c < 8; c++) {
+            double dist = 0.0;
+            for (int j = 0; j < 4; j++) {
+                double diff = points[i * 4 + j] - centroids[c * 4 + j];
+                dist = dist + diff * diff;
+            }
+            if (dist < best) {
+                best = dist;
+                bestc = c;
+            }
+        }
+        labels[i] = bestc;
+    }
+    for (int c = 0; c < 8; c++) {
+        counts[c] = 0;
+        for (int j = 0; j < 4; j++) {
+            sums[c * 4 + j] = 0.0;
+        }
+    }
+    for (int i = 0; i < n; i++) {
+        int c = labels[i];
+        for (int j = 0; j < 4; j++) {
+            sums[c * 4 + j] += points[i * 4 + j];
+        }
+        counts[c] += 1;
+    }
+    for (int c = 0; c < 8; c++) {
+        if (counts[c] > 0) {
+            for (int j = 0; j < 4; j++) {
+                centroids[c * 4 + j] = sums[c * 4 + j] / (double)counts[c];
+            }
+        }
+    }
+}
+
+void kmeans_main(int n, int seed, double *points, double *centroids, int *labels, double *sums, int *counts, int *hist) {
+    kmeans_init(n, points, centroids, seed);
+    kmeans_iter(n, points, centroids, labels, sums, counts);
+    double inertia = kmeans_inertia(n, points, centroids, labels);
+    int nonempty = kmeans_label_histogram(n, labels, hist);
+    printf("kmeans inertia=%f clusters=%d", inertia, nonempty);
+}
+`
+
+const (
+	kmeansProfileN = 4096
+	kmeansEvalN    = 4194304
+)
+
+// KMeans returns the K-Means Classification benchmark. Profiling runs
+// n=4096 points; the evaluation scenario models n≈4.2M (everything scales
+// linearly with n).
+func KMeans() *Benchmark {
+	r := float64(kmeansEvalN) / float64(kmeansProfileN)
+	return &Benchmark{
+		Name:   "kmeans",
+		Descr:  "K-Means classification iteration (K=8, D=4)",
+		Source: kmeansSrc,
+		Entry:  "kmeans_main",
+		MakeArgs: func() []interp.Value {
+			n := kmeansProfileN
+			return []interp.Value{
+				interp.IntVal(int64(n)),
+				interp.IntVal(7),
+				interp.BufVal(interp.NewFloatBuffer("points", minic.Double, make([]float64, 4*n))),
+				interp.BufVal(interp.NewFloatBuffer("centroids", minic.Double, make([]float64, 4*8))),
+				interp.BufVal(interp.NewIntBuffer("labels", make([]int64, n))),
+				interp.BufVal(interp.NewFloatBuffer("sums", minic.Double, make([]float64, 4*8))),
+				interp.BufVal(interp.NewIntBuffer("counts", make([]int64, 8))),
+				interp.BufVal(interp.NewIntBuffer("hist", make([]int64, 8))),
+			}
+		},
+		Scale: EvalScale{
+			Work:      r,
+			Footprint: r,
+			Threads:   r,
+			Pipelined: r,
+			Calls:     1,
+		},
+		ExpectTarget: "cpu",
+	}
+}

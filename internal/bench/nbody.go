@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"psaflow/internal/interp"
+	"psaflow/internal/minic"
+)
+
+// nbodySrc is the unoptimized all-pairs N-Body step: the O(N²) force
+// accumulation (the hotspot) followed by an O(N) leapfrog integration.
+// The force loop is parallel in i; its inner j loop carries only local
+// reductions with a runtime bound, so the PSA strategy routes the design
+// to the CPU+GPU branch (paper §IV-B-ii).
+const nbodySrc = `
+void nbody_init(int n, double *pos, double *vel, double *acc, int seed) {
+    int s = seed;
+    for (int i = 0; i < 3 * n; i++) {
+        s = (s * 1103515245 + 12345) % 2147483647;
+        if (s < 0) {
+            s = 0 - s;
+        }
+        pos[i] = (double)s / 2147483647.0 * 2.0 - 1.0;
+        s = (s * 1103515245 + 12345) % 2147483647;
+        if (s < 0) {
+            s = 0 - s;
+        }
+        vel[i] = ((double)s / 2147483647.0 - 0.5) * 0.2;
+        acc[i] = 0.0;
+    }
+}
+
+double nbody_kinetic_energy(int n, const double *vel, double mass) {
+    double e = 0.0;
+    for (int i = 0; i < n; i++) {
+        double vx = vel[i * 3];
+        double vy = vel[i * 3 + 1];
+        double vz = vel[i * 3 + 2];
+        e += 0.5 * mass * (vx * vx + vy * vy + vz * vz);
+    }
+    return e;
+}
+
+double nbody_extent(int n, const double *pos) {
+    double maxr2 = 0.0;
+    for (int i = 0; i < n; i++) {
+        double x = pos[i * 3];
+        double y = pos[i * 3 + 1];
+        double z = pos[i * 3 + 2];
+        double r2 = x * x + y * y + z * z;
+        if (r2 > maxr2) {
+            maxr2 = r2;
+        }
+    }
+    return sqrt(maxr2);
+}
+
+double nbody_checksum(int n, const double *pos, const double *vel) {
+    double acc = 0.0;
+    for (int i = 0; i < 3 * n; i++) {
+        acc += pos[i] * 0.75 + vel[i] * 0.25;
+    }
+    return acc;
+}
+
+void nbody_step(int n, double *pos, double *vel, double *acc, double dt, double eps) {
+    for (int i = 0; i < n; i++) {
+        double ax = 0.0;
+        double ay = 0.0;
+        double az = 0.0;
+        for (int j = 0; j < n; j++) {
+            double dx = pos[j * 3] - pos[i * 3];
+            double dy = pos[j * 3 + 1] - pos[i * 3 + 1];
+            double dz = pos[j * 3 + 2] - pos[i * 3 + 2];
+            double dist2 = dx * dx + dy * dy + dz * dz + eps;
+            double invDist = 1.0 / sqrt(dist2);
+            double invDist3 = invDist * invDist * invDist;
+            ax = ax + dx * invDist3;
+            ay = ay + dy * invDist3;
+            az = az + dz * invDist3;
+        }
+        acc[i * 3] = ax;
+        acc[i * 3 + 1] = ay;
+        acc[i * 3 + 2] = az;
+    }
+    for (int i = 0; i < n; i++) {
+        vel[i * 3] = vel[i * 3] + acc[i * 3] * dt;
+        vel[i * 3 + 1] = vel[i * 3 + 1] + acc[i * 3 + 1] * dt;
+        vel[i * 3 + 2] = vel[i * 3 + 2] + acc[i * 3 + 2] * dt;
+        pos[i * 3] = pos[i * 3] + vel[i * 3] * dt;
+        pos[i * 3 + 1] = pos[i * 3 + 1] + vel[i * 3 + 1] * dt;
+        pos[i * 3 + 2] = pos[i * 3 + 2] + vel[i * 3 + 2] * dt;
+    }
+}
+
+void nbody_main(int n, int seed, double dt, double eps, double *pos, double *vel, double *acc) {
+    nbody_init(n, pos, vel, acc, seed);
+    double e0 = nbody_kinetic_energy(n, vel, 1.0);
+    nbody_step(n, pos, vel, acc, dt, eps);
+    double e1 = nbody_kinetic_energy(n, vel, 1.0);
+    double extent = nbody_extent(n, pos);
+    double sum = nbody_checksum(n, pos, vel);
+    printf("nbody e0=%f e1=%f extent=%f checksum=%f", e0, e1, extent, sum);
+}
+`
+
+const (
+	nbodyProfileN = 256
+	nbodyEvalN    = 32768
+)
+
+// NBody returns the N-Body Simulation benchmark. Profiling runs n=256
+// bodies; the evaluation scenario models n=16384 (work scales with n²,
+// data and parallelism with n).
+func NBody() *Benchmark {
+	r := float64(nbodyEvalN) / float64(nbodyProfileN)
+	return &Benchmark{
+		Name:   "nbody",
+		Descr:  "all-pairs gravitational N-Body step",
+		Source: nbodySrc,
+		Entry:  "nbody_main",
+		MakeArgs: func() []interp.Value {
+			n := nbodyProfileN
+			return []interp.Value{
+				interp.IntVal(int64(n)),
+				interp.IntVal(42),
+				interp.DoubleVal(0.01),
+				interp.DoubleVal(1e-9),
+				interp.BufVal(interp.NewFloatBuffer("pos", minic.Double, make([]float64, 3*n))),
+				interp.BufVal(interp.NewFloatBuffer("vel", minic.Double, make([]float64, 3*n))),
+				interp.BufVal(interp.NewFloatBuffer("acc", minic.Double, make([]float64, 3*n))),
+			}
+		},
+		Scale: EvalScale{
+			Work:      r * r,
+			Footprint: r,
+			Threads:   r,
+			Pipelined: r * r,
+			Calls:     1,
+		},
+		ExpectTarget: "gpu",
+	}
+}

@@ -1,0 +1,260 @@
+// Package cloud implements the runtime-mapping scenario of the paper's
+// §IV-D: once the uninformed PSA-flow has produced a set of diverse
+// designs per application, a heterogeneous cloud can map incoming
+// computations at runtime onto CPU, GPU, or FPGA resources using the
+// derived performance models and current resource prices — and "the most
+// performant design for a given application and workload might not be the
+// most cost effective". The package provides priced resource pools, job
+// classes backed by per-design execution times, mapping policies, and a
+// deterministic discrete-event simulator that reports cost, latency, and
+// deadline metrics.
+package cloud
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"psaflow/internal/platform"
+)
+
+// PriceSchedule maps simulation time to a price multiplier, modeling the
+// paper's variable cloud pricing ("discounts at off-peak hours" §IV-D).
+type PriceSchedule func(t float64) float64
+
+// Resource is a provisioned device pool in the cloud: jobs mapped to it
+// execute one at a time per instance and are billed per second.
+type Resource struct {
+	Name        string
+	Target      platform.TargetKind
+	PricePerSec float64 // base billing rate while a job runs
+	Instances   int     // concurrent slots
+	// Schedule optionally scales the base rate over time (nil = flat).
+	Schedule PriceSchedule
+	// nextFree[i] is the completion time of instance i's last job.
+	nextFree []float64
+}
+
+// PriceAt returns the effective rate for a job starting at time t.
+func (r *Resource) PriceAt(t float64) float64 {
+	if r.Schedule == nil {
+		return r.PricePerSec
+	}
+	return r.PricePerSec * r.Schedule(t)
+}
+
+// JobClass is an application with one design per resource (times from the
+// PSA-flow's device models). A missing entry means the design is not
+// synthesizable on that resource (e.g. Rush Larsen on FPGAs).
+type JobClass struct {
+	Name string
+	// ExecTime maps resource name to the design's execution time.
+	ExecTime map[string]float64
+}
+
+// Job is one arrival.
+type Job struct {
+	Class    *JobClass
+	Arrival  float64
+	Deadline float64 // absolute completion deadline; 0 = none
+}
+
+// Assignment records where a job ran and what it cost.
+type Assignment struct {
+	Job      Job
+	Resource string
+	Start    float64
+	Finish   float64
+	Cost     float64
+	Missed   bool // deadline missed (or job unmappable)
+	Mapped   bool
+}
+
+// Policy chooses a resource for a job given current instance availability.
+// earliest maps resource name to the earliest start time a job could get.
+type Policy interface {
+	Name() string
+	Choose(job Job, resources []*Resource, earliest map[string]float64) *Resource
+}
+
+// feasibleFinish computes the finish time of job on r if started at the
+// earliest slot.
+func feasibleFinish(job Job, r *Resource, earliest map[string]float64) (float64, bool) {
+	exec, ok := job.Class.ExecTime[r.Name]
+	if !ok || exec <= 0 || math.IsInf(exec, 1) {
+		return 0, false
+	}
+	start := math.Max(job.Arrival, earliest[r.Name])
+	return start + exec, true
+}
+
+// CheapestFeasible picks the lowest-cost resource whose finish time meets
+// the deadline; with no deadline it simply minimizes cost, breaking ties
+// by finish time.
+type CheapestFeasible struct{}
+
+// Name identifies the policy.
+func (CheapestFeasible) Name() string { return "cheapest-feasible" }
+
+// Choose implements Policy.
+func (CheapestFeasible) Choose(job Job, resources []*Resource, earliest map[string]float64) *Resource {
+	var best *Resource
+	bestCost, bestFinish := math.Inf(1), math.Inf(1)
+	var fallback *Resource
+	fallbackFinish := math.Inf(1)
+	for _, r := range resources {
+		finish, ok := feasibleFinish(job, r, earliest)
+		if !ok {
+			continue
+		}
+		start := math.Max(job.Arrival, earliest[r.Name])
+		cost := job.Class.ExecTime[r.Name] * r.PriceAt(start)
+		if finish < fallbackFinish {
+			fallback, fallbackFinish = r, finish
+		}
+		if job.Deadline > 0 && finish > job.Deadline {
+			continue
+		}
+		if cost < bestCost || (cost == bestCost && finish < bestFinish) {
+			best, bestCost, bestFinish = r, cost, finish
+		}
+	}
+	if best == nil {
+		return fallback // nothing meets the deadline: minimize lateness
+	}
+	return best
+}
+
+// FastestFinish always picks the earliest finish time (performance-first
+// baseline).
+type FastestFinish struct{}
+
+// Name identifies the policy.
+func (FastestFinish) Name() string { return "fastest-finish" }
+
+// Choose implements Policy.
+func (FastestFinish) Choose(job Job, resources []*Resource, earliest map[string]float64) *Resource {
+	var best *Resource
+	bestFinish := math.Inf(1)
+	for _, r := range resources {
+		finish, ok := feasibleFinish(job, r, earliest)
+		if !ok {
+			continue
+		}
+		if finish < bestFinish {
+			best, bestFinish = r, finish
+		}
+	}
+	return best
+}
+
+// StaticBest always uses the resource whose design is fastest in isolation
+// (what a deployment without runtime mapping would hard-code) — queueing
+// and price are ignored.
+type StaticBest struct{}
+
+// Name identifies the policy.
+func (StaticBest) Name() string { return "static-best" }
+
+// Choose implements Policy.
+func (StaticBest) Choose(job Job, resources []*Resource, earliest map[string]float64) *Resource {
+	var best *Resource
+	bestExec := math.Inf(1)
+	for _, r := range resources {
+		exec, ok := job.Class.ExecTime[r.Name]
+		if !ok || math.IsInf(exec, 1) {
+			continue
+		}
+		if exec < bestExec {
+			best, bestExec = r, exec
+		}
+	}
+	return best
+}
+
+// Result aggregates a simulation run.
+type Result struct {
+	Policy      string
+	Assignments []Assignment
+	TotalCost   float64
+	MeanLatency float64
+	MaxLatency  float64
+	Missed      int
+	Unmapped    int
+	PerResource map[string]int // jobs per resource
+}
+
+// Simulate runs the job stream through the policy on the given resources.
+// Jobs are processed in arrival order; each resource instance serves jobs
+// FIFO. The input slices are not mutated.
+func Simulate(resources []*Resource, jobs []Job, policy Policy) (*Result, error) {
+	if len(resources) == 0 {
+		return nil, fmt.Errorf("cloud: no resources")
+	}
+	pool := make([]*Resource, len(resources))
+	for i, r := range resources {
+		cp := *r
+		if cp.Instances <= 0 {
+			cp.Instances = 1
+		}
+		cp.nextFree = make([]float64, cp.Instances)
+		pool[i] = &cp
+	}
+	ordered := append([]Job(nil), jobs...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Arrival < ordered[j].Arrival })
+
+	res := &Result{Policy: policy.Name(), PerResource: map[string]int{}}
+	var totalLatency float64
+	for _, job := range ordered {
+		earliest := map[string]float64{}
+		slot := map[string]int{}
+		for _, r := range pool {
+			bestIdx, bestT := 0, math.Inf(1)
+			for i, t := range r.nextFree {
+				if t < bestT {
+					bestIdx, bestT = i, t
+				}
+			}
+			earliest[r.Name] = bestT
+			slot[r.Name] = bestIdx
+		}
+		r := policy.Choose(job, pool, earliest)
+		if r == nil {
+			res.Assignments = append(res.Assignments, Assignment{Job: job, Missed: true})
+			res.Unmapped++
+			res.Missed++
+			continue
+		}
+		exec := job.Class.ExecTime[r.Name]
+		start := math.Max(job.Arrival, earliest[r.Name])
+		finish := start + exec
+		r.nextFree[slot[r.Name]] = finish
+		a := Assignment{
+			Job: job, Resource: r.Name, Start: start, Finish: finish,
+			Cost:   exec * r.PriceAt(start),
+			Mapped: true,
+		}
+		if job.Deadline > 0 && finish > job.Deadline {
+			a.Missed = true
+			res.Missed++
+		}
+		res.Assignments = append(res.Assignments, a)
+		res.TotalCost += a.Cost
+		latency := finish - job.Arrival
+		totalLatency += latency
+		if latency > res.MaxLatency {
+			res.MaxLatency = latency
+		}
+		res.PerResource[r.Name]++
+	}
+	if mapped := len(res.Assignments) - res.Unmapped; mapped > 0 {
+		res.MeanLatency = totalLatency / float64(mapped)
+	}
+	return res, nil
+}
+
+// Summary renders a one-line result overview.
+func (r *Result) Summary() string {
+	return fmt.Sprintf("%-18s cost=%8.4f meanLat=%8.4gs maxLat=%8.4gs missed=%d unmapped=%d mix=%v",
+		r.Policy, r.TotalCost, r.MeanLatency, r.MaxLatency, r.Missed, r.Unmapped, r.PerResource)
+}

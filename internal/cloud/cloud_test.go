@@ -1,0 +1,271 @@
+package cloud
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"psaflow/internal/platform"
+)
+
+func testResources() []*Resource {
+	return []*Resource{
+		{Name: "cpu", Target: platform.TargetCPU, PricePerSec: 1, Instances: 2},
+		{Name: "gpu", Target: platform.TargetGPU, PricePerSec: 10, Instances: 1},
+		{Name: "fpga", Target: platform.TargetFPGA, PricePerSec: 4, Instances: 1},
+	}
+}
+
+func classFast() *JobClass {
+	// GPU 10x faster than CPU, FPGA in between.
+	return &JobClass{Name: "fast", ExecTime: map[string]float64{
+		"cpu": 1.0, "gpu": 0.1, "fpga": 0.4,
+	}}
+}
+
+func classNoFPGA() *JobClass {
+	return &JobClass{Name: "nofpga", ExecTime: map[string]float64{
+		"cpu": 2.0, "gpu": 0.2,
+	}}
+}
+
+func TestSimulateRequiresResources(t *testing.T) {
+	if _, err := Simulate(nil, nil, CheapestFeasible{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestCheapestFeasiblePrefersLowCost(t *testing.T) {
+	// Costs: cpu 1*1=1, gpu 0.1*10=1, fpga 0.4*4=1.6. cpu and gpu tie on
+	// cost; the tiebreak is finish time → gpu.
+	jobs := []Job{{Class: classFast(), Arrival: 0}}
+	res, err := Simulate(testResources(), jobs, CheapestFeasible{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignments[0].Resource != "gpu" {
+		t.Fatalf("assigned to %s, want gpu (cost tie, faster finish)", res.Assignments[0].Resource)
+	}
+	if math.Abs(res.TotalCost-1.0) > 1e-12 {
+		t.Fatalf("cost = %v", res.TotalCost)
+	}
+}
+
+func TestCheapestMeetsDeadline(t *testing.T) {
+	// Make the CPU cheapest but too slow for the deadline.
+	rs := testResources()
+	rs[0].PricePerSec = 0.01
+	jobs := []Job{{Class: classFast(), Arrival: 0, Deadline: 0.5}}
+	res, err := Simulate(rs, jobs, CheapestFeasible{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Assignments[0]
+	if a.Resource == "cpu" {
+		t.Fatal("cpu cannot meet the 0.5s deadline")
+	}
+	if a.Missed {
+		t.Fatal("deadline should be met")
+	}
+	// fpga finishes at 0.4 and costs 1.6; gpu finishes at 0.1 and costs 1.
+	if a.Resource != "gpu" {
+		t.Fatalf("assigned %s, want gpu (cheapest feasible)", a.Resource)
+	}
+}
+
+func TestDeadlineMissFallsBackToFastest(t *testing.T) {
+	jobs := []Job{{Class: classFast(), Arrival: 0, Deadline: 0.01}}
+	res, err := Simulate(testResources(), jobs, CheapestFeasible{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Assignments[0]
+	if !a.Missed {
+		t.Fatal("impossible deadline must be recorded as missed")
+	}
+	if a.Resource != "gpu" {
+		t.Fatalf("lateness minimization should pick gpu, got %s", a.Resource)
+	}
+	if res.Missed != 1 {
+		t.Fatalf("missed = %d", res.Missed)
+	}
+}
+
+func TestFastestFinishAccountsForQueueing(t *testing.T) {
+	// Two simultaneous jobs: the single GPU serves one; the second's
+	// fastest FINISH is the idle FPGA (0.4) over the queued GPU (0.2).
+	jobs := []Job{
+		{Class: classFast(), Arrival: 0},
+		{Class: classFast(), Arrival: 0},
+	}
+	res, err := Simulate(testResources(), jobs, FastestFinish{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignments[0].Resource != "gpu" {
+		t.Fatalf("first job on %s", res.Assignments[0].Resource)
+	}
+	second := res.Assignments[1]
+	if second.Resource != "gpu" {
+		t.Fatalf("second job on %s, want gpu (finish 0.2 beats fpga 0.4)", second.Resource)
+	}
+	if math.Abs(second.Finish-0.2) > 1e-12 {
+		t.Fatalf("second finish = %v", second.Finish)
+	}
+}
+
+func TestStaticBestIgnoresQueueing(t *testing.T) {
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		jobs[i] = Job{Class: classFast(), Arrival: 0}
+	}
+	res, err := Simulate(testResources(), jobs, StaticBest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerResource["gpu"] != 8 {
+		t.Fatalf("static-best must pile everything on the gpu: %v", res.PerResource)
+	}
+	// Queueing: the last job waits 7*0.1s.
+	if res.MaxLatency < 0.79 {
+		t.Fatalf("max latency = %v, want queueing delay", res.MaxLatency)
+	}
+}
+
+func TestUnsynthesizableDesignNeverMapped(t *testing.T) {
+	jobs := []Job{{Class: classNoFPGA(), Arrival: 0}}
+	for _, p := range []Policy{CheapestFeasible{}, FastestFinish{}, StaticBest{}} {
+		res, err := Simulate(testResources(), jobs, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Assignments[0].Resource == "fpga" {
+			t.Fatalf("%s mapped a job to a resource without a design", p.Name())
+		}
+	}
+}
+
+func TestUnmappableJob(t *testing.T) {
+	empty := &JobClass{Name: "none", ExecTime: map[string]float64{}}
+	res, err := Simulate(testResources(), []Job{{Class: empty}}, FastestFinish{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unmapped != 1 || res.Assignments[0].Mapped {
+		t.Fatalf("unmapped = %d", res.Unmapped)
+	}
+}
+
+func TestInstancesServeConcurrently(t *testing.T) {
+	// Two CPU instances: two simultaneous CPU-only jobs run in parallel.
+	rs := []*Resource{{Name: "cpu", PricePerSec: 1, Instances: 2}}
+	cls := &JobClass{Name: "c", ExecTime: map[string]float64{"cpu": 1}}
+	jobs := []Job{{Class: cls, Arrival: 0}, {Class: cls, Arrival: 0}}
+	res, err := Simulate(rs, jobs, FastestFinish{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Assignments {
+		if math.Abs(a.Finish-1.0) > 1e-12 {
+			t.Fatalf("finish = %v, want parallel service", a.Finish)
+		}
+	}
+}
+
+func TestSimulateDoesNotMutateInputs(t *testing.T) {
+	rs := testResources()
+	jobs := []Job{
+		{Class: classFast(), Arrival: 3},
+		{Class: classFast(), Arrival: 1},
+	}
+	if _, err := Simulate(rs, jobs, FastestFinish{}); err != nil {
+		t.Fatal(err)
+	}
+	if jobs[0].Arrival != 3 || jobs[1].Arrival != 1 {
+		t.Fatal("job order mutated")
+	}
+	if rs[0].nextFree != nil {
+		t.Fatal("input resource state mutated")
+	}
+}
+
+// TestQuickCheapestNeverCostsMoreThanFastest: over random job streams, the
+// cost-aware policy's total cost never exceeds the performance-first
+// policy's (with no deadlines) — the §IV-D claim that runtime mapping by
+// price saves money.
+func TestQuickCheapestNeverCostsMoreThanFastest(t *testing.T) {
+	f := func(seed uint8, nJobs uint8) bool {
+		n := int(nJobs)%20 + 1
+		jobs := make([]Job, n)
+		for i := range jobs {
+			jobs[i] = Job{Class: classFast(), Arrival: float64((int(seed)+i*7)%13) * 0.05}
+		}
+		cheap, err1 := Simulate(testResources(), jobs, CheapestFeasible{})
+		fast, err2 := Simulate(testResources(), jobs, FastestFinish{})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return cheap.TotalCost <= fast.TotalCost+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickFastestNeverSlowerMeanLatency: symmetric property for latency.
+func TestQuickFastestNeverSlowerMeanLatency(t *testing.T) {
+	f := func(seed uint8, nJobs uint8) bool {
+		n := int(nJobs)%20 + 1
+		jobs := make([]Job, n)
+		for i := range jobs {
+			jobs[i] = Job{Class: classFast(), Arrival: float64((int(seed)+i*3)%11) * 0.03}
+		}
+		cheap, err1 := Simulate(testResources(), jobs, CheapestFeasible{})
+		fast, err2 := Simulate(testResources(), jobs, FastestFinish{})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return fast.MeanLatency <= cheap.MeanLatency+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeVaryingPricing(t *testing.T) {
+	// GPU is half price after t=1 (off-peak); the cost-aware policy should
+	// shift late jobs onto it.
+	offPeak := func(tt float64) float64 {
+		if tt >= 1 {
+			return 0.1
+		}
+		return 1.0
+	}
+	rs := []*Resource{
+		{Name: "cpu", PricePerSec: 1, Instances: 4},
+		{Name: "gpu", PricePerSec: 10, Instances: 1, Schedule: offPeak},
+	}
+	cls := &JobClass{Name: "c", ExecTime: map[string]float64{"cpu": 1.0, "gpu": 0.1}}
+	jobs := []Job{
+		{Class: cls, Arrival: 0}, // peak: cpu cost 1, gpu cost 1 → gpu (tie, faster)
+		{Class: cls, Arrival: 2}, // off-peak: gpu cost 0.1 → gpu
+	}
+	res, err := Simulate(rs, jobs, CheapestFeasible{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	late := res.Assignments[1]
+	if late.Resource != "gpu" {
+		t.Fatalf("off-peak job on %s, want gpu", late.Resource)
+	}
+	if math.Abs(late.Cost-0.1*0.1*10) > 1e-12 {
+		t.Fatalf("off-peak cost = %v, want 0.1 exec * 1.0 effective rate", late.Cost)
+	}
+	// Flat-priced resource unaffected.
+	if rs[0].PriceAt(5) != 1 {
+		t.Error("flat price changed")
+	}
+	if rs[1].PriceAt(0.5) != 10 || rs[1].PriceAt(2) != 1 {
+		t.Errorf("scheduled prices: %v %v", rs[1].PriceAt(0.5), rs[1].PriceAt(2))
+	}
+}

@@ -1,0 +1,176 @@
+// Package core implements the paper's primary contribution: PSA-flows —
+// programmatic, customizable, reusable design-flows composed of codified
+// tasks and branch points with Path Selection Automation. A flow consumes
+// a technology-agnostic design (MiniC source + workload) and produces one
+// or more specialized designs (multi-thread CPU, CPU+GPU, CPU+FPGA),
+// forking the design at branch points and recording full provenance.
+package core
+
+import (
+	"fmt"
+
+	"psaflow/internal/analysis"
+	"psaflow/internal/codegen"
+	"psaflow/internal/hls"
+	"psaflow/internal/interp"
+	"psaflow/internal/minic"
+	"psaflow/internal/perfmodel"
+	"psaflow/internal/platform"
+)
+
+// Workload supplies a runnable input configuration for dynamic analyses:
+// the entry function and freshly allocated argument buffers. Args must
+// return independent buffers on every call so repeated instrumented runs
+// observe identical initial state.
+type Workload interface {
+	Name() string
+	Entry() string
+	Args() []interp.Value
+}
+
+// KernelReport accumulates everything the analysis tasks learn about the
+// extracted hotspot kernel; the PSA strategies and performance models read
+// from it.
+type KernelReport struct {
+	// Hotspot detection (dynamic).
+	HotspotLoopID int
+	HotspotShare  float64 // fraction of total reference cycles
+	HotspotCycles float64
+
+	// Kernel-level dynamic measurements.
+	KernelFlops    float64
+	SpecialFlops   float64 // FLOPs from transcendental builtins
+	BytesIn        float64
+	BytesOut       float64
+	KernelBytes    float64 // total memory traffic inside the kernel
+	OuterTrips     float64 // trips of the kernel's outer loop per invocation
+	PipelinedTrips float64
+	SerialDepth    float64 // mean trips of dep-carrying inner loops
+	Calls          float64 // kernel invocations observed in the profiling run
+
+	// Static analyses.
+	AliasPairs   [][2]string
+	DynamicAI    float64
+	StaticAI     float64
+	OuterDeps    *analysis.LoopDeps
+	Unroll       analysis.Unrollability
+	RegsEstimate int
+	SinglePrec   bool
+	SpecialDP    bool    // kernel retains double-precision transcendentals
+	HeavyFrac    float64 // fraction of special FLOPs from exp/log/tanh/erf
+}
+
+// Features assembles the perfmodel view of the kernel.
+func (r *KernelReport) Features() perfmodel.KernelFeatures {
+	calls := r.Calls
+	if calls < 1 {
+		calls = 1
+	}
+	return perfmodel.KernelFeatures{
+		HotspotCycles: r.HotspotCycles,
+		Flops:         r.KernelFlops,
+		SpecialFlops:  r.SpecialFlops,
+		Bytes:         r.KernelBytes,
+		TransferIn:    r.BytesIn,
+		TransferOut:   r.BytesOut,
+		Threads:       r.OuterTrips / calls,
+		SerialDepth:   r.SerialDepth,
+		Calls:         calls,
+		Regs:          r.RegsEstimate,
+		SinglePrec:    r.SinglePrec,
+		SpecialDP:     r.SpecialDP,
+		HeavyFrac:     r.HeavyFrac,
+	}
+}
+
+// TraceEvent records one step of provenance.
+type TraceEvent struct {
+	Kind   string // "task" | "branch" | "dse" | "note"
+	Name   string
+	Detail string
+}
+
+// String renders the event.
+func (e TraceEvent) String() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("[%s] %s", e.Kind, e.Name)
+	}
+	return fmt.Sprintf("[%s] %s: %s", e.Kind, e.Name, e.Detail)
+}
+
+// Design is the unit that flows through a PSA-flow: application source,
+// accumulated knowledge, the chosen target/device, and generated
+// artifacts.
+type Design struct {
+	Name   string
+	Prog   *minic.Program
+	Kernel string // extracted kernel function name; "" before partitioning
+	RefLOC int    // line count of the unoptimized reference source (Table I baseline)
+
+	Target platform.TargetKind
+	Device string
+
+	Report    *KernelReport
+	Trace     []TraceEvent
+	Artifact  *codegen.Design // rendered target source
+	HLSReport *hls.Report     // FPGA designs only
+
+	// Tuned parameters found by DSE tasks.
+	NumThreads   int
+	Blocksize    int
+	UnrollFactor int
+	Pinned       bool
+	ZeroCopy     bool
+	SharedMem    []string
+	Specialised  bool
+
+	// Estimated design time on the selected device.
+	Est        perfmodel.Breakdown
+	Infeasible string // non-empty when the design cannot be realized (e.g. FPGA overmap)
+}
+
+// NewDesign wraps a parsed program as the flow input, recording the
+// reference line count Table I measures added lines against.
+func NewDesign(name string, prog *minic.Program) *Design {
+	return &Design{
+		Name:   name,
+		Prog:   prog,
+		Report: &KernelReport{},
+		RefLOC: minic.CountLOC(minic.Print(prog)),
+	}
+}
+
+// Tracef appends a provenance event.
+func (d *Design) Tracef(kind, name, format string, args ...any) {
+	d.Trace = append(d.Trace, TraceEvent{Kind: kind, Name: name, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Fork deep-copies the design for a branch path. The report is copied by
+// value (analysis results are immutable snapshots); the program is cloned.
+func (d *Design) Fork() *Design {
+	nd := *d
+	nd.Prog = d.Prog.Clone()
+	if d.Report != nil {
+		rep := *d.Report
+		nd.Report = &rep
+	}
+	nd.Trace = append([]TraceEvent(nil), d.Trace...)
+	nd.SharedMem = append([]string(nil), d.SharedMem...)
+	return &nd
+}
+
+// KernelFunc returns the extracted kernel function, or nil.
+func (d *Design) KernelFunc() *minic.FuncDecl {
+	if d.Kernel == "" {
+		return nil
+	}
+	return d.Prog.Func(d.Kernel)
+}
+
+// Label names the design for reports: "nbody/gpu/RTX 2080 Ti".
+func (d *Design) Label() string {
+	if d.Device == "" {
+		return fmt.Sprintf("%s/%s", d.Name, d.Target)
+	}
+	return fmt.Sprintf("%s/%s/%s", d.Name, d.Target, d.Device)
+}

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"psaflow/internal/platform"
+)
+
+// TaskKind classifies tasks as in the paper's Fig. 4 legend.
+type TaskKind int
+
+// Task classifications: Analysis (A), Transform (T), Code-Generation (CG),
+// Optimisation/DSE (O).
+const (
+	Analysis TaskKind = iota
+	Transform
+	CodeGen
+	Optimisation
+)
+
+// String returns the paper's one-letter task class.
+func (k TaskKind) String() string {
+	switch k {
+	case Analysis:
+		return "A"
+	case Transform:
+		return "T"
+	case CodeGen:
+		return "CG"
+	case Optimisation:
+		return "O"
+	}
+	return "?"
+}
+
+// Context carries the environment tasks run in.
+type Context struct {
+	Workload Workload
+	CPU      platform.CPUSpec
+	// Budget is the user cost budget for the Fig. 3 cost-evaluation
+	// feedback loop; 0 disables the gate.
+	Budget float64
+	// Cost evaluates a completed design's cost for the budget gate.
+	Cost func(*Design) float64
+	// Logf receives progress lines; nil silences them.
+	Logf func(format string, args ...any)
+	// Parallel evaluates forked branch paths concurrently (each path works
+	// on its own design fork; Workload.Args must allocate fresh buffers per
+	// call, which every bundled workload does). Results keep path order.
+	Parallel bool
+
+	logMu sync.Mutex
+}
+
+func (c *Context) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.logMu.Lock()
+		defer c.logMu.Unlock()
+		c.Logf(format, args...)
+	}
+}
+
+// Task is one codified design-flow task (a meta-program in the paper's
+// terms): a self-contained analysis, transform, code generation, or
+// optimisation that operates on a design.
+type Task interface {
+	Name() string
+	Kind() TaskKind
+	Dynamic() bool // requires program execution (the paper's ⚡ marker)
+	Run(ctx *Context, d *Design) error
+}
+
+// TaskFunc adapts a function to the Task interface.
+type TaskFunc struct {
+	TaskName string
+	TaskKind TaskKind
+	IsDyn    bool
+	Fn       func(ctx *Context, d *Design) error
+}
+
+// Name returns the task name.
+func (t TaskFunc) Name() string { return t.TaskName }
+
+// Kind returns the task classification.
+func (t TaskFunc) Kind() TaskKind { return t.TaskKind }
+
+// Dynamic reports whether the task executes the program.
+func (t TaskFunc) Dynamic() bool { return t.IsDyn }
+
+// Run executes the task.
+func (t TaskFunc) Run(ctx *Context, d *Design) error { return t.Fn(ctx, d) }
+
+// Node is a flow element: a Task step or a Branch point.
+type Node interface{ flowNode() }
+
+// Step wraps a task as a flow node.
+type Step struct{ Task Task }
+
+func (Step) flowNode() {}
+
+// Path is one alternative at a branch point.
+type Path struct {
+	Name string
+	Flow *Flow
+}
+
+// Selector implements Path Selection Automation at a branch point. It
+// returns the indices of the paths to take: one for an informed strategy,
+// several (or all) for uninformed generation. excluded lists path indices
+// ruled out by the budget feedback loop.
+type Selector interface {
+	Name() string
+	Select(ctx *Context, d *Design, paths []Path, excluded map[int]bool) ([]int, error)
+}
+
+// SelectAll is the uninformed selector: every (non-excluded) path is
+// taken, generating all design versions (paper §IV-B "Uninformed" mode).
+type SelectAll struct{}
+
+// Name identifies the selector.
+func (SelectAll) Name() string { return "select-all" }
+
+// Select returns all non-excluded paths.
+func (SelectAll) Select(_ *Context, _ *Design, paths []Path, excluded map[int]bool) ([]int, error) {
+	var out []int
+	for i := range paths {
+		if !excluded[i] {
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}
+
+// SelectorFunc adapts a function to Selector.
+type SelectorFunc struct {
+	SelName string
+	Fn      func(ctx *Context, d *Design, paths []Path, excluded map[int]bool) ([]int, error)
+}
+
+// Name identifies the selector.
+func (s SelectorFunc) Name() string { return s.SelName }
+
+// Select delegates to the wrapped function.
+func (s SelectorFunc) Select(ctx *Context, d *Design, paths []Path, excluded map[int]bool) ([]int, error) {
+	return s.Fn(ctx, d, paths, excluded)
+}
+
+// Branch is a PSA branch point: alternative sub-flows plus a selection
+// strategy, and optionally the cost/budget feedback gate of Fig. 3 (when
+// ctx.Budget > 0 and ctx.Cost is set, a selected path whose resulting
+// designs all exceed the budget is excluded and selection re-runs).
+type Branch struct {
+	PointName string
+	Paths     []Path
+	Select    Selector
+	// Gated enables the cost/budget feedback loop at this branch point
+	// (Fig. 3 places it at the target-selection branch). Ungated branches
+	// ignore ctx.Budget.
+	Gated bool
+	// MaxRevisions bounds the feedback loop (default 4).
+	MaxRevisions int
+}
+
+func (Branch) flowNode() {}
+
+// Flow is a sequence of steps and branch points — one PSA-flow (or a
+// sub-flow forming a branch path).
+type Flow struct {
+	Name  string
+	Nodes []Node
+}
+
+// AddTask appends a task step and returns the flow for chaining.
+func (f *Flow) AddTask(t Task) *Flow {
+	f.Nodes = append(f.Nodes, Step{Task: t})
+	return f
+}
+
+// AddBranch appends a branch point and returns the flow for chaining.
+func (f *Flow) AddBranch(b Branch) *Flow {
+	f.Nodes = append(f.Nodes, b)
+	return f
+}
+
+// FlowError wraps a task failure with its flow position.
+type FlowError struct {
+	Flow string
+	Task string
+	Err  error
+}
+
+// Error implements the error interface.
+func (e *FlowError) Error() string {
+	return fmt.Sprintf("flow %s: task %s: %v", e.Flow, e.Task, e.Err)
+}
+
+// Unwrap exposes the cause.
+func (e *FlowError) Unwrap() error { return e.Err }
+
+// Run executes the flow on design d and returns the leaf designs — one per
+// branch path ultimately taken. Designs that become infeasible (e.g. FPGA
+// overmap) are still returned, marked via Design.Infeasible, so harnesses
+// can report them as the paper does ("n/a" bars).
+func (f *Flow) Run(ctx *Context, d *Design) ([]*Design, error) {
+	designs := []*Design{d}
+	for _, node := range f.Nodes {
+		switch n := node.(type) {
+		case Step:
+			next := designs[:0]
+			for _, cur := range designs {
+				if cur.Infeasible != "" {
+					next = append(next, cur)
+					continue
+				}
+				ctx.logf("  task %-32s (%s) on %s", n.Task.Name(), n.Task.Kind(), cur.Label())
+				if err := n.Task.Run(ctx, cur); err != nil {
+					return nil, &FlowError{Flow: f.Name, Task: n.Task.Name(), Err: err}
+				}
+				cur.Tracef("task", n.Task.Name(), "%s", n.Task.Kind())
+				next = append(next, cur)
+			}
+			designs = next
+		case Branch:
+			var next []*Design
+			for _, cur := range designs {
+				if cur.Infeasible != "" {
+					next = append(next, cur)
+					continue
+				}
+				out, err := runBranch(ctx, n, cur, f.Name)
+				if err != nil {
+					return nil, err
+				}
+				next = append(next, out...)
+			}
+			designs = next
+		default:
+			return nil, fmt.Errorf("flow %s: unknown node %T", f.Name, node)
+		}
+	}
+	return designs, nil
+}
+
+// runBranch executes one branch point on one design, including the budget
+// feedback loop.
+func runBranch(ctx *Context, b Branch, d *Design, flowName string) ([]*Design, error) {
+	maxRev := b.MaxRevisions
+	if maxRev <= 0 {
+		maxRev = 4
+	}
+	gated := b.Gated && ctx.Budget > 0 && ctx.Cost != nil
+	excluded := map[int]bool{}
+	for rev := 0; rev <= maxRev; rev++ {
+		idxs, err := b.Select.Select(ctx, d, b.Paths, excluded)
+		if err != nil {
+			return nil, &FlowError{Flow: flowName, Task: "branch:" + b.PointName, Err: err}
+		}
+		if len(idxs) == 0 {
+			// No viable path: the flow terminates without specializing
+			// (Fig. 3's "design-flow terminates" outcome).
+			d.Tracef("branch", b.PointName, "no path selected; design unmodified")
+			return []*Design{d}, nil
+		}
+		for _, i := range idxs {
+			if i < 0 || i >= len(b.Paths) {
+				return nil, &FlowError{Flow: flowName, Task: "branch:" + b.PointName,
+					Err: fmt.Errorf("selector returned invalid path index %d", i)}
+			}
+		}
+		perPath := make([][]*Design, len(idxs))
+		errs := make([]error, len(idxs))
+		runPath := func(slot, i int) {
+			p := b.Paths[i]
+			fork := d
+			// Fork when several paths run, or when the budget gate may
+			// reject this path and re-select: revisions must restart from
+			// the unmodified design.
+			if len(idxs) > 1 || gated {
+				fork = d.Fork()
+			}
+			fork.Tracef("branch", b.PointName, "selected path %q (strategy %s)", p.Name, b.Select.Name())
+			ctx.logf("branch %s -> %s", b.PointName, p.Name)
+			perPath[slot], errs[slot] = p.Flow.Run(ctx, fork)
+		}
+		if ctx.Parallel && len(idxs) > 1 {
+			var wg sync.WaitGroup
+			for slot, i := range idxs {
+				wg.Add(1)
+				go func(slot, i int) {
+					defer wg.Done()
+					runPath(slot, i)
+				}(slot, i)
+			}
+			wg.Wait()
+		} else {
+			for slot, i := range idxs {
+				runPath(slot, i)
+			}
+		}
+		var out []*Design
+		overBudget := true
+		for slot := range idxs {
+			if errs[slot] != nil {
+				return nil, errs[slot]
+			}
+			out = append(out, perPath[slot]...)
+			for _, leaf := range perPath[slot] {
+				if !gated || leaf.Infeasible != "" {
+					overBudget = false
+					continue
+				}
+				if cost := ctx.Cost(leaf); cost <= ctx.Budget {
+					overBudget = false
+				} else {
+					leaf.Tracef("branch", b.PointName, "cost %.4g exceeds budget %.4g", cost, ctx.Budget)
+				}
+			}
+		}
+		if !gated || !overBudget {
+			return out, nil
+		}
+		// Feedback: revise by excluding the failed path(s) and re-selecting.
+		for _, i := range idxs {
+			excluded[i] = true
+		}
+		d.Tracef("branch", b.PointName, "revision %d: all selected paths over budget, re-selecting", rev+1)
+	}
+	return nil, &FlowError{Flow: flowName, Task: "branch:" + b.PointName,
+		Err: fmt.Errorf("budget feedback exhausted %d revisions", maxRev)}
+}

@@ -1,0 +1,432 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"psaflow/internal/minic"
+	"psaflow/internal/platform"
+)
+
+const flowSrc = `
+void app(int n, double *a) {
+    for (int i = 0; i < n; i++) {
+        a[i] = a[i] * 2.0;
+    }
+}
+`
+
+func newTestDesign() *Design {
+	return NewDesign("test", minic.MustParse(flowSrc))
+}
+
+// record builds a task that appends its name to a log slice.
+func record(log *[]string, name string) Task {
+	return TaskFunc{
+		TaskName: name, TaskKind: Transform,
+		Fn: func(ctx *Context, d *Design) error {
+			*log = append(*log, name+"@"+d.Label())
+			return nil
+		},
+	}
+}
+
+func TestFlowSequentialTasks(t *testing.T) {
+	var log []string
+	flow := &Flow{Name: "seq"}
+	flow.AddTask(record(&log, "t1"))
+	flow.AddTask(record(&log, "t2"))
+	flow.AddTask(record(&log, "t3"))
+	out, err := flow.Run(&Context{}, newTestDesign())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("designs = %d, want 1", len(out))
+	}
+	if len(log) != 3 || !strings.HasPrefix(log[0], "t1") || !strings.HasPrefix(log[2], "t3") {
+		t.Fatalf("log = %v", log)
+	}
+	// Trace records every task.
+	if len(out[0].Trace) != 3 {
+		t.Fatalf("trace = %v", out[0].Trace)
+	}
+}
+
+func TestFlowTaskError(t *testing.T) {
+	flow := &Flow{Name: "failing"}
+	flow.AddTask(TaskFunc{TaskName: "boom", TaskKind: Analysis,
+		Fn: func(*Context, *Design) error { return errors.New("kaput") }})
+	_, err := flow.Run(&Context{}, newTestDesign())
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var fe *FlowError
+	if !errors.As(err, &fe) {
+		t.Fatalf("error type %T", err)
+	}
+	if fe.Task != "boom" || fe.Flow != "failing" {
+		t.Fatalf("flow error = %+v", fe)
+	}
+}
+
+// pathFlow builds a sub-flow that stamps the design's Device.
+func pathFlow(name string) *Flow {
+	f := &Flow{Name: name}
+	f.AddTask(TaskFunc{TaskName: "stamp-" + name, TaskKind: Transform,
+		Fn: func(ctx *Context, d *Design) error {
+			d.Device = name
+			return nil
+		}})
+	return f
+}
+
+func TestBranchSelectAllForks(t *testing.T) {
+	flow := &Flow{Name: "fork"}
+	flow.AddBranch(Branch{
+		PointName: "X",
+		Paths: []Path{
+			{Name: "a", Flow: pathFlow("a")},
+			{Name: "b", Flow: pathFlow("b")},
+			{Name: "c", Flow: pathFlow("c")},
+		},
+		Select: SelectAll{},
+	})
+	out, err := flow.Run(&Context{}, newTestDesign())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("designs = %d, want 3", len(out))
+	}
+	devices := map[string]bool{}
+	for _, d := range out {
+		devices[d.Device] = true
+		// Forked designs own independent programs.
+		for _, other := range out {
+			if other != d && other.Prog == d.Prog {
+				t.Fatal("forked designs share a program")
+			}
+		}
+	}
+	if !devices["a"] || !devices["b"] || !devices["c"] {
+		t.Fatalf("devices = %v", devices)
+	}
+}
+
+func TestBranchSingleSelection(t *testing.T) {
+	sel := SelectorFunc{SelName: "pick-b",
+		Fn: func(ctx *Context, d *Design, paths []Path, excluded map[int]bool) ([]int, error) {
+			return []int{1}, nil
+		}}
+	flow := &Flow{Name: "single"}
+	flow.AddBranch(Branch{PointName: "X",
+		Paths:  []Path{{Name: "a", Flow: pathFlow("a")}, {Name: "b", Flow: pathFlow("b")}},
+		Select: sel})
+	out, err := flow.Run(&Context{}, newTestDesign())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(out) != 1 || out[0].Device != "b" {
+		t.Fatalf("out = %v", out)
+	}
+	// The single selection must not fork (same design flows on).
+	found := false
+	for _, ev := range out[0].Trace {
+		if ev.Kind == "branch" && strings.Contains(ev.Detail, `path "b"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("branch trace missing: %v", out[0].Trace)
+	}
+}
+
+func TestBranchNoPathTerminates(t *testing.T) {
+	sel := SelectorFunc{SelName: "none",
+		Fn: func(ctx *Context, d *Design, paths []Path, excluded map[int]bool) ([]int, error) {
+			return nil, nil
+		}}
+	flow := &Flow{Name: "terminate"}
+	flow.AddBranch(Branch{PointName: "X",
+		Paths:  []Path{{Name: "a", Flow: pathFlow("a")}},
+		Select: sel})
+	out, err := flow.Run(&Context{}, newTestDesign())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Design passes through unmodified (Fig. 3: flow terminates without
+	// specializing).
+	if len(out) != 1 || out[0].Device != "" {
+		t.Fatalf("out = %+v", out[0])
+	}
+}
+
+func TestBranchInvalidIndex(t *testing.T) {
+	sel := SelectorFunc{SelName: "bad",
+		Fn: func(ctx *Context, d *Design, paths []Path, excluded map[int]bool) ([]int, error) {
+			return []int{7}, nil
+		}}
+	flow := &Flow{Name: "bad"}
+	flow.AddBranch(Branch{PointName: "X", Paths: []Path{{Name: "a", Flow: pathFlow("a")}}, Select: sel})
+	if _, err := flow.Run(&Context{}, newTestDesign()); err == nil {
+		t.Fatal("expected error for invalid path index")
+	}
+}
+
+// TestBudgetFeedback exercises the Fig. 3 cost-evaluation loop: the first
+// selected path exceeds the budget, so the branch re-selects with that
+// path excluded.
+func TestBudgetFeedback(t *testing.T) {
+	costs := map[string]float64{"expensive": 100, "cheap": 1}
+	sel := SelectorFunc{SelName: "greedy",
+		Fn: func(ctx *Context, d *Design, paths []Path, excluded map[int]bool) ([]int, error) {
+			// Prefer the expensive path unless excluded.
+			for i, p := range paths {
+				if p.Name == "expensive" && !excluded[i] {
+					return []int{i}, nil
+				}
+			}
+			for i := range paths {
+				if !excluded[i] {
+					return []int{i}, nil
+				}
+			}
+			return nil, nil
+		}}
+	flow := &Flow{Name: "budgeted"}
+	flow.AddBranch(Branch{PointName: "X",
+		Paths:  []Path{{Name: "expensive", Flow: pathFlow("expensive")}, {Name: "cheap", Flow: pathFlow("cheap")}},
+		Select: sel, Gated: true})
+	ctx := &Context{
+		Budget: 10,
+		Cost:   func(d *Design) float64 { return costs[d.Device] },
+	}
+	out, err := flow.Run(ctx, newTestDesign())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(out) != 1 || out[0].Device != "cheap" {
+		t.Fatalf("budget feedback should land on cheap path, got %v", out[0].Device)
+	}
+	// Trace should record the revision.
+	revised := false
+	for _, ev := range out[0].Trace {
+		if strings.Contains(ev.Detail, "re-selecting") {
+			revised = true
+		}
+	}
+	if !revised {
+		t.Fatalf("revision not traced: %v", out[0].Trace)
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	sel := SelectorFunc{SelName: "stubborn",
+		Fn: func(ctx *Context, d *Design, paths []Path, excluded map[int]bool) ([]int, error) {
+			if excluded[0] {
+				return nil, nil // gives up after exclusion → terminates
+			}
+			return []int{0}, nil
+		}}
+	flow := &Flow{Name: "exhaust"}
+	flow.AddBranch(Branch{PointName: "X",
+		Paths:  []Path{{Name: "only", Flow: pathFlow("only")}},
+		Select: sel, Gated: true, MaxRevisions: 2})
+	ctx := &Context{Budget: 1, Cost: func(*Design) float64 { return 50 }}
+	out, err := flow.Run(ctx, newTestDesign())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// After exclusion the selector returns no path: unmodified design.
+	if len(out) != 1 || out[0].Device != "" {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestInfeasibleDesignSkipsRemainingTasks(t *testing.T) {
+	var log []string
+	flow := &Flow{Name: "skip"}
+	flow.AddTask(TaskFunc{TaskName: "mark", TaskKind: Optimisation,
+		Fn: func(ctx *Context, d *Design) error {
+			d.Infeasible = "overmap"
+			return nil
+		}})
+	flow.AddTask(record(&log, "after"))
+	out, err := flow.Run(&Context{}, newTestDesign())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(log) != 0 {
+		t.Fatalf("tasks ran after infeasibility: %v", log)
+	}
+	if out[0].Infeasible != "overmap" {
+		t.Fatal("infeasibility lost")
+	}
+}
+
+func TestNestedBranches(t *testing.T) {
+	inner := &Flow{Name: "inner"}
+	inner.AddBranch(Branch{PointName: "B",
+		Paths:  []Path{{Name: "x", Flow: pathFlow("x")}, {Name: "y", Flow: pathFlow("y")}},
+		Select: SelectAll{}})
+	flow := &Flow{Name: "outer"}
+	flow.AddBranch(Branch{PointName: "A",
+		Paths:  []Path{{Name: "p", Flow: inner}, {Name: "q", Flow: pathFlow("q")}},
+		Select: SelectAll{}})
+	out, err := flow.Run(&Context{}, newTestDesign())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(out) != 3 { // p→{x,y} + q
+		t.Fatalf("designs = %d, want 3", len(out))
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	d := newTestDesign()
+	d.Report.KernelFlops = 42
+	d.SharedMem = []string{"a"}
+	d.Tracef("note", "orig", "first")
+	f := d.Fork()
+	f.Report.KernelFlops = 99
+	f.SharedMem[0] = "b"
+	f.Tracef("note", "fork", "second")
+	if d.Report.KernelFlops != 42 {
+		t.Error("fork shares report")
+	}
+	if d.SharedMem[0] != "a" {
+		t.Error("fork shares shared-mem slice")
+	}
+	if len(d.Trace) != 1 {
+		t.Error("fork shares trace")
+	}
+}
+
+func TestTaskKindStrings(t *testing.T) {
+	want := map[TaskKind]string{Analysis: "A", Transform: "T", CodeGen: "CG", Optimisation: "O"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%v.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}
+
+func TestDesignLabel(t *testing.T) {
+	d := newTestDesign()
+	d.Target = platform.TargetGPU
+	if got := d.Label(); got != "test/gpu" {
+		t.Errorf("label = %q", got)
+	}
+	d.Device = "X"
+	if got := d.Label(); got != "test/gpu/X" {
+		t.Errorf("label = %q", got)
+	}
+}
+
+func TestTraceEventString(t *testing.T) {
+	e := TraceEvent{Kind: "task", Name: "foo"}
+	if e.String() != "[task] foo" {
+		t.Errorf("got %q", e.String())
+	}
+	e.Detail = "bar"
+	if e.String() != "[task] foo: bar" {
+		t.Errorf("got %q", e.String())
+	}
+}
+
+func TestFlowErrorUnwrap(t *testing.T) {
+	inner := fmt.Errorf("inner")
+	fe := &FlowError{Flow: "f", Task: "t", Err: inner}
+	if !errors.Is(fe, inner) {
+		t.Error("Unwrap broken")
+	}
+	if !strings.Contains(fe.Error(), "inner") {
+		t.Errorf("message = %q", fe.Error())
+	}
+}
+
+// TestParallelBranchMatchesSequential: parallel path evaluation produces
+// the same designs in the same order as sequential.
+func TestParallelBranchMatchesSequential(t *testing.T) {
+	build := func() *Flow {
+		flow := &Flow{Name: "fork"}
+		flow.AddBranch(Branch{
+			PointName: "X",
+			Paths: []Path{
+				{Name: "a", Flow: pathFlow("a")},
+				{Name: "b", Flow: pathFlow("b")},
+				{Name: "c", Flow: pathFlow("c")},
+			},
+			Select: SelectAll{},
+		})
+		return flow
+	}
+	seq, err := build().Run(&Context{}, newTestDesign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := build().Run(&Context{Parallel: true}, newTestDesign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("lengths differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].Device != par[i].Device {
+			t.Errorf("order differs at %d: %q vs %q", i, seq[i].Device, par[i].Device)
+		}
+	}
+}
+
+// TestParallelBranchErrorPropagates: a failing path surfaces its error.
+func TestParallelBranchErrorPropagates(t *testing.T) {
+	bad := &Flow{Name: "bad"}
+	bad.AddTask(TaskFunc{TaskName: "boom", TaskKind: Analysis,
+		Fn: func(*Context, *Design) error { return errors.New("kaput") }})
+	flow := &Flow{Name: "fork"}
+	flow.AddBranch(Branch{
+		PointName: "X",
+		Paths:     []Path{{Name: "ok", Flow: pathFlow("ok")}, {Name: "bad", Flow: bad}},
+		Select:    SelectAll{},
+	})
+	if _, err := flow.Run(&Context{Parallel: true}, newTestDesign()); err == nil {
+		t.Fatal("expected error from parallel path")
+	}
+}
+
+func TestDesignExport(t *testing.T) {
+	dir := t.TempDir()
+	d := newTestDesign()
+	d.Device = "Test Device 1"
+	d.Target = platform.TargetGPU
+	d.Tracef("note", "x", "hello")
+	out, err := d.Export(dir)
+	if err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+	for _, f := range []string{"transformed.minic", "trace.log", "design.json"} {
+		if _, err := os.Stat(filepath.Join(out, f)); err != nil {
+			t.Errorf("missing %s: %v", f, err)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(out, "design.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"target": "gpu"`) {
+		t.Errorf("summary missing target:\n%s", data)
+	}
+	traceData, _ := os.ReadFile(filepath.Join(out, "trace.log"))
+	if !strings.Contains(string(traceData), "hello") {
+		t.Error("trace not exported")
+	}
+	if strings.ContainsAny(filepath.Base(out), "/ ") {
+		t.Errorf("unsanitized dir name %q", out)
+	}
+}

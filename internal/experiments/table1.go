@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"psaflow/internal/bench"
+	"psaflow/internal/platform"
+	"psaflow/internal/tasks"
+)
+
+// Table1Row is one benchmark's added-LOC record (paper Table I): the
+// percentage of reference lines added by each generated design, and the
+// total across the five designs. Unsynthesizable designs (Rush Larsen's
+// CPU+FPGA pair) are excluded, as in the paper.
+type Table1Row struct {
+	Benchmark string
+	RefLOC    int
+	OMP       float64 // percent added LOC
+	HIP1080   float64
+	HIP2080   float64
+	A10       float64
+	S10       float64
+	Total     float64
+	Excluded  []string // devices excluded because the design is unsynthesizable
+}
+
+// RunTable1 regenerates Table I by running the uninformed PSA-flow on all
+// benchmarks and measuring each rendered design against the reference
+// source line count.
+func RunTable1(logf func(string, ...any)) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, b := range bench.All() {
+		results, err := RunBenchmark(b, tasks.Uninformed, logf)
+		if err != nil {
+			return nil, err
+		}
+		row := Table1Row{Benchmark: b.Name}
+		for _, r := range results {
+			d := r.Design
+			row.RefLOC = d.RefLOC
+			if d.Infeasible != "" || d.Artifact == nil {
+				if d.Device != "" {
+					row.Excluded = append(row.Excluded, d.Device)
+				}
+				continue
+			}
+			pct := 100 * float64(d.Artifact.AddedLOC) / float64(d.RefLOC)
+			switch {
+			case d.Target == platform.TargetCPU:
+				row.OMP = pct
+			case d.Device == platform.GTX1080Ti.Name:
+				row.HIP1080 = pct
+			case d.Device == platform.RTX2080Ti.Name:
+				row.HIP2080 = pct
+			case d.Device == platform.Arria10.Name:
+				row.A10 = pct
+			case d.Device == platform.Stratix10.Name:
+				row.S10 = pct
+			}
+			row.Total += pct
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table1Average computes the per-column averages (the paper's final row).
+// Columns with excluded designs contribute only their present values.
+func Table1Average(rows []Table1Row) Table1Row {
+	avg := Table1Row{Benchmark: "average"}
+	if len(rows) == 0 {
+		return avg
+	}
+	n := float64(len(rows))
+	counts := [5]float64{}
+	for _, r := range rows {
+		avg.OMP += r.OMP
+		avg.HIP1080 += r.HIP1080
+		avg.HIP2080 += r.HIP2080
+		avg.A10 += r.A10
+		avg.S10 += r.S10
+		avg.Total += r.Total
+		if r.OMP > 0 {
+			counts[0]++
+		}
+		if r.HIP1080 > 0 {
+			counts[1]++
+		}
+		if r.HIP2080 > 0 {
+			counts[2]++
+		}
+		if r.A10 > 0 {
+			counts[3]++
+		}
+		if r.S10 > 0 {
+			counts[4]++
+		}
+	}
+	div := func(sum, c float64) float64 {
+		if c == 0 {
+			return 0
+		}
+		return sum / c
+	}
+	avg.OMP = div(avg.OMP, counts[0])
+	avg.HIP1080 = div(avg.HIP1080, counts[1])
+	avg.HIP2080 = div(avg.HIP2080, counts[2])
+	avg.A10 = div(avg.A10, counts[3])
+	avg.S10 = div(avg.S10, counts[4])
+	avg.Total /= n
+	return avg
+}
+
+// paperTable1 records the paper's Table I percentages.
+var paperTable1 = map[string][6]float64{
+	//              omp  1080 2080  a10  s10 total
+	"rushlarsen":  {0.4, 6, 6, 0, 0, 0},
+	"nbody":       {2, 37, 37, 52, 69, 197},
+	"bezier":      {2, 26, 26, 34, 42, 130},
+	"adpredictor": {2, 31, 31, 42, 63, 169},
+	"kmeans":      {4, 81, 81, 101, 147, 414},
+}
+
+// PaperTable1 exposes the paper's Table I row for a benchmark:
+// OMP, HIP-1080, HIP-2080, oneAPI-A10, oneAPI-S10, total.
+func PaperTable1(name string) ([6]float64, bool) {
+	v, ok := paperTable1[name]
+	return v, ok
+}
+
+// FormatTable1 renders the measured-vs-paper added-LOC table.
+func FormatTable1(rows []Table1Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %6s %8s %8s %8s %8s %8s %8s\n",
+		"benchmark", "refLOC", "OMP", "HIP1080", "HIP2080", "A10", "S10", "total")
+	pct := func(v float64) string {
+		if v == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("+%.0f%%", v)
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-12s %6d %8s %8s %8s %8s %8s %8s\n",
+			r.Benchmark, r.RefLOC, pct(r.OMP), pct(r.HIP1080), pct(r.HIP2080),
+			pct(r.A10), pct(r.S10), pct(r.Total))
+		if p, ok := PaperTable1(r.Benchmark); ok {
+			fmt.Fprintf(&sb, "%-12s %6s %8s %8s %8s %8s %8s %8s\n",
+				"  (paper)", "", pct(p[0]), pct(p[1]), pct(p[2]), pct(p[3]), pct(p[4]), pct(p[5]))
+		}
+	}
+	avg := Table1Average(rows)
+	fmt.Fprintf(&sb, "%-12s %6s %8s %8s %8s %8s %8s %8s\n",
+		"average", "", pct(avg.OMP), pct(avg.HIP1080), pct(avg.HIP2080),
+		pct(avg.A10), pct(avg.S10), pct(avg.Total))
+	fmt.Fprintf(&sb, "%-12s %6s %8s %8s %8s %8s %8s %8s\n",
+		"  (paper)", "", "+2%", "+36%", "+36%", "+57%", "+81%", "+212%")
+	return sb.String()
+}

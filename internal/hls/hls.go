@@ -1,0 +1,278 @@
+// Package hls simulates the FPGA high-level-synthesis toolchain the paper
+// drives through oneAPI/dpcpp partial compiles: it estimates the resource
+// footprint (ALMs, DSPs, BRAM) of a MiniC kernel datapath, applies unroll
+// pragmas, and produces the utilisation report that the
+// unroll-until-overmap DSE consumes (paper Fig. 2). Costs are
+// per-operator estimates in the range published for Intel FPGA floating
+// point IP; absolute accuracy is not required — the DSE only needs the
+// monotone resource-vs-unroll curve and a realistic overmap point.
+package hls
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"psaflow/internal/analysis"
+	"psaflow/internal/minic"
+	"psaflow/internal/platform"
+	"psaflow/internal/query"
+)
+
+// opCost is the resource footprint of one hardware operator instance.
+type opCost struct {
+	alms int
+	dsps int
+}
+
+// Operator cost table: double-precision (dp) and single-precision (sp)
+// variants.
+var (
+	costAddDP   = opCost{alms: 1100, dsps: 0}
+	costAddSP   = opCost{alms: 550, dsps: 0}
+	costMulDP   = opCost{alms: 500, dsps: 6}
+	costMulSP   = opCost{alms: 250, dsps: 1}
+	costDivDP   = opCost{alms: 7800, dsps: 0}
+	costDivSP   = opCost{alms: 3600, dsps: 0}
+	costCmp     = opCost{alms: 300, dsps: 0}
+	costIntOp   = opCost{alms: 150, dsps: 0}
+	costLSU     = opCost{alms: 2100, dsps: 0} // load/store unit per memory op site
+	costLoopCtl = opCost{alms: 1400, dsps: 0}
+
+	specialDP = map[string]opCost{
+		"sqrt": {alms: 9200, dsps: 0},
+		"exp":  {alms: 31000, dsps: 24},
+		"log":  {alms: 30000, dsps: 24},
+		"pow":  {alms: 62000, dsps: 48},
+		"sin":  {alms: 26000, dsps: 16},
+		"cos":  {alms: 26000, dsps: 16},
+		"tanh": {alms: 33000, dsps: 24},
+		"erf":  {alms: 36000, dsps: 28},
+	}
+	specialSP = map[string]opCost{
+		"sqrt": {alms: 4300, dsps: 0},
+		"exp":  {alms: 10000, dsps: 10},
+		"log":  {alms: 10000, dsps: 10},
+		"pow":  {alms: 22000, dsps: 20},
+		"sin":  {alms: 10500, dsps: 8},
+		"cos":  {alms: 10500, dsps: 8},
+		"tanh": {alms: 13000, dsps: 10},
+		"erf":  {alms: 10500, dsps: 10},
+	}
+)
+
+// shellALMs models the board support package / PCIe shell overhead that is
+// resident on the device before any kernel logic.
+const shellALMs = 50000
+
+// OvermapThreshold is the LUT utilisation above which the DSE considers
+// the design overmapped (paper Fig. 2 uses 90%).
+const OvermapThreshold = 0.90
+
+// Report is the estimated high-level design report for one kernel on one
+// device — the artifact the paper's meta-programs parse out of the oneAPI
+// partial compile.
+type Report struct {
+	Device         string
+	Kernel         string
+	Unroll         int     // outer unroll factor applied (from pragma, min 1)
+	ALMs           int     // estimated logic
+	DSPs           int     // estimated DSP blocks
+	BRAMBits       int64   // estimated on-chip RAM
+	LUTUtil        float64 // ALMs / device ALMs
+	DSPUtil        float64
+	RAMUtil        float64
+	FmaxHz         float64 // achievable clock after utilisation derate
+	II             int     // pipeline initiation interval of the remaining loop nest
+	PipelinedTrips float64 // dynamic iterations of the pipelined loop nest (if known)
+	Fits           bool    // LUTUtil < OvermapThreshold and DSPUtil < 1
+	SinglePrec     bool
+}
+
+// Overmapped reports whether the design exceeds the DSE threshold.
+func (r *Report) Overmapped() bool { return !r.Fits }
+
+// String renders a one-line summary.
+func (r *Report) String() string {
+	return fmt.Sprintf("%s kernel=%s unroll=%d LUT=%.1f%% DSP=%.1f%% II=%d fmax=%.0fMHz fits=%t",
+		r.Device, r.Kernel, r.Unroll, r.LUTUtil*100, r.DSPUtil*100, r.II, r.FmaxHz/1e6, r.Fits)
+}
+
+// spNames maps single-precision and specialised intrinsics to their cost
+// family.
+func specialFamily(name string) (string, bool, bool) {
+	n := strings.TrimPrefix(name, "__")
+	n = strings.TrimSuffix(n, "_rn")
+	if n == "fsqrt" {
+		n = "sqrtf"
+	}
+	sp := strings.HasSuffix(n, "f") && n != "erf" // erf ends in f but is DP
+	base := strings.TrimSuffix(n, "f")
+	if n == "erf" {
+		base, sp = "erf", false
+	}
+	if n == "erff" {
+		base, sp = "erf", true
+	}
+	if _, ok := specialDP[base]; !ok {
+		return "", false, false
+	}
+	return base, sp, true
+}
+
+// kernelPrecision reports whether the kernel has been demoted to single
+// precision by the SP transforms: all float literals single and no
+// double-precision math calls.
+func kernelPrecision(fn *minic.FuncDecl) bool {
+	sp := true
+	minic.Walk(fn, func(n minic.Node) bool {
+		switch v := n.(type) {
+		case *minic.FloatLit:
+			if !v.Single {
+				sp = false
+			}
+		case *minic.CallExpr:
+			if base, isSP, ok := specialFamily(v.Fun); ok && !isSP {
+				_ = base
+				sp = false
+			}
+		}
+		return true
+	})
+	return sp
+}
+
+// UnrollPragmaFactor extracts the factor of an "unroll N" pragma attached
+// to the outermost loop of fn; returns 1 when absent.
+func UnrollPragmaFactor(prog *minic.Program, fn *minic.FuncDecl) int {
+	q := query.New(prog)
+	outer := q.OutermostLoops(fn)
+	if len(outer) == 0 {
+		return 1
+	}
+	var pragmas []string
+	switch l := outer[0].(type) {
+	case *minic.ForStmt:
+		pragmas = l.Pragmas
+	case *minic.WhileStmt:
+		pragmas = l.Pragmas
+	}
+	for _, p := range pragmas {
+		fields := strings.Fields(p)
+		if len(fields) == 2 && fields[0] == "unroll" {
+			if n, err := strconv.Atoi(fields[1]); err == nil && n >= 1 {
+				return n
+			}
+		}
+	}
+	return 1
+}
+
+// Estimate produces the high-level design report for kernel fn of prog on
+// device dev. The datapath is costed from the kernel AST with
+// statically-fixed inner loops counted spatially (they will be fully
+// unrolled in hardware) and the whole datapath replicated by the unroll
+// pragma factor on the outer loop. pipelinedTrips, when known from dynamic
+// analysis, is recorded for the performance model.
+func Estimate(prog *minic.Program, fn *minic.FuncDecl, dev platform.FPGASpec, pipelinedTrips float64) *Report {
+	unroll := UnrollPragmaFactor(prog, fn)
+	sp := kernelPrecision(fn)
+
+	ops := analysis.WeightedOps(fn)
+
+	var alms, dsps int
+	addC, mulC, divC := costAddDP, costMulDP, costDivDP
+	spTable := specialDP
+	if sp {
+		addC, mulC, divC = costAddSP, costMulSP, costDivSP
+		spTable = specialSP
+	}
+	scale := func(c opCost, n float64) {
+		alms += int(float64(c.alms) * n)
+		dsps += int(float64(c.dsps) * n)
+	}
+	scale(addC, ops.AddSub)
+	scale(mulC, ops.Mul)
+	scale(divC, ops.Div)
+	scale(costCmp, ops.Cmp)
+	scale(costIntOp, ops.IntOps)
+	scale(costLSU, ops.Loads+ops.Stores)
+	for name, n := range ops.SpecialK {
+		base, isSP, ok := specialFamily(name)
+		if !ok {
+			continue
+		}
+		table := spTable
+		if isSP {
+			table = specialSP
+		}
+		scale(table[base], n)
+	}
+	// Control logic per loop in the kernel.
+	q := query.New(prog)
+	nLoops := len(q.LoopsIn(fn))
+	scale(costLoopCtl, float64(nLoops)+1)
+
+	// Replicate the datapath for the outer unroll factor.
+	alms *= unroll
+	dsps *= unroll
+	alms += shellALMs
+
+	// On-chip RAM: local arrays.
+	var bramBits int64
+	minic.Walk(fn, func(n minic.Node) bool {
+		if d, ok := n.(*minic.DeclStmt); ok && d.ArrayLen != nil {
+			if l, ok := d.ArrayLen.(*minic.IntLit); ok {
+				width := int64(64)
+				if d.Type.Kind == minic.Float || d.Type.Kind == minic.Int {
+					width = 32
+				}
+				bramBits += l.Val * width * int64(unroll)
+			}
+		}
+		return true
+	})
+
+	r := &Report{
+		Device:         dev.Name,
+		Kernel:         fn.Name,
+		Unroll:         unroll,
+		ALMs:           alms,
+		DSPs:           dsps,
+		BRAMBits:       bramBits,
+		LUTUtil:        float64(alms) / float64(dev.ALMs),
+		DSPUtil:        float64(dsps) / float64(dev.DSPs),
+		RAMUtil:        float64(bramBits) / float64(dev.BRAMBits),
+		SinglePrec:     sp,
+		PipelinedTrips: pipelinedTrips,
+	}
+	r.II = estimateII(prog, fn)
+	r.FmaxHz = dev.ClockHz
+	if r.LUTUtil > 0.75 {
+		r.FmaxHz *= 0.88 // routing congestion derate on nearly-full devices
+	}
+	r.Fits = r.LUTUtil < OvermapThreshold && r.DSPUtil < 1.0 && r.RAMUtil < 1.0
+	return r
+}
+
+// estimateII computes the pipeline initiation interval of the loop nest
+// that remains after fixed inner loops are spatially unrolled: II=1 when
+// the innermost remaining loop carries no dependence (or only removable
+// reductions already rewritten), otherwise the accumulation latency.
+func estimateII(prog *minic.Program, fn *minic.FuncDecl) int {
+	q := query.New(prog)
+	loops := q.LoopsIn(fn)
+	ii := 1
+	for _, l := range loops {
+		if _, fixed := query.FixedTripCount(l); fixed && !analysis.LoopMarkedRolled(l) {
+			continue // will be fully unrolled spatially
+		}
+		deps := analysis.AnalyzeLoop(l)
+		if !deps.Parallel() {
+			// A carried dependence in a pipelined loop forces II up to the
+			// accumulation latency.
+			ii = 8
+		}
+	}
+	return ii
+}

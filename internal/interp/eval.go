@@ -1,0 +1,480 @@
+package interp
+
+import (
+	"fmt"
+
+	"psaflow/internal/minic"
+)
+
+func (m *machine) eval(fr *frame, e minic.Expr) (Value, error) {
+	if err := m.step(e.NodePos()); err != nil {
+		return Value{}, err
+	}
+	switch v := e.(type) {
+	case *minic.IntLit:
+		return IntVal(v.Val), nil
+	case *minic.FloatLit:
+		if v.Single {
+			return FloatVal(v.Val), nil
+		}
+		return DoubleVal(v.Val), nil
+	case *minic.BoolLit:
+		return BoolVal(v.Val), nil
+	case *minic.StringLit:
+		return Value{K: KVoid}, nil // only meaningful inside printf-family calls
+	case *minic.Ident:
+		cell := fr.lookup(v.Name)
+		if cell == nil {
+			return Value{}, m.errf(v.NodePos(), "undefined variable %q", v.Name)
+		}
+		m.charge(CostLocal)
+		return *cell, nil
+	case *minic.UnaryExpr:
+		x, err := m.eval(fr, v.X)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.Op == minic.TokNot {
+			m.charge(CostLogic)
+			return BoolVal(!x.AsBool()), nil
+		}
+		switch x.K {
+		case KInt:
+			m.charge(CostAddSub)
+			return IntVal(-x.I), nil
+		case KFloat:
+			m.chargeFlop(CostAddSub, 1)
+			return FloatVal(-x.F), nil
+		default:
+			m.chargeFlop(CostAddSub, 1)
+			return DoubleVal(-x.AsFloat()), nil
+		}
+	case *minic.BinaryExpr:
+		return m.evalBinary(fr, v)
+	case *minic.AssignExpr:
+		return m.evalAssign(fr, v)
+	case *minic.IncDecExpr:
+		return m.evalIncDec(fr, v)
+	case *minic.IndexExpr:
+		buf, idx, err := m.evalIndexTarget(fr, v)
+		if err != nil {
+			return Value{}, err
+		}
+		return m.loadElem(buf, idx, v.NodePos())
+	case *minic.CallExpr:
+		return m.evalCall(fr, v)
+	case *minic.CastExpr:
+		x, err := m.eval(fr, v.X)
+		if err != nil {
+			return Value{}, err
+		}
+		m.charge(CostCast)
+		return m.coerce(x, v.To, v.NodePos())
+	}
+	return Value{}, m.errf(e.NodePos(), "unhandled expression %T", e)
+}
+
+// numericResult applies C-style promotion: double > float > int.
+func promote(a, b Value) ValKind {
+	if a.K == KDouble || b.K == KDouble {
+		return KDouble
+	}
+	if a.K == KFloat || b.K == KFloat {
+		return KFloat
+	}
+	return KInt
+}
+
+func makeNum(k ValKind, f float64) Value {
+	switch k {
+	case KInt:
+		return IntVal(int64(f))
+	case KFloat:
+		return FloatVal(f)
+	default:
+		return DoubleVal(f)
+	}
+}
+
+func (m *machine) evalBinary(fr *frame, b *minic.BinaryExpr) (Value, error) {
+	// Short-circuit logical operators.
+	if b.Op == minic.TokAndAnd || b.Op == minic.TokOrOr {
+		l, err := m.eval(fr, b.L)
+		if err != nil {
+			return Value{}, err
+		}
+		m.charge(CostLogic)
+		if b.Op == minic.TokAndAnd && !l.AsBool() {
+			return BoolVal(false), nil
+		}
+		if b.Op == minic.TokOrOr && l.AsBool() {
+			return BoolVal(true), nil
+		}
+		r, err := m.eval(fr, b.R)
+		if err != nil {
+			return Value{}, err
+		}
+		return BoolVal(r.AsBool()), nil
+	}
+
+	l, err := m.eval(fr, b.L)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := m.eval(fr, b.R)
+	if err != nil {
+		return Value{}, err
+	}
+	if !l.IsNumeric() || !r.IsNumeric() {
+		return Value{}, m.errf(b.NodePos(), "non-numeric operands to %s", b.Op)
+	}
+	k := promote(l, r)
+
+	switch b.Op {
+	case minic.TokLt, minic.TokGt, minic.TokLe, minic.TokGe, minic.TokEqEq, minic.TokNe:
+		m.charge(CostCmp)
+		lf, rf := l.AsFloat(), r.AsFloat()
+		var res bool
+		switch b.Op {
+		case minic.TokLt:
+			res = lf < rf
+		case minic.TokGt:
+			res = lf > rf
+		case minic.TokLe:
+			res = lf <= rf
+		case minic.TokGe:
+			res = lf >= rf
+		case minic.TokEqEq:
+			res = lf == rf
+		case minic.TokNe:
+			res = lf != rf
+		}
+		return BoolVal(res), nil
+	case minic.TokPercent:
+		if l.K != KInt || r.K != KInt {
+			return Value{}, m.errf(b.NodePos(), "%% requires int operands")
+		}
+		if r.I == 0 {
+			return Value{}, m.errf(b.NodePos(), "modulo by zero")
+		}
+		m.charge(CostDivInt)
+		m.prof.IntOps++
+		return IntVal(l.I % r.I), nil
+	}
+
+	if k == KInt {
+		m.prof.IntOps++
+		li, ri := l.AsInt(), r.AsInt()
+		switch b.Op {
+		case minic.TokPlus:
+			m.charge(CostAddSub)
+			return IntVal(li + ri), nil
+		case minic.TokMinus:
+			m.charge(CostAddSub)
+			return IntVal(li - ri), nil
+		case minic.TokStar:
+			m.charge(CostMul)
+			return IntVal(li * ri), nil
+		case minic.TokSlash:
+			if ri == 0 {
+				return Value{}, m.errf(b.NodePos(), "integer division by zero")
+			}
+			m.charge(CostDivInt)
+			return IntVal(li / ri), nil
+		}
+	} else {
+		lf, rf := l.AsFloat(), r.AsFloat()
+		switch b.Op {
+		case minic.TokPlus:
+			m.chargeFlop(CostAddSub, 1)
+			return makeNum(k, lf+rf), nil
+		case minic.TokMinus:
+			m.chargeFlop(CostAddSub, 1)
+			return makeNum(k, lf-rf), nil
+		case minic.TokStar:
+			m.chargeFlop(CostMul, 1)
+			return makeNum(k, lf*rf), nil
+		case minic.TokSlash:
+			if rf == 0 {
+				return Value{}, m.errf(b.NodePos(), "floating division by zero")
+			}
+			m.chargeFlop(CostDivF, 1)
+			return makeNum(k, lf/rf), nil
+		}
+	}
+	return Value{}, m.errf(b.NodePos(), "unhandled binary operator %s", b.Op)
+}
+
+// evalIndexTarget resolves base buffer and index for an IndexExpr.
+func (m *machine) evalIndexTarget(fr *frame, ix *minic.IndexExpr) (*Buffer, int64, error) {
+	base, err := m.eval(fr, ix.Base)
+	if err != nil {
+		return nil, 0, err
+	}
+	if base.K != KBuf {
+		return nil, 0, m.errf(ix.NodePos(), "indexing non-array value (%s)", base.K)
+	}
+	idx, err := m.eval(fr, ix.Index)
+	if err != nil {
+		return nil, 0, err
+	}
+	i := idx.AsInt()
+	if i < 0 || i >= int64(base.Buf.Len()) {
+		return nil, 0, m.errf(ix.NodePos(), "index %d out of range [0,%d) for %s", i, base.Buf.Len(), base.Buf.Name)
+	}
+	return base.Buf, i, nil
+}
+
+func (m *machine) loadElem(buf *Buffer, i int64, pos minic.Pos) (Value, error) {
+	m.charge(CostLoad)
+	nbytes := buf.ElemBytes()
+	m.prof.LoadBytes += nbytes
+	if m.watchDepth > 0 {
+		m.prof.WatchLoadBytes += nbytes
+		if pname, ok := m.paramOf[buf]; ok {
+			t := m.prof.ParamTraffic[pname]
+			t.BytesIn += nbytes
+			t.ElemReads++
+		}
+	}
+	switch buf.Kind {
+	case minic.Int:
+		return IntVal(buf.I[i]), nil
+	case minic.Float:
+		return FloatVal(buf.F[i]), nil
+	default:
+		return DoubleVal(buf.F[i]), nil
+	}
+}
+
+func (m *machine) storeElem(buf *Buffer, i int64, v Value, pos minic.Pos) error {
+	m.charge(CostStore)
+	nbytes := buf.ElemBytes()
+	m.prof.StoreBytes += nbytes
+	if m.watchDepth > 0 {
+		m.prof.WatchStoreBytes += nbytes
+		if pname, ok := m.paramOf[buf]; ok {
+			t := m.prof.ParamTraffic[pname]
+			t.BytesOut += nbytes
+			t.ElemWrites++
+		}
+	}
+	switch buf.Kind {
+	case minic.Int:
+		buf.I[i] = v.AsInt()
+	case minic.Float:
+		buf.F[i] = float64(float32(v.AsFloat()))
+	default:
+		buf.F[i] = v.AsFloat()
+	}
+	return nil
+}
+
+func (m *machine) evalAssign(fr *frame, a *minic.AssignExpr) (Value, error) {
+	rhs, err := m.eval(fr, a.RHS)
+	if err != nil {
+		return Value{}, err
+	}
+	apply := func(old Value) (Value, error) {
+		if a.Op == minic.TokAssign {
+			return rhs, nil
+		}
+		if !old.IsNumeric() || !rhs.IsNumeric() {
+			return Value{}, m.errf(a.NodePos(), "non-numeric compound assignment")
+		}
+		k := promote(old, rhs)
+		lf, rf := old.AsFloat(), rhs.AsFloat()
+		var res float64
+		switch a.Op {
+		case minic.TokPlusEq:
+			res = lf + rf
+		case minic.TokMinusEq:
+			res = lf - rf
+		case minic.TokStarEq:
+			res = lf * rf
+		case minic.TokSlashEq:
+			if rf == 0 {
+				return Value{}, m.errf(a.NodePos(), "division by zero in /=")
+			}
+			res = lf / rf
+		default:
+			return Value{}, m.errf(a.NodePos(), "unhandled assign op %s", a.Op)
+		}
+		cost := CostAddSub
+		if a.Op == minic.TokStarEq {
+			cost = CostMul
+		} else if a.Op == minic.TokSlashEq {
+			cost = CostDivF
+		}
+		if k == KInt {
+			m.charge(cost)
+			m.prof.IntOps++
+		} else {
+			m.chargeFlop(cost, 1)
+		}
+		return makeNum(k, res), nil
+	}
+
+	switch lhs := a.LHS.(type) {
+	case *minic.Ident:
+		cell := fr.lookup(lhs.Name)
+		if cell == nil {
+			return Value{}, m.errf(lhs.NodePos(), "undefined variable %q", lhs.Name)
+		}
+		var old Value
+		if a.Op != minic.TokAssign {
+			m.charge(CostLocal)
+			old = *cell
+		}
+		nv, err := apply(old)
+		if err != nil {
+			return Value{}, err
+		}
+		// Preserve the declared scalar kind of the cell.
+		switch cell.K {
+		case KInt:
+			*cell = IntVal(nv.AsInt())
+		case KFloat:
+			*cell = FloatVal(nv.AsFloat())
+		case KDouble:
+			*cell = DoubleVal(nv.AsFloat())
+		case KBool:
+			*cell = BoolVal(nv.AsBool())
+		default:
+			return Value{}, m.errf(lhs.NodePos(), "cannot assign to %s", cell.K)
+		}
+		m.charge(CostLocal)
+		return *cell, nil
+	case *minic.IndexExpr:
+		buf, i, err := m.evalIndexTarget(fr, lhs)
+		if err != nil {
+			return Value{}, err
+		}
+		var old Value
+		if a.Op != minic.TokAssign {
+			old, err = m.loadElem(buf, i, lhs.NodePos())
+			if err != nil {
+				return Value{}, err
+			}
+		}
+		nv, err := apply(old)
+		if err != nil {
+			return Value{}, err
+		}
+		if err := m.storeElem(buf, i, nv, lhs.NodePos()); err != nil {
+			return Value{}, err
+		}
+		return nv, nil
+	}
+	return Value{}, m.errf(a.NodePos(), "invalid assignment target %T", a.LHS)
+}
+
+func (m *machine) evalIncDec(fr *frame, x *minic.IncDecExpr) (Value, error) {
+	delta := int64(1)
+	if x.Op == minic.TokMinusMinus {
+		delta = -1
+	}
+	switch t := x.X.(type) {
+	case *minic.Ident:
+		cell := fr.lookup(t.Name)
+		if cell == nil {
+			return Value{}, m.errf(t.NodePos(), "undefined variable %q", t.Name)
+		}
+		old := *cell
+		switch cell.K {
+		case KInt:
+			m.charge(CostAddSub)
+			m.prof.IntOps++
+			*cell = IntVal(cell.I + delta)
+		case KFloat:
+			m.chargeFlop(CostAddSub, 1)
+			*cell = FloatVal(cell.F + float64(delta))
+		case KDouble:
+			m.chargeFlop(CostAddSub, 1)
+			*cell = DoubleVal(cell.F + float64(delta))
+		default:
+			return Value{}, m.errf(t.NodePos(), "cannot ++/-- a %s", cell.K)
+		}
+		return old, nil // postfix semantics
+	case *minic.IndexExpr:
+		buf, i, err := m.evalIndexTarget(fr, t)
+		if err != nil {
+			return Value{}, err
+		}
+		old, err := m.loadElem(buf, i, t.NodePos())
+		if err != nil {
+			return Value{}, err
+		}
+		var nv Value
+		if old.K == KInt {
+			m.charge(CostAddSub)
+			m.prof.IntOps++
+			nv = IntVal(old.I + delta)
+		} else {
+			m.chargeFlop(CostAddSub, 1)
+			nv = makeNum(old.K, old.F+float64(delta))
+		}
+		if err := m.storeElem(buf, i, nv, t.NodePos()); err != nil {
+			return Value{}, err
+		}
+		return old, nil
+	}
+	return Value{}, m.errf(x.NodePos(), "invalid ++/-- target %T", x.X)
+}
+
+func (m *machine) evalCall(fr *frame, c *minic.CallExpr) (Value, error) {
+	// printf-family builtins capture output without evaluating format
+	// strings for cost.
+	if c.Fun == "printf" {
+		return m.evalPrintf(fr, c)
+	}
+	if bi, ok := builtins[c.Fun]; ok {
+		args := make([]Value, len(c.Args))
+		for i, a := range c.Args {
+			v, err := m.eval(fr, a)
+			if err != nil {
+				return Value{}, err
+			}
+			args[i] = v
+		}
+		if len(args) != bi.arity {
+			return Value{}, m.errf(c.NodePos(), "%s: %d args, want %d", c.Fun, len(args), bi.arity)
+		}
+		m.chargeFlop(bi.cost, bi.flops)
+		if bi.flops > 1 && m.watchDepth > 0 {
+			m.prof.WatchSpecialFlops += bi.flops
+		}
+		return bi.fn(args), nil
+	}
+	callee := m.prog.Func(c.Fun)
+	if callee == nil {
+		return Value{}, m.errf(c.NodePos(), "call to undefined function %q", c.Fun)
+	}
+	args := make([]Value, len(c.Args))
+	for i, a := range c.Args {
+		v, err := m.eval(fr, a)
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = v
+	}
+	return m.call(callee, args, c.NodePos())
+}
+
+func (m *machine) evalPrintf(fr *frame, c *minic.CallExpr) (Value, error) {
+	var parts []string
+	for _, a := range c.Args {
+		if _, ok := a.(*minic.StringLit); ok {
+			continue // format strings carry no data we need to capture
+		}
+		v, err := m.eval(fr, a)
+		if err != nil {
+			return Value{}, err
+		}
+		parts = append(parts, v.String())
+	}
+	if len(parts) > 0 {
+		m.output = append(m.output, fmt.Sprint(parts))
+	}
+	return Value{K: KVoid}, nil
+}

@@ -1,0 +1,435 @@
+package interp
+
+import (
+	"fmt"
+
+	"psaflow/internal/minic"
+	"psaflow/internal/query"
+)
+
+// RuntimeError is an execution error with a source position.
+type RuntimeError struct {
+	Pos minic.Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *RuntimeError) Error() string { return fmt.Sprintf("runtime %s: %s", e.Pos, e.Msg) }
+
+// Config configures one execution.
+type Config struct {
+	Entry    string  // entry function name
+	Args     []Value // arguments bound to the entry function's parameters
+	Watch    string  // function to watch for kernel analyses; defaults to Entry
+	MaxSteps int64   // step budget; defaults to 400M
+}
+
+// Result is the outcome of one execution.
+type Result struct {
+	Ret    Value
+	Prof   *Profile
+	Steps  int64
+	Output []string // captured by the printf-family builtins
+}
+
+const defaultMaxSteps = 400_000_000
+
+type ctrl int
+
+const (
+	ctrlNone ctrl = iota
+	ctrlBreak
+	ctrlContinue
+	ctrlReturn
+)
+
+type loopInfo struct {
+	fn    string
+	depth int
+}
+
+type machine struct {
+	prog     *minic.Program
+	prof     *Profile
+	steps    int64
+	maxSteps int64
+	loopInfo map[int]loopInfo
+	output   []string
+
+	watch      string
+	watchDepth int
+	// paramOf maps buffers to the watched function's parameter names for
+	// the innermost watched call.
+	paramOf map[*Buffer]string
+}
+
+// Run executes cfg.Entry in prog and returns the result with its profile.
+func Run(prog *minic.Program, cfg Config) (*Result, error) {
+	entry := prog.Func(cfg.Entry)
+	if entry == nil {
+		return nil, fmt.Errorf("interp: no function %q", cfg.Entry)
+	}
+	watch := cfg.Watch
+	if watch == "" {
+		watch = cfg.Entry
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = defaultMaxSteps
+	}
+	m := &machine{
+		prog:     prog,
+		prof:     newProfile(watch),
+		maxSteps: maxSteps,
+		watch:    watch,
+		loopInfo: buildLoopInfo(prog),
+	}
+	ret, err := m.call(entry, cfg.Args, entry.NodePos())
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Ret: ret, Prof: m.prof, Steps: m.steps, Output: m.output}, nil
+}
+
+// buildLoopInfo precomputes enclosing function and nesting depth for every
+// loop node ID.
+func buildLoopInfo(prog *minic.Program) map[int]loopInfo {
+	q := query.New(prog)
+	out := make(map[int]loopInfo)
+	for _, fn := range prog.Funcs {
+		for _, l := range q.LoopsIn(fn) {
+			out[l.ID()] = loopInfo{fn: fn.Name, depth: q.LoopDepth(l)}
+		}
+	}
+	return out
+}
+
+func (m *machine) errf(pos minic.Pos, format string, args ...any) error {
+	return &RuntimeError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (m *machine) step(pos minic.Pos) error {
+	m.steps++
+	if m.steps > m.maxSteps {
+		return m.errf(pos, "step budget exceeded (%d)", m.maxSteps)
+	}
+	return nil
+}
+
+func (m *machine) charge(c float64) {
+	m.prof.Cycles += c
+	if m.watchDepth > 0 {
+		m.prof.WatchCycles += c
+	}
+}
+
+func (m *machine) chargeFlop(c float64, n int64) {
+	m.charge(c)
+	m.prof.Flops += n
+	if m.watchDepth > 0 {
+		m.prof.WatchFlops += n
+	}
+}
+
+// frame is one function activation with nested scopes.
+type frame struct {
+	fn     *minic.FuncDecl
+	scopes []map[string]*Value
+	ret    Value
+}
+
+func (f *frame) push() { f.scopes = append(f.scopes, make(map[string]*Value)) }
+func (f *frame) pop()  { f.scopes = f.scopes[:len(f.scopes)-1] }
+
+func (f *frame) lookup(name string) *Value {
+	for i := len(f.scopes) - 1; i >= 0; i-- {
+		if v, ok := f.scopes[i][name]; ok {
+			return v
+		}
+	}
+	return nil
+}
+
+func (f *frame) declare(name string, v Value) {
+	cell := v
+	f.scopes[len(f.scopes)-1][name] = &cell
+}
+
+// call invokes fn with args; pos is the call site for diagnostics.
+func (m *machine) call(fn *minic.FuncDecl, args []Value, pos minic.Pos) (Value, error) {
+	if len(args) != len(fn.Params) {
+		return Value{}, m.errf(pos, "call %s: %d args, want %d", fn.Name, len(args), len(fn.Params))
+	}
+	m.charge(CostCall)
+	fr := &frame{fn: fn}
+	fr.push()
+	for i, p := range fn.Params {
+		v := args[i]
+		coerced, err := m.coerce(v, p.Type, pos)
+		if err != nil {
+			return Value{}, m.errf(pos, "call %s param %s: %v", fn.Name, p.Name, err)
+		}
+		fr.declare(p.Name, coerced)
+	}
+
+	watching := fn.Name == m.watch
+	var startCycles float64
+	var startFlops int64
+	var prevParamOf map[*Buffer]string
+	if watching {
+		m.prof.WatchCalls++
+		binding := make(map[string]*Buffer)
+		pm := make(map[*Buffer]string)
+		for i, p := range fn.Params {
+			if args[i].K == KBuf {
+				binding[p.Name] = args[i].Buf
+				pm[args[i].Buf] = p.Name
+				if _, ok := m.prof.ParamTraffic[p.Name]; !ok {
+					m.prof.ParamTraffic[p.Name] = &Traffic{Param: p.Name}
+				}
+			}
+		}
+		m.prof.Bindings = append(m.prof.Bindings, binding)
+		prevParamOf = m.paramOf
+		m.paramOf = pm
+		if m.watchDepth == 0 {
+			startCycles = m.prof.Cycles
+			startFlops = m.prof.Flops
+			_ = startCycles
+			_ = startFlops
+		}
+		m.watchDepth++
+	}
+
+	c, err := m.execBlock(fr, fn.Body)
+	if watching {
+		m.watchDepth--
+		m.paramOf = prevParamOf
+	}
+	if err != nil {
+		return Value{}, err
+	}
+	if c == ctrlBreak || c == ctrlContinue {
+		return Value{}, m.errf(fn.NodePos(), "break/continue escaped function %s", fn.Name)
+	}
+	return fr.ret, nil
+}
+
+// coerce converts v to declared type t (scalar types only; pointers pass
+// through with element-kind check).
+func (m *machine) coerce(v Value, t minic.Type, pos minic.Pos) (Value, error) {
+	if t.Ptr {
+		if v.K != KBuf {
+			return Value{}, fmt.Errorf("expected buffer for %s, got %s", t, v.K)
+		}
+		if v.Buf.Kind != t.Kind {
+			return Value{}, fmt.Errorf("buffer element kind %s, want %s", v.Buf.Kind, t.Kind)
+		}
+		return v, nil
+	}
+	switch t.Kind {
+	case minic.Int:
+		return IntVal(v.AsInt()), nil
+	case minic.Float:
+		return FloatVal(v.AsFloat()), nil
+	case minic.Double:
+		return DoubleVal(v.AsFloat()), nil
+	case minic.Bool:
+		return BoolVal(v.AsBool()), nil
+	case minic.Void:
+		return Value{}, nil
+	}
+	return Value{}, fmt.Errorf("cannot coerce to %s", t)
+}
+
+func (m *machine) execBlock(fr *frame, b *minic.Block) (ctrl, error) {
+	fr.push()
+	defer fr.pop()
+	for _, s := range b.Stmts {
+		c, err := m.execStmt(fr, s)
+		if err != nil {
+			return ctrlNone, err
+		}
+		if c != ctrlNone {
+			return c, nil
+		}
+	}
+	return ctrlNone, nil
+}
+
+func (m *machine) execStmt(fr *frame, s minic.Stmt) (ctrl, error) {
+	if err := m.step(s.NodePos()); err != nil {
+		return ctrlNone, err
+	}
+	switch v := s.(type) {
+	case *minic.Block:
+		return m.execBlock(fr, v)
+	case *minic.DeclStmt:
+		return ctrlNone, m.execDecl(fr, v)
+	case *minic.ExprStmt:
+		_, err := m.eval(fr, v.X)
+		return ctrlNone, err
+	case *minic.ForStmt:
+		return m.execFor(fr, v)
+	case *minic.WhileStmt:
+		return m.execWhile(fr, v)
+	case *minic.IfStmt:
+		cond, err := m.eval(fr, v.Cond)
+		if err != nil {
+			return ctrlNone, err
+		}
+		m.charge(CostBranch)
+		if cond.AsBool() {
+			return m.execBlock(fr, v.Then)
+		}
+		if v.Else != nil {
+			return m.execStmt(fr, v.Else)
+		}
+		return ctrlNone, nil
+	case *minic.ReturnStmt:
+		if v.X != nil {
+			rv, err := m.eval(fr, v.X)
+			if err != nil {
+				return ctrlNone, err
+			}
+			coerced, err := m.coerce(rv, fr.fn.Ret, v.NodePos())
+			if err != nil {
+				return ctrlNone, m.errf(v.NodePos(), "return: %v", err)
+			}
+			fr.ret = coerced
+		}
+		return ctrlReturn, nil
+	case *minic.BreakStmt:
+		return ctrlBreak, nil
+	case *minic.ContinueStmt:
+		return ctrlContinue, nil
+	case *minic.PragmaStmt:
+		return ctrlNone, nil // pragmas are semantically transparent
+	}
+	return ctrlNone, m.errf(s.NodePos(), "unhandled statement %T", s)
+}
+
+func (m *machine) execDecl(fr *frame, d *minic.DeclStmt) error {
+	if d.ArrayLen != nil {
+		nv, err := m.eval(fr, d.ArrayLen)
+		if err != nil {
+			return err
+		}
+		n := nv.AsInt()
+		if n < 0 || n > 1<<26 {
+			return m.errf(d.NodePos(), "array %s has invalid length %d", d.Name, n)
+		}
+		buf := &Buffer{Name: d.Name, Kind: d.Type.Kind}
+		if d.Type.Kind == minic.Int {
+			buf.I = make([]int64, n)
+		} else {
+			buf.F = make([]float64, n)
+		}
+		fr.declare(d.Name, BufVal(buf))
+		return nil
+	}
+	var init Value
+	if d.Init != nil {
+		v, err := m.eval(fr, d.Init)
+		if err != nil {
+			return err
+		}
+		init = v
+	}
+	coerced, err := m.coerce(init, d.Type, d.NodePos())
+	if err != nil {
+		return m.errf(d.NodePos(), "declare %s: %v", d.Name, err)
+	}
+	m.charge(CostLocal)
+	fr.declare(d.Name, coerced)
+	return nil
+}
+
+// loopEnter/loopExit maintain the per-loop profile (the "loop timer"
+// instrumentation of the paper, built into the virtual machine).
+func (m *machine) loopProfile(id int, pos minic.Pos) *LoopProfile {
+	lp, ok := m.prof.Loops[id]
+	if !ok {
+		info := m.loopInfo[id]
+		lp = &LoopProfile{ID: id, Pos: pos, Func: info.fn, Depth: info.depth}
+		m.prof.Loops[id] = lp
+	}
+	return lp
+}
+
+func (m *machine) execFor(fr *frame, f *minic.ForStmt) (ctrl, error) {
+	fr.push()
+	defer fr.pop()
+	lp := m.loopProfile(f.ID(), f.NodePos())
+	lp.Entries++
+	start := m.prof.Cycles
+	defer func() { lp.Cycles += m.prof.Cycles - start }()
+
+	if f.Init != nil {
+		if _, err := m.execStmt(fr, f.Init); err != nil {
+			return ctrlNone, err
+		}
+	}
+	for {
+		if f.Cond != nil {
+			cond, err := m.eval(fr, f.Cond)
+			if err != nil {
+				return ctrlNone, err
+			}
+			m.charge(CostBranch)
+			if !cond.AsBool() {
+				return ctrlNone, nil
+			}
+		}
+		if err := m.step(f.NodePos()); err != nil {
+			return ctrlNone, err
+		}
+		lp.Trips++
+		c, err := m.execBlock(fr, f.Body)
+		if err != nil {
+			return ctrlNone, err
+		}
+		if c == ctrlBreak {
+			return ctrlNone, nil
+		}
+		if c == ctrlReturn {
+			return ctrlReturn, nil
+		}
+		if f.Post != nil {
+			if _, err := m.eval(fr, f.Post); err != nil {
+				return ctrlNone, err
+			}
+		}
+	}
+}
+
+func (m *machine) execWhile(fr *frame, w *minic.WhileStmt) (ctrl, error) {
+	lp := m.loopProfile(w.ID(), w.NodePos())
+	lp.Entries++
+	start := m.prof.Cycles
+	defer func() { lp.Cycles += m.prof.Cycles - start }()
+	for {
+		cond, err := m.eval(fr, w.Cond)
+		if err != nil {
+			return ctrlNone, err
+		}
+		m.charge(CostBranch)
+		if !cond.AsBool() {
+			return ctrlNone, nil
+		}
+		if err := m.step(w.NodePos()); err != nil {
+			return ctrlNone, err
+		}
+		lp.Trips++
+		c, err := m.execBlock(fr, w.Body)
+		if err != nil {
+			return ctrlNone, err
+		}
+		if c == ctrlBreak {
+			return ctrlNone, nil
+		}
+		if c == ctrlReturn {
+			return ctrlReturn, nil
+		}
+	}
+}

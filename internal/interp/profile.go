@@ -1,0 +1,185 @@
+package interp
+
+import (
+	"sort"
+
+	"psaflow/internal/minic"
+)
+
+// Cost constants: virtual-clock cycles charged per operation, calibrated
+// to a modern superscalar core executing scalar code (the paper's
+// single-thread CPU reference). The absolute scale only matters relative
+// to the device models in perfmodel, which consume the same counters.
+const (
+	CostAddSub = 1.0
+	CostMul    = 1.0
+	CostDivInt = 10.0
+	CostDivF   = 8.0
+	CostCmp    = 1.0
+	CostLogic  = 1.0
+	CostLoad   = 3.0
+	CostStore  = 3.0
+	CostLocal  = 0.5 // scalar register access
+	CostBranch = 1.0
+	CostCall   = 8.0
+	CostSqrt   = 14.0
+	CostExp    = 22.0
+	CostLog    = 22.0
+	CostPow    = 48.0
+	CostTrig   = 24.0
+	CostErf    = 30.0
+	CostAbsMin = 2.0
+	CostCast   = 1.0
+	CostFastFn = 8.0 // GPU-style specialised intrinsics (__expf, ...)
+)
+
+// LoopProfile accumulates per-loop dynamic measurements, keyed by the loop
+// node's ID. This is what the paper gathers by instrumenting loops with
+// timers and executing the application.
+type LoopProfile struct {
+	ID      int
+	Pos     minic.Pos
+	Func    string  // enclosing function name
+	Depth   int     // 1 = outermost
+	Entries int64   // times the loop statement was entered
+	Trips   int64   // total iterations executed
+	Cycles  float64 // virtual cycles spent inside the loop (inclusive)
+}
+
+// AvgTrips returns mean iterations per entry.
+func (lp *LoopProfile) AvgTrips() float64 {
+	if lp.Entries == 0 {
+		return 0
+	}
+	return float64(lp.Trips) / float64(lp.Entries)
+}
+
+// Traffic is byte traffic through one watched pointer parameter.
+type Traffic struct {
+	Param      string
+	BytesIn    int64 // read by the kernel (host→device if offloaded)
+	BytesOut   int64 // written by the kernel (device→host if offloaded)
+	ElemReads  int64
+	ElemWrites int64
+}
+
+// Profile is the dynamic measurement record of one execution.
+type Profile struct {
+	Cycles     float64 // total virtual cycles
+	Flops      int64   // floating-point operations executed
+	IntOps     int64
+	LoadBytes  int64
+	StoreBytes int64
+	Loops      map[int]*LoopProfile
+	// Watched-function measurements (kernel analyses):
+	WatchFunc       string
+	WatchCalls      int64
+	WatchCycles     float64 // cycles inside the watched function
+	WatchFlops      int64   // flops inside the watched function
+	WatchLoadBytes  int64   // bytes loaded inside the watched function
+	WatchStoreBytes int64   // bytes stored inside the watched function
+	// WatchSpecialFlops counts FLOPs contributed by special
+	// (transcendental) builtins in the watched function.
+	WatchSpecialFlops int64
+	ParamTraffic      map[string]*Traffic // per pointer-parameter traffic
+	// Bindings records, per watched call, which Buffer each pointer
+	// parameter was bound to (for dynamic alias analysis).
+	Bindings []map[string]*Buffer
+}
+
+func newProfile(watch string) *Profile {
+	return &Profile{
+		Loops:        make(map[int]*LoopProfile),
+		WatchFunc:    watch,
+		ParamTraffic: make(map[string]*Traffic),
+	}
+}
+
+// LoopsByCycles returns loop profiles sorted by descending cycle count —
+// the hotspot ranking.
+func (p *Profile) LoopsByCycles() []*LoopProfile {
+	out := make([]*LoopProfile, 0, len(p.Loops))
+	for _, lp := range p.Loops {
+		out = append(out, lp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycles != out[j].Cycles {
+			return out[i].Cycles > out[j].Cycles
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Hotspot returns the outermost loop with the largest cycle share, and its
+// fraction of total cycles. Returns nil if no loops ran.
+func (p *Profile) Hotspot() (*LoopProfile, float64) {
+	var best *LoopProfile
+	for _, lp := range p.Loops {
+		if lp.Depth != 1 {
+			continue
+		}
+		if best == nil || lp.Cycles > best.Cycles ||
+			(lp.Cycles == best.Cycles && lp.ID < best.ID) {
+			best = lp
+		}
+	}
+	if best == nil || p.Cycles == 0 {
+		return best, 0
+	}
+	return best, best.Cycles / p.Cycles
+}
+
+// TotalBytesIn sums host→kernel traffic over all watched parameters.
+func (p *Profile) TotalBytesIn() int64 {
+	var n int64
+	for _, t := range p.ParamTraffic {
+		n += t.BytesIn
+	}
+	return n
+}
+
+// TotalBytesOut sums kernel→host traffic over all watched parameters.
+func (p *Profile) TotalBytesOut() int64 {
+	var n int64
+	for _, t := range p.ParamTraffic {
+		n += t.BytesOut
+	}
+	return n
+}
+
+// AliasPairs returns parameter-name pairs that were ever bound to the same
+// buffer in a watched call — the dynamic pointer-alias result.
+func (p *Profile) AliasPairs() [][2]string {
+	seen := make(map[[2]string]bool)
+	var out [][2]string
+	for _, binding := range p.Bindings {
+		names := make([]string, 0, len(binding))
+		for name := range binding {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for i := 0; i < len(names); i++ {
+			for j := i + 1; j < len(names); j++ {
+				if binding[names[i]] == binding[names[j]] {
+					key := [2]string{names[i], names[j]}
+					if !seen[key] {
+						seen[key] = true
+						out = append(out, key)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ArithmeticIntensity returns executed FLOPs per byte of memory traffic
+// inside the watched function; 0 when nothing was measured.
+func (p *Profile) ArithmeticIntensity() float64 {
+	bytes := p.TotalBytesIn() + p.TotalBytesOut()
+	if bytes == 0 {
+		return 0
+	}
+	return float64(p.WatchFlops) / float64(bytes)
+}

@@ -1,0 +1,444 @@
+package minic
+
+import "fmt"
+
+// BasicKind enumerates MiniC base types.
+type BasicKind int
+
+// Base type kinds.
+const (
+	Void BasicKind = iota
+	Bool
+	Int
+	Float
+	Double
+)
+
+// String returns the C spelling of the kind.
+func (k BasicKind) String() string {
+	switch k {
+	case Void:
+		return "void"
+	case Bool:
+		return "bool"
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case Double:
+		return "double"
+	}
+	return fmt.Sprintf("BasicKind(%d)", int(k))
+}
+
+// Type is a MiniC type: a base kind, optionally a pointer, optionally
+// const-qualified.
+type Type struct {
+	Kind  BasicKind
+	Ptr   bool
+	Const bool
+}
+
+// String returns the C spelling of the type.
+func (t Type) String() string {
+	s := t.Kind.String()
+	if t.Const {
+		s = "const " + s
+	}
+	if t.Ptr {
+		s += " *"
+	}
+	return s
+}
+
+// IsFloating reports whether the base kind is float or double.
+func (t Type) IsFloating() bool { return t.Kind == Float || t.Kind == Double }
+
+// Elem returns the pointed-to type of a pointer type.
+func (t Type) Elem() Type { return Type{Kind: t.Kind, Const: t.Const} }
+
+// Node is any AST node. Every node carries a stable ID (unique within its
+// Program after AssignIDs) and the source position it was parsed at.
+type Node interface {
+	ID() int
+	NodePos() Pos
+	setID(int)
+}
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// base is embedded by every concrete node.
+type base struct {
+	id  int
+	pos Pos
+}
+
+// ID returns the node's identifier (0 until AssignIDs runs).
+func (b *base) ID() int { return b.id }
+
+// NodePos returns the node's source position.
+func (b *base) NodePos() Pos { return b.pos }
+
+func (b *base) setID(id int) { b.id = id }
+
+// Program is a parsed MiniC translation unit.
+type Program struct {
+	base
+	Funcs []*FuncDecl
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	base
+	Ret    Type
+	Name   string
+	Params []*Param
+	Body   *Block
+}
+
+// Param is a function parameter.
+type Param struct {
+	base
+	Type Type
+	Name string
+}
+
+// Block is a brace-delimited statement list.
+type Block struct {
+	base
+	Stmts []Stmt
+}
+
+// DeclStmt declares a local variable, optionally a fixed-size array,
+// optionally with an initializer.
+type DeclStmt struct {
+	base
+	Type     Type
+	Name     string
+	ArrayLen Expr // nil unless an array declaration
+	Init     Expr // nil if uninitialized
+}
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct {
+	base
+	X Expr
+}
+
+// ForStmt is a C-style for loop. Pragmas holds the text of `#pragma`
+// directives attached immediately before the loop (e.g. "unroll 4",
+// "omp parallel for num_threads(32)").
+type ForStmt struct {
+	base
+	Init    Stmt // DeclStmt or ExprStmt, may be nil
+	Cond    Expr // may be nil
+	Post    Expr // may be nil
+	Body    *Block
+	Pragmas []string
+}
+
+// WhileStmt is a while loop; pragma attachment matches ForStmt.
+type WhileStmt struct {
+	base
+	Cond    Expr
+	Body    *Block
+	Pragmas []string
+}
+
+// IfStmt is an if with optional else (Else is *Block or *IfStmt).
+type IfStmt struct {
+	base
+	Cond Expr
+	Then *Block
+	Else Stmt // nil, *Block, or *IfStmt
+}
+
+// ReturnStmt returns from the enclosing function.
+type ReturnStmt struct {
+	base
+	X Expr // nil for bare return
+}
+
+// BreakStmt breaks the innermost loop.
+type BreakStmt struct{ base }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ base }
+
+// PragmaStmt is a free-standing pragma that was not attached to a loop.
+type PragmaStmt struct {
+	base
+	Text string
+}
+
+// Ident is a variable reference.
+type Ident struct {
+	base
+	Name string
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	base
+	Val  int64
+	Text string
+}
+
+// FloatLit is a floating literal. Single records an 'f' suffix
+// (single precision), which the SP-literal transform toggles.
+type FloatLit struct {
+	base
+	Val    float64
+	Text   string
+	Single bool
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	base
+	Val bool
+}
+
+// StringLit appears only as an argument to diagnostic builtins.
+type StringLit struct {
+	base
+	Val string
+}
+
+// UnaryExpr is -x or !x.
+type UnaryExpr struct {
+	base
+	Op TokKind // TokMinus or TokNot
+	X  Expr
+}
+
+// BinaryExpr is a binary arithmetic, comparison, or logical expression.
+type BinaryExpr struct {
+	base
+	Op TokKind
+	L  Expr
+	R  Expr
+}
+
+// AssignExpr is an assignment; Op is one of =, +=, -=, *=, /=. LHS is an
+// Ident or IndexExpr.
+type AssignExpr struct {
+	base
+	Op  TokKind
+	LHS Expr
+	RHS Expr
+}
+
+// IncDecExpr is x++ or x--.
+type IncDecExpr struct {
+	base
+	Op TokKind // TokPlusPlus or TokMinusMinus
+	X  Expr
+}
+
+// IndexExpr is base[index].
+type IndexExpr struct {
+	base
+	Base  Expr
+	Index Expr
+}
+
+// CallExpr is a call to a named function (user-defined or builtin).
+type CallExpr struct {
+	base
+	Fun  string
+	Args []Expr
+}
+
+// CastExpr is (type)x.
+type CastExpr struct {
+	base
+	To Type
+	X  Expr
+}
+
+func (*Program) stmtNode()      {} // never used; keeps Program out of Expr/Stmt sets
+func (*Block) stmtNode()        {}
+func (*DeclStmt) stmtNode()     {}
+func (*ExprStmt) stmtNode()     {}
+func (*ForStmt) stmtNode()      {}
+func (*WhileStmt) stmtNode()    {}
+func (*IfStmt) stmtNode()       {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*PragmaStmt) stmtNode()   {}
+
+func (*Ident) exprNode()      {}
+func (*IntLit) exprNode()     {}
+func (*FloatLit) exprNode()   {}
+func (*BoolLit) exprNode()    {}
+func (*StringLit) exprNode()  {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*AssignExpr) exprNode() {}
+func (*IncDecExpr) exprNode() {}
+func (*IndexExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}
+func (*CastExpr) exprNode()   {}
+
+// Children returns the direct child nodes of n in source order. It is the
+// single structural description of the AST that Walk, Parents, and the
+// query engine are built on.
+func Children(n Node) []Node {
+	var out []Node
+	add := func(c Node) {
+		switch v := c.(type) {
+		case nil:
+		case Expr:
+			if v != nil {
+				out = append(out, v)
+			}
+		default:
+			out = append(out, c)
+		}
+	}
+	switch v := n.(type) {
+	case *Program:
+		for _, f := range v.Funcs {
+			add(f)
+		}
+	case *FuncDecl:
+		for _, p := range v.Params {
+			add(p)
+		}
+		if v.Body != nil {
+			add(v.Body)
+		}
+	case *Param:
+	case *Block:
+		for _, s := range v.Stmts {
+			add(s)
+		}
+	case *DeclStmt:
+		if v.ArrayLen != nil {
+			add(v.ArrayLen)
+		}
+		if v.Init != nil {
+			add(v.Init)
+		}
+	case *ExprStmt:
+		add(v.X)
+	case *ForStmt:
+		if v.Init != nil {
+			add(v.Init)
+		}
+		if v.Cond != nil {
+			add(v.Cond)
+		}
+		if v.Post != nil {
+			add(v.Post)
+		}
+		add(v.Body)
+	case *WhileStmt:
+		add(v.Cond)
+		add(v.Body)
+	case *IfStmt:
+		add(v.Cond)
+		add(v.Then)
+		if v.Else != nil {
+			add(v.Else)
+		}
+	case *ReturnStmt:
+		if v.X != nil {
+			add(v.X)
+		}
+	case *BreakStmt, *ContinueStmt, *PragmaStmt:
+	case *Ident, *IntLit, *FloatLit, *BoolLit, *StringLit:
+	case *UnaryExpr:
+		add(v.X)
+	case *BinaryExpr:
+		add(v.L)
+		add(v.R)
+	case *AssignExpr:
+		add(v.LHS)
+		add(v.RHS)
+	case *IncDecExpr:
+		add(v.X)
+	case *IndexExpr:
+		add(v.Base)
+		add(v.Index)
+	case *CallExpr:
+		for _, a := range v.Args {
+			add(a)
+		}
+	case *CastExpr:
+		add(v.X)
+	}
+	return out
+}
+
+// Walk visits n and all its descendants in depth-first source order,
+// calling fn for each. If fn returns false the node's subtree is skipped.
+func Walk(n Node, fn func(Node) bool) {
+	if n == nil {
+		return
+	}
+	if !fn(n) {
+		return
+	}
+	for _, c := range Children(n) {
+		Walk(c, fn)
+	}
+}
+
+// AssignIDs numbers every node in the program with a unique, dense,
+// depth-first ID starting at 1, and returns the number of nodes.
+func AssignIDs(p *Program) int {
+	next := 1
+	Walk(p, func(n Node) bool {
+		n.setID(next)
+		next++
+		return true
+	})
+	return next - 1
+}
+
+// Parents builds a child-to-parent map for every node under root.
+func Parents(root Node) map[Node]Node {
+	m := make(map[Node]Node)
+	var rec func(n Node)
+	rec = func(n Node) {
+		for _, c := range Children(n) {
+			m[c] = n
+			rec(c)
+		}
+	}
+	rec(root)
+	return m
+}
+
+// Func returns the function with the given name, or nil.
+func (p *Program) Func(name string) *FuncDecl {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// MustFunc returns the named function or panics; intended for tests and
+// harness code where the function is known to exist.
+func (p *Program) MustFunc(name string) *FuncDecl {
+	f := p.Func(name)
+	if f == nil {
+		panic(fmt.Sprintf("minic: no function %q", name))
+	}
+	return f
+}

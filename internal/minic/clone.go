@@ -1,0 +1,119 @@
+package minic
+
+import "fmt"
+
+// Clone returns a deep copy of the program. Node IDs are re-assigned so
+// the clone is a fully independent AST; the PSA-flow engine relies on this
+// when forking a design at a branch point.
+func (p *Program) Clone() *Program {
+	cp := &Program{base: p.base}
+	cp.Funcs = make([]*FuncDecl, len(p.Funcs))
+	for i, f := range p.Funcs {
+		cp.Funcs[i] = cloneFunc(f)
+	}
+	AssignIDs(cp)
+	return cp
+}
+
+func cloneFunc(f *FuncDecl) *FuncDecl {
+	cf := &FuncDecl{base: f.base, Ret: f.Ret, Name: f.Name}
+	cf.Params = make([]*Param, len(f.Params))
+	for i, p := range f.Params {
+		cp := *p
+		cf.Params[i] = &cp
+	}
+	cf.Body = cloneBlock(f.Body)
+	return cf
+}
+
+func cloneBlock(b *Block) *Block {
+	if b == nil {
+		return nil
+	}
+	cb := &Block{base: b.base}
+	cb.Stmts = make([]Stmt, len(b.Stmts))
+	for i, s := range b.Stmts {
+		cb.Stmts[i] = CloneStmt(s)
+	}
+	return cb
+}
+
+// CloneStmt deep-copies a statement. IDs are copied verbatim; call
+// AssignIDs on the enclosing program if fresh IDs are needed.
+func CloneStmt(s Stmt) Stmt {
+	switch v := s.(type) {
+	case nil:
+		return nil
+	case *Block:
+		return cloneBlock(v)
+	case *DeclStmt:
+		return &DeclStmt{base: v.base, Type: v.Type, Name: v.Name,
+			ArrayLen: CloneExpr(v.ArrayLen), Init: CloneExpr(v.Init)}
+	case *ExprStmt:
+		return &ExprStmt{base: v.base, X: CloneExpr(v.X)}
+	case *ForStmt:
+		cf := &ForStmt{base: v.base, Cond: CloneExpr(v.Cond), Post: CloneExpr(v.Post), Body: cloneBlock(v.Body)}
+		if v.Init != nil {
+			cf.Init = CloneStmt(v.Init)
+		}
+		cf.Pragmas = append([]string(nil), v.Pragmas...)
+		return cf
+	case *WhileStmt:
+		cw := &WhileStmt{base: v.base, Cond: CloneExpr(v.Cond), Body: cloneBlock(v.Body)}
+		cw.Pragmas = append([]string(nil), v.Pragmas...)
+		return cw
+	case *IfStmt:
+		ci := &IfStmt{base: v.base, Cond: CloneExpr(v.Cond), Then: cloneBlock(v.Then)}
+		if v.Else != nil {
+			ci.Else = CloneStmt(v.Else)
+		}
+		return ci
+	case *ReturnStmt:
+		return &ReturnStmt{base: v.base, X: CloneExpr(v.X)}
+	case *BreakStmt:
+		return &BreakStmt{base: v.base}
+	case *ContinueStmt:
+		return &ContinueStmt{base: v.base}
+	case *PragmaStmt:
+		return &PragmaStmt{base: v.base, Text: v.Text}
+	}
+	panic(fmt.Sprintf("minic: CloneStmt: unhandled %T", s))
+}
+
+// CloneExpr deep-copies an expression (nil-safe).
+func CloneExpr(e Expr) Expr {
+	switch v := e.(type) {
+	case nil:
+		return nil
+	case *Ident:
+		return &Ident{base: v.base, Name: v.Name}
+	case *IntLit:
+		return &IntLit{base: v.base, Val: v.Val, Text: v.Text}
+	case *FloatLit:
+		return &FloatLit{base: v.base, Val: v.Val, Text: v.Text, Single: v.Single}
+	case *BoolLit:
+		return &BoolLit{base: v.base, Val: v.Val}
+	case *StringLit:
+		return &StringLit{base: v.base, Val: v.Val}
+	case *UnaryExpr:
+		return &UnaryExpr{base: v.base, Op: v.Op, X: CloneExpr(v.X)}
+	case *BinaryExpr:
+		return &BinaryExpr{base: v.base, Op: v.Op, L: CloneExpr(v.L), R: CloneExpr(v.R)}
+	case *AssignExpr:
+		return &AssignExpr{base: v.base, Op: v.Op, LHS: CloneExpr(v.LHS), RHS: CloneExpr(v.RHS)}
+	case *IncDecExpr:
+		return &IncDecExpr{base: v.base, Op: v.Op, X: CloneExpr(v.X)}
+	case *IndexExpr:
+		return &IndexExpr{base: v.base, Base: CloneExpr(v.Base), Index: CloneExpr(v.Index)}
+	case *CallExpr:
+		cc := &CallExpr{base: v.base, Fun: v.Fun}
+		cc.Args = make([]Expr, len(v.Args))
+		for i, a := range v.Args {
+			cc.Args[i] = CloneExpr(a)
+		}
+		return cc
+	case *CastExpr:
+		return &CastExpr{base: v.base, To: v.To, X: CloneExpr(v.X)}
+	}
+	panic(fmt.Sprintf("minic: CloneExpr: unhandled %T", e))
+}

@@ -1,0 +1,312 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// LexError describes a lexical error with its position.
+type LexError struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *LexError) Error() string { return fmt.Sprintf("lex %s: %s", e.Pos, e.Msg) }
+
+// Lexer turns MiniC source text into a token stream. Comments are skipped;
+// "#pragma" lines become single TokPragma tokens carrying the directive text
+// after the word "#pragma" (trimmed).
+type Lexer struct {
+	src  []rune
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: []rune(src), line: 1, col: 1}
+}
+
+// Lex tokenizes the entire input, returning the token list terminated by a
+// TokEOF token.
+func Lex(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *Lexer) peek() rune {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peek2() rune {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *Lexer) advance() rune {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	r := lx.src[lx.off]
+	lx.off++
+	if r == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return r
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *Lexer) errorf(p Pos, format string, args ...any) error {
+	return &LexError{Pos: p, Msg: fmt.Sprintf(format, args...)}
+}
+
+// skipWS consumes whitespace and comments.
+func (lx *Lexer) skipWS() error {
+	for {
+		r := lx.peek()
+		switch {
+		case r == ' ' || r == '\t' || r == '\r' || r == '\n':
+			lx.advance()
+		case r == '/' && lx.peek2() == '/':
+			for lx.peek() != 0 && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case r == '/' && lx.peek2() == '*':
+			start := lx.pos()
+			lx.advance()
+			lx.advance()
+			for {
+				if lx.peek() == 0 {
+					return lx.errorf(start, "unterminated block comment")
+				}
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					break
+				}
+				lx.advance()
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	if err := lx.skipWS(); err != nil {
+		return Token{}, err
+	}
+	p := lx.pos()
+	r := lx.peek()
+	switch {
+	case r == 0:
+		return Token{Kind: TokEOF, Pos: p}, nil
+	case r == '#':
+		return lx.lexDirective(p)
+	case unicode.IsLetter(r) || r == '_':
+		return lx.lexIdent(p), nil
+	case unicode.IsDigit(r) || (r == '.' && unicode.IsDigit(lx.peek2())):
+		return lx.lexNumber(p)
+	case r == '"':
+		return lx.lexString(p)
+	}
+	return lx.lexOperator(p)
+}
+
+// lexDirective handles "#pragma ..." and "#include ..." lines. Includes are
+// skipped (the MiniC runtime provides all builtins); pragmas are preserved.
+func (lx *Lexer) lexDirective(p Pos) (Token, error) {
+	var sb strings.Builder
+	for lx.peek() != 0 && lx.peek() != '\n' {
+		sb.WriteRune(lx.advance())
+	}
+	line := sb.String()
+	switch {
+	case strings.HasPrefix(line, "#pragma"):
+		text := strings.TrimSpace(strings.TrimPrefix(line, "#pragma"))
+		return Token{Kind: TokPragma, Lit: text, Pos: p}, nil
+	case strings.HasPrefix(line, "#include"):
+		// Ignore and continue with the next token.
+		return lx.Next()
+	default:
+		return Token{}, lx.errorf(p, "unsupported directive %q", line)
+	}
+}
+
+func (lx *Lexer) lexIdent(p Pos) Token {
+	var sb strings.Builder
+	for {
+		r := lx.peek()
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+			sb.WriteRune(lx.advance())
+			continue
+		}
+		break
+	}
+	name := sb.String()
+	if kw, ok := keywords[name]; ok {
+		return Token{Kind: kw, Lit: name, Pos: p}
+	}
+	return Token{Kind: TokIdent, Lit: name, Pos: p}
+}
+
+func (lx *Lexer) lexNumber(p Pos) (Token, error) {
+	var sb strings.Builder
+	isFloat := false
+	for unicode.IsDigit(lx.peek()) {
+		sb.WriteRune(lx.advance())
+	}
+	if lx.peek() == '.' {
+		isFloat = true
+		sb.WriteRune(lx.advance())
+		for unicode.IsDigit(lx.peek()) {
+			sb.WriteRune(lx.advance())
+		}
+	}
+	if lx.peek() == 'e' || lx.peek() == 'E' {
+		isFloat = true
+		sb.WriteRune(lx.advance())
+		if lx.peek() == '+' || lx.peek() == '-' {
+			sb.WriteRune(lx.advance())
+		}
+		if !unicode.IsDigit(lx.peek()) {
+			return Token{}, lx.errorf(p, "malformed exponent in number %q", sb.String())
+		}
+		for unicode.IsDigit(lx.peek()) {
+			sb.WriteRune(lx.advance())
+		}
+	}
+	// Single-precision suffix: keep it in the literal text so the printer
+	// and the single-precision transforms can round-trip it.
+	if lx.peek() == 'f' || lx.peek() == 'F' {
+		isFloat = true
+		sb.WriteRune(lx.advance())
+	}
+	kind := TokIntLit
+	if isFloat {
+		kind = TokFloatLit
+	}
+	return Token{Kind: kind, Lit: sb.String(), Pos: p}, nil
+}
+
+func (lx *Lexer) lexString(p Pos) (Token, error) {
+	lx.advance() // opening quote
+	var sb strings.Builder
+	for {
+		r := lx.peek()
+		if r == 0 || r == '\n' {
+			return Token{}, lx.errorf(p, "unterminated string literal")
+		}
+		if r == '"' {
+			lx.advance()
+			return Token{Kind: TokStringLit, Lit: sb.String(), Pos: p}, nil
+		}
+		if r == '\\' {
+			lx.advance()
+			esc := lx.advance()
+			switch esc {
+			case 'n':
+				sb.WriteRune('\n')
+			case 't':
+				sb.WriteRune('\t')
+			case '\\', '"':
+				sb.WriteRune(esc)
+			default:
+				return Token{}, lx.errorf(p, "unsupported escape \\%c", esc)
+			}
+			continue
+		}
+		sb.WriteRune(lx.advance())
+	}
+}
+
+func (lx *Lexer) lexOperator(p Pos) (Token, error) {
+	r := lx.advance()
+	two := func(next rune, k2, k1 TokKind) Token {
+		if lx.peek() == next {
+			lx.advance()
+			return Token{Kind: k2, Pos: p}
+		}
+		return Token{Kind: k1, Pos: p}
+	}
+	switch r {
+	case '(':
+		return Token{Kind: TokLParen, Pos: p}, nil
+	case ')':
+		return Token{Kind: TokRParen, Pos: p}, nil
+	case '{':
+		return Token{Kind: TokLBrace, Pos: p}, nil
+	case '}':
+		return Token{Kind: TokRBrace, Pos: p}, nil
+	case '[':
+		return Token{Kind: TokLBracket, Pos: p}, nil
+	case ']':
+		return Token{Kind: TokRBracket, Pos: p}, nil
+	case ',':
+		return Token{Kind: TokComma, Pos: p}, nil
+	case ';':
+		return Token{Kind: TokSemi, Pos: p}, nil
+	case '+':
+		if lx.peek() == '+' {
+			lx.advance()
+			return Token{Kind: TokPlusPlus, Pos: p}, nil
+		}
+		return two('=', TokPlusEq, TokPlus), nil
+	case '-':
+		if lx.peek() == '-' {
+			lx.advance()
+			return Token{Kind: TokMinusMinus, Pos: p}, nil
+		}
+		return two('=', TokMinusEq, TokMinus), nil
+	case '*':
+		return two('=', TokStarEq, TokStar), nil
+	case '/':
+		return two('=', TokSlashEq, TokSlash), nil
+	case '%':
+		return Token{Kind: TokPercent, Pos: p}, nil
+	case '<':
+		return two('=', TokLe, TokLt), nil
+	case '>':
+		return two('=', TokGe, TokGt), nil
+	case '=':
+		return two('=', TokEqEq, TokAssign), nil
+	case '!':
+		return two('=', TokNe, TokNot), nil
+	case '&':
+		if lx.peek() == '&' {
+			lx.advance()
+			return Token{Kind: TokAndAnd, Pos: p}, nil
+		}
+		return Token{Kind: TokAmp, Pos: p}, nil
+	case '|':
+		if lx.peek() == '|' {
+			lx.advance()
+			return Token{Kind: TokOrOr, Pos: p}, nil
+		}
+		return Token{}, lx.errorf(p, "bitwise | is not supported")
+	}
+	return Token{}, lx.errorf(p, "unexpected character %q", r)
+}

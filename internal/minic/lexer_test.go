@@ -1,0 +1,181 @@
+package minic
+
+import "testing"
+
+func kinds(toks []Token) []TokKind {
+	out := make([]TokKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks, err := Lex("int x = 42;")
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	want := []TokKind{TokKwInt, TokIdent, TokAssign, TokIntLit, TokSemi, TokEOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	cases := []struct {
+		src  string
+		want TokKind
+	}{
+		{"+", TokPlus}, {"+=", TokPlusEq}, {"++", TokPlusPlus},
+		{"-", TokMinus}, {"-=", TokMinusEq}, {"--", TokMinusMinus},
+		{"*", TokStar}, {"*=", TokStarEq},
+		{"/", TokSlash}, {"/=", TokSlashEq},
+		{"%", TokPercent},
+		{"<", TokLt}, {"<=", TokLe}, {">", TokGt}, {">=", TokGe},
+		{"==", TokEqEq}, {"!=", TokNe}, {"=", TokAssign},
+		{"&&", TokAndAnd}, {"||", TokOrOr}, {"!", TokNot}, {"&", TokAmp},
+	}
+	for _, c := range cases {
+		toks, err := Lex(c.src)
+		if err != nil {
+			t.Fatalf("Lex(%q): %v", c.src, err)
+		}
+		if toks[0].Kind != c.want {
+			t.Errorf("Lex(%q) = %s, want %s", c.src, toks[0].Kind, c.want)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind TokKind
+		lit  string
+	}{
+		{"0", TokIntLit, "0"},
+		{"12345", TokIntLit, "12345"},
+		{"3.14", TokFloatLit, "3.14"},
+		{"1e9", TokFloatLit, "1e9"},
+		{"2.5e-3", TokFloatLit, "2.5e-3"},
+		{"1.0f", TokFloatLit, "1.0f"},
+		{"6f", TokFloatLit, "6f"},
+		{".5", TokFloatLit, ".5"},
+	}
+	for _, c := range cases {
+		toks, err := Lex(c.src)
+		if err != nil {
+			t.Fatalf("Lex(%q): %v", c.src, err)
+		}
+		if toks[0].Kind != c.kind || toks[0].Lit != c.lit {
+			t.Errorf("Lex(%q) = %s %q, want %s %q", c.src, toks[0].Kind, toks[0].Lit, c.kind, c.lit)
+		}
+	}
+}
+
+func TestLexMalformedExponent(t *testing.T) {
+	if _, err := Lex("1e+"); err == nil {
+		t.Fatal("expected error for malformed exponent")
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("// line comment\nint /* inline */ x; /* multi\nline */ 7")
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	want := []TokKind{TokKwInt, TokIdent, TokSemi, TokIntLit, TokEOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestLexUnterminatedComment(t *testing.T) {
+	if _, err := Lex("/* never closed"); err == nil {
+		t.Fatal("expected error for unterminated comment")
+	}
+}
+
+func TestLexPragma(t *testing.T) {
+	toks, err := Lex("#pragma unroll 4\nfor")
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	if toks[0].Kind != TokPragma || toks[0].Lit != "unroll 4" {
+		t.Fatalf("got %v, want pragma 'unroll 4'", toks[0])
+	}
+	if toks[1].Kind != TokKwFor {
+		t.Fatalf("got %v, want 'for'", toks[1])
+	}
+}
+
+func TestLexIncludeSkipped(t *testing.T) {
+	toks, err := Lex("#include <math.h>\nint x;")
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	if toks[0].Kind != TokKwInt {
+		t.Fatalf("include not skipped: first token %v", toks[0])
+	}
+}
+
+func TestLexString(t *testing.T) {
+	toks, err := Lex(`"hello\nworld"`)
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	if toks[0].Kind != TokStringLit || toks[0].Lit != "hello\nworld" {
+		t.Fatalf("got %v", toks[0])
+	}
+}
+
+func TestLexUnterminatedString(t *testing.T) {
+	if _, err := Lex(`"oops`); err == nil {
+		t.Fatal("expected error for unterminated string")
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("int\n  x;")
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("int at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("x at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestLexKeywordsVsIdents(t *testing.T) {
+	toks, err := Lex("forx for whiley while int_ int")
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	want := []TokKind{TokIdent, TokKwFor, TokIdent, TokKwWhile, TokIdent, TokKwInt, TokEOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexUnexpectedChar(t *testing.T) {
+	if _, err := Lex("int x @ 3;"); err == nil {
+		t.Fatal("expected error for @")
+	}
+}
+
+func TestLexBitwiseOrRejected(t *testing.T) {
+	if _, err := Lex("a | b"); err == nil {
+		t.Fatal("expected error for single |")
+	}
+}

@@ -1,0 +1,180 @@
+// Package minic implements the front end for MiniC, the small C-like
+// source language that plays the role of the paper's C++ application
+// sources. It provides a lexer, a recursive-descent parser, a typed AST
+// with deep-clone and traversal support, and a source printer that emits
+// human-readable code (the paper stresses that generated designs remain
+// readable and hand-tunable).
+package minic
+
+import "fmt"
+
+// TokKind enumerates MiniC token kinds.
+type TokKind int
+
+// Token kinds. Keep operators grouped so precedence tables can switch on
+// contiguous ranges.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokIntLit
+	TokFloatLit
+	TokStringLit
+	TokPragma // a full "#pragma ..." line, text in Lit
+
+	// Keywords.
+	TokKwInt
+	TokKwFloat
+	TokKwDouble
+	TokKwVoid
+	TokKwBool
+	TokKwFor
+	TokKwWhile
+	TokKwIf
+	TokKwElse
+	TokKwReturn
+	TokKwBreak
+	TokKwContinue
+	TokKwConst
+	TokKwTrue
+	TokKwFalse
+
+	// Punctuation.
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokComma
+	TokSemi
+
+	// Operators.
+	TokAssign     // =
+	TokPlusEq     // +=
+	TokMinusEq    // -=
+	TokStarEq     // *=
+	TokSlashEq    // /=
+	TokPlus       // +
+	TokMinus      // -
+	TokStar       // *
+	TokSlash      // /
+	TokPercent    // %
+	TokPlusPlus   // ++
+	TokMinusMinus // --
+	TokLt         // <
+	TokGt         // >
+	TokLe         // <=
+	TokGe         // >=
+	TokEqEq       // ==
+	TokNe         // !=
+	TokAndAnd     // &&
+	TokOrOr       // ||
+	TokNot        // !
+	TokAmp        // &
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF:        "EOF",
+	TokIdent:      "identifier",
+	TokIntLit:     "integer literal",
+	TokFloatLit:   "float literal",
+	TokStringLit:  "string literal",
+	TokPragma:     "#pragma",
+	TokKwInt:      "int",
+	TokKwFloat:    "float",
+	TokKwDouble:   "double",
+	TokKwVoid:     "void",
+	TokKwBool:     "bool",
+	TokKwFor:      "for",
+	TokKwWhile:    "while",
+	TokKwIf:       "if",
+	TokKwElse:     "else",
+	TokKwReturn:   "return",
+	TokKwBreak:    "break",
+	TokKwContinue: "continue",
+	TokKwConst:    "const",
+	TokKwTrue:     "true",
+	TokKwFalse:    "false",
+	TokLParen:     "(",
+	TokRParen:     ")",
+	TokLBrace:     "{",
+	TokRBrace:     "}",
+	TokLBracket:   "[",
+	TokRBracket:   "]",
+	TokComma:      ",",
+	TokSemi:       ";",
+	TokAssign:     "=",
+	TokPlusEq:     "+=",
+	TokMinusEq:    "-=",
+	TokStarEq:     "*=",
+	TokSlashEq:    "/=",
+	TokPlus:       "+",
+	TokMinus:      "-",
+	TokStar:       "*",
+	TokSlash:      "/",
+	TokPercent:    "%",
+	TokPlusPlus:   "++",
+	TokMinusMinus: "--",
+	TokLt:         "<",
+	TokGt:         ">",
+	TokLe:         "<=",
+	TokGe:         ">=",
+	TokEqEq:       "==",
+	TokNe:         "!=",
+	TokAndAnd:     "&&",
+	TokOrOr:       "||",
+	TokNot:        "!",
+	TokAmp:        "&",
+}
+
+// String returns the canonical spelling of the token kind.
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokKind(%d)", int(k))
+}
+
+var keywords = map[string]TokKind{
+	"int":      TokKwInt,
+	"float":    TokKwFloat,
+	"double":   TokKwDouble,
+	"void":     TokKwVoid,
+	"bool":     TokKwBool,
+	"for":      TokKwFor,
+	"while":    TokKwWhile,
+	"if":       TokKwIf,
+	"else":     TokKwElse,
+	"return":   TokKwReturn,
+	"break":    TokKwBreak,
+	"continue": TokKwContinue,
+	"const":    TokKwConst,
+	"true":     TokKwTrue,
+	"false":    TokKwFalse,
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexical token with its source position and literal text.
+type Token struct {
+	Kind TokKind
+	Lit  string
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent, TokIntLit, TokFloatLit, TokStringLit, TokPragma:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Lit)
+	default:
+		return t.Kind.String()
+	}
+}

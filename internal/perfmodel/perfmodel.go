@@ -1,0 +1,277 @@
+// Package perfmodel provides the analytical device performance models that
+// substitute for executing generated designs on physical hardware. Each
+// model consumes kernel features measured by the dynamic analyses (virtual
+// cycles, FLOPs, byte traffic, trip counts) plus static features
+// (registers, serial chain structure), and produces wall-clock estimates
+// whose *ratios* reproduce the paper's Fig. 5 behaviour: OMP scaling near
+// the core count, GPU residency/roofline/special-function effects, FPGA
+// pipeline initiation-interval and unroll effects, and PCIe transfer and
+// invocation costs.
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+
+	"psaflow/internal/hls"
+	"psaflow/internal/platform"
+)
+
+// KernelFeatures aggregates everything the device models need to know
+// about one extracted hotspot kernel and its measured execution. Values
+// describe the full evaluation scenario (profiling measurements scaled to
+// deployment size by the benchmark's EvalScale).
+type KernelFeatures struct {
+	// Dynamic measurements (interp on the reference input):
+	HotspotCycles float64 // virtual cycles of the hotspot on one CPU thread
+	Flops         float64 // total floating-point work inside the kernel
+	SpecialFlops  float64 // portion of Flops from transcendental builtins
+	Bytes         float64 // memory traffic inside the kernel
+	TransferIn    float64 // bytes that must reach the accelerator (all invocations)
+	TransferOut   float64 // bytes that must return to the host (all invocations)
+	Threads       float64 // parallel iterations of the offloaded outer loop, per invocation
+	SerialDepth   float64 // mean trips of sequential (dep-carrying) inner loops; 0 if none
+	Calls         float64 // kernel invocations in the deployment scenario (min 1)
+
+	// Static estimates:
+	Regs       int     // estimated registers per GPU thread
+	SinglePrec bool    // kernel demoted to single precision
+	SpecialDP  bool    // kernel retains double-precision transcendentals
+	HeavyFrac  float64 // fraction of special FLOPs from exp/log/tanh/erf
+}
+
+// Breakdown is a device time estimate with its components.
+type Breakdown struct {
+	KernelTime   float64
+	TransferTime float64
+	Overhead     float64 // launch / invocation costs
+	Total        float64
+	Note         string
+}
+
+// Model calibration constants. These absorb compiler and runtime effects
+// the device specs do not capture; EXPERIMENTS.md records their
+// calibration against the paper's Fig. 5 ratios.
+const (
+	// cpuIPCScale: superscalar + SIMD throughput of the native compiler
+	// relative to the interpreter's scalar virtual clock.
+	cpuIPCScale = 4.0
+	// ompForkJoin: per-parallel-region overhead of an OpenMP runtime.
+	ompForkJoin = 5.0e-6
+	// gpuLaunch: per-invocation cost of a HIP kernel launch.
+	gpuLaunch = 1.2e-5
+	// fpgaInvoke: per-invocation cost of a oneAPI queue submission.
+	fpgaInvoke = 1.0e-5
+	// fpgaPipelineFill: pipeline depth in cycles charged per invocation.
+	fpgaPipelineFill = 400.0
+	// fp64Penalty divides consumer-GPU throughput for double-precision
+	// arithmetic (between the 1/32 hardware rate and mixed streams).
+	fp64Penalty = 8.0
+	// fp64SpecialPenalty divides the special-function rate for kernels
+	// that keep double-precision transcendentals (software emulation on
+	// consumer parts).
+	fp64SpecialPenalty = 10.0
+	// depLatencyChain / depLatencyILP: per-thread cycles between dependent
+	// issues for kernels with / without sequential accumulation chains —
+	// governs the latency-bound regime.
+	depLatencyChain = 18.0
+	depLatencyILP   = 4.0
+)
+
+// CPUTime1 returns the single-thread CPU time of the hotspot — the
+// reference all Fig. 5 speedups are measured against.
+func CPUTime1(cpu platform.CPUSpec, feat KernelFeatures) float64 {
+	return feat.HotspotCycles / (cpu.ClockHz * cpuIPCScale * cpu.PerThread)
+}
+
+// OMPTime returns the multi-thread CPU time with the given thread count
+// (the paper's OpenMP design). Efficiency degrades linearly to OMPEff at
+// the full core count; a fork/join overhead is charged per region.
+func OMPTime(cpu platform.CPUSpec, feat KernelFeatures, threads int) float64 {
+	if threads < 1 {
+		threads = 1
+	}
+	if threads > cpu.Cores {
+		threads = cpu.Cores
+	}
+	t1 := CPUTime1(cpu, feat)
+	eff := 1.0
+	if cpu.Cores > 1 {
+		eff = 1 - (1-cpu.OMPEff)*float64(threads-1)/float64(cpu.Cores-1)
+	}
+	calls := math.Max(feat.Calls, 1)
+	return t1/(float64(threads)*eff) + ompForkJoin*calls
+}
+
+// gpuResidentPerSM computes resident threads per SM for the launch
+// configuration: limited by the register file, the block granularity, and
+// the architectural maximum.
+func gpuResidentPerSM(dev platform.GPUSpec, regs, blocksize int) int {
+	regLimited := dev.RegLimitedThreadsPerSM(regs)
+	blocksFit := regLimited / blocksize
+	if blocksFit == 0 {
+		return 0
+	}
+	t := blocksFit * blocksize
+	if t > dev.MaxThreadsPerSM {
+		t = dev.MaxThreadsPerSM
+	}
+	return t
+}
+
+// GPUTime returns the CPU+GPU design time on dev for the given launch
+// blocksize.
+//
+// Compute rate per SM (ops/cycle) = min(resident/depLatency, cores×sustained):
+// the first term is the latency-bound regime (few resident threads, or a
+// workload smaller than the device), the second the issue-bound regime.
+// Transcendental FLOPs flow through a slower special-function pipe
+// (rate/SpecialDiv, further divided for double-precision specials).
+// Memory-bound kernels ride the DRAM roofline. Host transfers ride PCIe
+// (faster pinned); each invocation pays a launch overhead.
+func GPUTime(dev platform.GPUSpec, feat KernelFeatures, blocksize int, pinned bool) Breakdown {
+	if blocksize <= 0 {
+		blocksize = 256
+	}
+	if blocksize > dev.MaxBlockSize {
+		return Breakdown{Total: math.Inf(1), Note: "blocksize exceeds device limit"}
+	}
+	residentPerSM := gpuResidentPerSM(dev, feat.Regs, blocksize)
+	if residentPerSM == 0 {
+		return Breakdown{Total: math.Inf(1),
+			Note: fmt.Sprintf("blocksize %d with %d regs/thread does not fit an SM", blocksize, feat.Regs)}
+	}
+	// Workload-limited residency: a launch with fewer threads than the
+	// device holds cannot fill every SM.
+	perSM := float64(residentPerSM)
+	if feat.Threads > 0 {
+		avail := feat.Threads / float64(dev.SMs)
+		if avail < perSM {
+			perSM = avail
+		}
+	}
+	depLat := depLatencyILP
+	if feat.SerialDepth > 0 {
+		depLat = depLatencyChain
+	}
+	latOps := perSM / depLat * dev.LatIPC * depLatencyILP // normalize so LatIPC tunes the regime
+	issueOps := float64(dev.CoresPerSM) * dev.Sustained
+	opsPerCycle := math.Min(latOps, issueOps)
+	if opsPerCycle <= 0 {
+		return Breakdown{Total: math.Inf(1), Note: "no resident threads"}
+	}
+	rate := float64(dev.SMs) * opsPerCycle * dev.ClockHz // plain FLOP/s
+	if !feat.SinglePrec {
+		rate /= fp64Penalty
+	}
+	// Heavy transcendentals (exp/log/tanh/erf) run as multi-pass SFU
+	// sequences: the effective divisor grows with their share.
+	specialDiv := math.Max(dev.SpecialDiv, 1) * (1 + 2*feat.HeavyFrac)
+	specialRate := rate / specialDiv
+	if feat.SpecialDP {
+		specialRate /= fp64SpecialPenalty
+	}
+	aluFlops := feat.Flops - feat.SpecialFlops
+	if aluFlops < 0 {
+		aluFlops = 0
+	}
+	computeTime := aluFlops/rate + feat.SpecialFlops/specialRate
+	memTime := feat.Bytes / dev.MemBWBps
+	kernel := math.Max(computeTime, memTime)
+
+	calls := math.Max(feat.Calls, 1)
+	overhead := gpuLaunch * calls
+	transfer := dev.TransferTime(int64(feat.TransferIn), int64(feat.TransferOut), pinned)
+	note := "issue-bound"
+	if latOps < issueOps {
+		note = "latency-bound"
+	}
+	if memTime > computeTime {
+		note = "memory-bound"
+	}
+	return Breakdown{
+		KernelTime:   kernel,
+		TransferTime: transfer,
+		Overhead:     overhead,
+		Total:        kernel + transfer + overhead,
+		Note:         note,
+	}
+}
+
+// FPGATime returns the CPU+FPGA design time for the kernel whose HLS
+// report is rep (carrying unroll factor, II, fmax). With zero-copy USM the
+// host traffic streams concurrently with the pipeline; otherwise it is a
+// serial PCIe phase. Each invocation pays a queue-submission overhead and
+// a pipeline fill.
+func FPGATime(dev platform.FPGASpec, rep *hls.Report, feat KernelFeatures, zeroCopy bool) Breakdown {
+	if !rep.Fits {
+		return Breakdown{Total: math.Inf(1), Note: "design overmaps device"}
+	}
+	trips := rep.PipelinedTrips
+	if trips <= 0 {
+		trips = feat.Threads * math.Max(feat.Calls, 1)
+	}
+	u := float64(rep.Unroll)
+	if u < 1 {
+		u = 1
+	}
+	calls := math.Max(feat.Calls, 1)
+	pipe := (trips*float64(rep.II)/u + fpgaPipelineFill*calls) / rep.FmaxHz
+	memTime := feat.Bytes / dev.DDRBWBps
+	kernel := math.Max(pipe, memTime)
+	overhead := fpgaInvoke * calls
+
+	hostBytes := feat.TransferIn + feat.TransferOut
+	if zeroCopy && dev.USM {
+		// Streamed through USM, overlapped with the pipeline.
+		stream := hostBytes / dev.USMBps
+		total := math.Max(kernel, stream) + overhead
+		return Breakdown{KernelTime: kernel, TransferTime: stream, Overhead: overhead,
+			Total: total, Note: "zero-copy"}
+	}
+	transfer := hostBytes / dev.PCIeBps
+	return Breakdown{KernelTime: kernel, TransferTime: transfer, Overhead: overhead,
+		Total: kernel + transfer + overhead, Note: "pcie"}
+}
+
+// Speedup is the Fig. 5 metric: single-thread CPU hotspot time divided by
+// the design's hotspot time.
+func Speedup(cpu platform.CPUSpec, feat KernelFeatures, design Breakdown) float64 {
+	if design.Total <= 0 || math.IsInf(design.Total, 1) {
+		return 0
+	}
+	return CPUTime1(cpu, feat) / design.Total
+}
+
+// BlocksizeCandidates is the sweep used by the per-device blocksize DSE.
+var BlocksizeCandidates = []int{64, 128, 256, 512, 1024}
+
+// BestBlocksize runs the blocksize DSE: it evaluates every candidate and
+// returns the one minimizing design time (the paper's GTX 1080 / RTX 2080
+// blocksize DSE tasks).
+func BestBlocksize(dev platform.GPUSpec, feat KernelFeatures, pinned bool) (int, Breakdown) {
+	best := -1
+	var bestBd Breakdown
+	bestBd.Total = math.Inf(1)
+	for _, bs := range BlocksizeCandidates {
+		bd := GPUTime(dev, feat, bs, pinned)
+		if bd.Total < bestBd.Total {
+			best = bs
+			bestBd = bd
+		}
+	}
+	return best, bestBd
+}
+
+// BestThreads runs the OpenMP num-threads DSE over 1..Cores.
+func BestThreads(cpu platform.CPUSpec, feat KernelFeatures) (int, float64) {
+	best := 1
+	bestT := math.Inf(1)
+	for t := 1; t <= cpu.Cores; t++ {
+		if tt := OMPTime(cpu, feat, t); tt < bestT {
+			bestT = tt
+			best = t
+		}
+	}
+	return best, bestT
+}

@@ -1,0 +1,327 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"psaflow/internal/hls"
+	"psaflow/internal/platform"
+)
+
+// computeFeat is a saturating compute-bound kernel.
+func computeFeat() KernelFeatures {
+	return KernelFeatures{
+		HotspotCycles: 1e10,
+		Flops:         5e9,
+		SpecialFlops:  1e9,
+		Bytes:         1e7,
+		TransferIn:    1e6,
+		TransferOut:   1e6,
+		Threads:       1 << 20,
+		Regs:          64,
+		SinglePrec:    true,
+		Calls:         1,
+	}
+}
+
+func TestCPUTime1Positive(t *testing.T) {
+	feat := computeFeat()
+	t1 := CPUTime1(platform.EPYC7543, feat)
+	if t1 <= 0 {
+		t.Fatalf("t1 = %v", t1)
+	}
+	// Doubling the cycles doubles the time.
+	feat.HotspotCycles *= 2
+	if got := CPUTime1(platform.EPYC7543, feat); math.Abs(got-2*t1) > 1e-12 {
+		t.Errorf("not linear in cycles: %v vs %v", got, 2*t1)
+	}
+}
+
+func TestOMPScalingNearCoreCount(t *testing.T) {
+	feat := computeFeat()
+	t1 := CPUTime1(platform.EPYC7543, feat)
+	t32 := OMPTime(platform.EPYC7543, feat, 32)
+	speedup := t1 / t32
+	if speedup < 25 || speedup > 32 {
+		t.Fatalf("32-thread speedup = %v, want 25..32 (paper: 28-30X)", speedup)
+	}
+	// Monotone in threads for compute-heavy kernels.
+	prev := math.Inf(1)
+	for threads := 1; threads <= 32; threads++ {
+		tt := OMPTime(platform.EPYC7543, feat, threads)
+		if tt > prev*1.0001 {
+			t.Fatalf("OMP time increased at %d threads", threads)
+		}
+		prev = tt
+	}
+}
+
+func TestOMPClampsThreads(t *testing.T) {
+	feat := computeFeat()
+	if OMPTime(platform.EPYC7543, feat, 0) != OMPTime(platform.EPYC7543, feat, 1) {
+		t.Error("0 threads should clamp to 1")
+	}
+	if OMPTime(platform.EPYC7543, feat, 64) != OMPTime(platform.EPYC7543, feat, 32) {
+		t.Error("64 threads should clamp to core count")
+	}
+}
+
+func TestBestThreadsPicksMax(t *testing.T) {
+	n, _ := BestThreads(platform.EPYC7543, computeFeat())
+	if n != 32 {
+		t.Fatalf("best threads = %d, want 32 for an embarrassingly parallel hotspot", n)
+	}
+}
+
+func TestGPUIssueBoundRegime(t *testing.T) {
+	feat := computeFeat()
+	bd := GPUTime(platform.RTX2080Ti, feat, 256, true)
+	if bd.Note != "issue-bound" {
+		t.Fatalf("saturating kernel should be issue-bound: %+v", bd)
+	}
+	if math.IsInf(bd.Total, 1) || bd.Total <= 0 {
+		t.Fatalf("total = %v", bd.Total)
+	}
+}
+
+func TestGPULatencyBoundSmallLaunch(t *testing.T) {
+	feat := computeFeat()
+	feat.Threads = 2048
+	feat.SerialDepth = 16
+	bd := GPUTime(platform.GTX1080Ti, feat, 256, true)
+	if bd.Note != "latency-bound" {
+		t.Fatalf("small launch with dep chains should be latency-bound: %+v", bd)
+	}
+	// Under-filled devices converge: both GPUs land close (paper Bezier).
+	bd2 := GPUTime(platform.RTX2080Ti, feat, 256, true)
+	ratio := bd.KernelTime / bd2.KernelTime
+	if ratio < 0.8 || ratio > 1.3 {
+		t.Fatalf("latency-bound devices should be close: ratio %v", ratio)
+	}
+}
+
+func TestGPUMemoryBound(t *testing.T) {
+	feat := computeFeat()
+	feat.Flops = 1e6
+	feat.SpecialFlops = 0
+	feat.Bytes = 1e9
+	bd := GPUTime(platform.GTX1080Ti, feat, 256, true)
+	if bd.Note != "memory-bound" {
+		t.Fatalf("note = %s", bd.Note)
+	}
+	wantKernel := 1e9/platform.GTX1080Ti.MemBWBps + 0 // roofline floor
+	if bd.KernelTime < wantKernel {
+		t.Fatalf("kernel %v below roofline %v", bd.KernelTime, wantKernel)
+	}
+}
+
+func TestGPURegisterPressureLimitsResidency(t *testing.T) {
+	// 255 regs/thread caps residency at 256 threads/SM (65536/255 rounded
+	// to blocks of 64) on both devices — the precondition of the paper's
+	// Rush Larsen saturation story.
+	for _, dev := range platform.GPUs() {
+		if got := gpuResidentPerSM(dev, 255, 64); got != 256 {
+			t.Errorf("%s resident at 255 regs = %d, want 256", dev.Name, got)
+		}
+		if got := gpuResidentPerSM(dev, 64, 64); got <= 256 {
+			t.Errorf("%s resident at 64 regs = %d, want > 256", dev.Name, got)
+		}
+	}
+}
+
+// TestGPURushLarsenSaturationStory reproduces the paper's Rush Larsen
+// explanation: at 255 regs/thread the workload saturates the GTX 1080 Ti's
+// register-limited capacity but not the RTX 2080 Ti's, leaving the 2080
+// around 1.5-2X faster (paper: 1.6X).
+func TestGPURushLarsenSaturationStory(t *testing.T) {
+	feat := computeFeat()
+	feat.Regs = 255
+	feat.Threads = 12288
+	feat.SerialDepth = 25
+	feat.SpecialFlops = 0.8 * feat.Flops
+	feat.HeavyFrac = 1
+	_, bd1080 := BestBlocksize(platform.GTX1080Ti, feat, true)
+	_, bd2080 := BestBlocksize(platform.RTX2080Ti, feat, true)
+	ratio := bd1080.KernelTime / bd2080.KernelTime
+	if ratio < 1.3 || ratio > 2.2 {
+		t.Fatalf("2080/1080 advantage = %v, want 1.3..2.2 (paper 1.6)", ratio)
+	}
+}
+
+func TestGPUBlocksizeInfeasible(t *testing.T) {
+	feat := computeFeat()
+	feat.Regs = 255 // 65536/255 = 257 resident; blocksize 512 cannot fit
+	bd := GPUTime(platform.GTX1080Ti, feat, 512, true)
+	if !math.IsInf(bd.Total, 1) {
+		t.Fatalf("blocksize 512 at 255 regs should be infeasible: %+v", bd)
+	}
+	bs, best := BestBlocksize(platform.GTX1080Ti, feat, true)
+	if bs <= 0 || bs > 256 {
+		t.Fatalf("DSE blocksize = %d, want <= 256", bs)
+	}
+	if math.IsInf(best.Total, 1) {
+		t.Fatal("DSE found no feasible configuration")
+	}
+}
+
+func TestGPUOversizeBlocksizeRejected(t *testing.T) {
+	bd := GPUTime(platform.GTX1080Ti, computeFeat(), 2048, true)
+	if !math.IsInf(bd.Total, 1) {
+		t.Fatal("blocksize above device limit must be rejected")
+	}
+}
+
+func TestGPUDoublePrecisionPenalty(t *testing.T) {
+	sp := computeFeat()
+	dp := computeFeat()
+	dp.SinglePrec = false
+	spBd := GPUTime(platform.RTX2080Ti, sp, 256, true)
+	dpBd := GPUTime(platform.RTX2080Ti, dp, 256, true)
+	if dpBd.KernelTime <= spBd.KernelTime*2 {
+		t.Fatalf("FP64 kernel should be much slower: %v vs %v", dpBd.KernelTime, spBd.KernelTime)
+	}
+}
+
+func TestGPUHeavySpecialsSlower(t *testing.T) {
+	light := computeFeat()
+	heavy := computeFeat()
+	heavy.HeavyFrac = 1
+	lightBd := GPUTime(platform.RTX2080Ti, light, 256, true)
+	heavyBd := GPUTime(platform.RTX2080Ti, heavy, 256, true)
+	if heavyBd.KernelTime <= lightBd.KernelTime {
+		t.Fatal("exp-heavy kernels must run slower than sqrt-heavy ones")
+	}
+}
+
+func TestPinnedTransfersFaster(t *testing.T) {
+	feat := computeFeat()
+	feat.TransferIn = 1e9
+	pinned := GPUTime(platform.GTX1080Ti, feat, 256, true)
+	paged := GPUTime(platform.GTX1080Ti, feat, 256, false)
+	if pinned.TransferTime >= paged.TransferTime {
+		t.Fatalf("pinned %v should beat pageable %v", pinned.TransferTime, paged.TransferTime)
+	}
+}
+
+func fitReport(unroll, ii int, trips float64, dev platform.FPGASpec) *hls.Report {
+	return &hls.Report{
+		Device: dev.Name, Kernel: "k", Unroll: unroll, II: ii,
+		PipelinedTrips: trips, FmaxHz: dev.ClockHz, Fits: true,
+	}
+}
+
+func TestFPGAPipelineScaling(t *testing.T) {
+	feat := computeFeat()
+	dev := platform.Stratix10
+	t1 := FPGATime(dev, fitReport(1, 1, 1e9, dev), feat, false)
+	t4 := FPGATime(dev, fitReport(4, 1, 1e9, dev), feat, false)
+	if t4.KernelTime >= t1.KernelTime {
+		t.Fatalf("unroll 4 should be faster: %v vs %v", t4.KernelTime, t1.KernelTime)
+	}
+	tII := FPGATime(dev, fitReport(1, 8, 1e9, dev), feat, false)
+	if tII.KernelTime <= t1.KernelTime {
+		t.Fatalf("II=8 should be slower: %v vs %v", tII.KernelTime, t1.KernelTime)
+	}
+}
+
+func TestFPGAOvermapInfeasible(t *testing.T) {
+	rep := &hls.Report{Fits: false}
+	bd := FPGATime(platform.Arria10, rep, computeFeat(), false)
+	if !math.IsInf(bd.Total, 1) {
+		t.Fatal("overmapped design must be infeasible")
+	}
+	if Speedup(platform.EPYC7543, computeFeat(), bd) != 0 {
+		t.Fatal("infeasible design speedup must be 0")
+	}
+}
+
+func TestFPGAZeroCopyOverlaps(t *testing.T) {
+	feat := computeFeat()
+	feat.TransferIn = 5e8
+	feat.TransferOut = 5e8
+	dev := platform.Stratix10
+	rep := fitReport(4, 1, 1e8, dev)
+	serial := FPGATime(dev, rep, feat, false)
+	overlap := FPGATime(dev, rep, feat, true)
+	if overlap.Total >= serial.Total {
+		t.Fatalf("zero-copy should be faster: %v vs %v", overlap.Total, serial.Total)
+	}
+	if overlap.Note != "zero-copy" {
+		t.Errorf("note = %s", overlap.Note)
+	}
+	// Overlap means max(), not sum.
+	want := math.Max(overlap.KernelTime, overlap.TransferTime) + overlap.Overhead
+	if math.Abs(overlap.Total-want) > 1e-12 {
+		t.Errorf("total %v, want overlapped %v", overlap.Total, want)
+	}
+}
+
+func TestFPGAZeroCopyRequiresUSM(t *testing.T) {
+	dev := platform.Arria10 // no USM
+	rep := fitReport(1, 1, 1e8, dev)
+	bd := FPGATime(dev, rep, computeFeat(), true)
+	if bd.Note != "pcie" {
+		t.Fatalf("zero-copy on a non-USM device must fall back to PCIe: %s", bd.Note)
+	}
+}
+
+func TestSpeedupDefinition(t *testing.T) {
+	feat := computeFeat()
+	bd := Breakdown{Total: CPUTime1(platform.EPYC7543, feat) / 10}
+	if s := Speedup(platform.EPYC7543, feat, bd); math.Abs(s-10) > 1e-9 {
+		t.Fatalf("speedup = %v, want 10", s)
+	}
+	if Speedup(platform.EPYC7543, feat, Breakdown{}) != 0 {
+		t.Error("zero-time design must yield 0 speedup")
+	}
+}
+
+// TestQuickGPUMonotoneInWork: more FLOPs never make the kernel faster.
+func TestQuickGPUMonotoneInWork(t *testing.T) {
+	f := func(extra uint32) bool {
+		base := computeFeat()
+		more := base
+		more.Flops += float64(extra)
+		b1 := GPUTime(platform.RTX2080Ti, base, 256, true)
+		b2 := GPUTime(platform.RTX2080Ti, more, 256, true)
+		return b2.KernelTime >= b1.KernelTime
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickFPGAMonotoneInTrips: more pipelined iterations never run faster.
+func TestQuickFPGAMonotoneInTrips(t *testing.T) {
+	dev := platform.Stratix10
+	f := func(extra uint32) bool {
+		feat := computeFeat()
+		b1 := FPGATime(dev, fitReport(2, 1, 1e8, dev), feat, false)
+		b2 := FPGATime(dev, fitReport(2, 1, 1e8+float64(extra), dev), feat, false)
+		return b2.KernelTime >= b1.KernelTime
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBlocksizeDSEOptimal: the DSE result is never worse than any
+// candidate it swept.
+func TestQuickBlocksizeDSEOptimal(t *testing.T) {
+	f := func(regs uint8, threadsK uint16) bool {
+		feat := computeFeat()
+		feat.Regs = int(regs)%240 + 16
+		feat.Threads = float64(threadsK)*64 + 64
+		_, best := BestBlocksize(platform.GTX1080Ti, feat, true)
+		for _, bs := range BlocksizeCandidates {
+			if bd := GPUTime(platform.GTX1080Ti, feat, bs, true); bd.Total < best.Total {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

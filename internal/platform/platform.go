@@ -1,0 +1,202 @@
+// Package platform is the device catalog: published specification numbers
+// for the CPUs, GPUs and FPGAs of the paper's evaluation testbed, plus the
+// host-accelerator interconnect model. The perfmodel package consumes
+// these specs; they substitute for the physical hardware the paper ran on
+// (see DESIGN.md §2).
+package platform
+
+// TargetKind enumerates the three target classes of the implemented
+// PSA-flow (paper Fig. 4 branch point A).
+type TargetKind int
+
+// Target classes.
+const (
+	TargetCPU  TargetKind = iota // multi-thread CPU (OpenMP)
+	TargetGPU                    // CPU+GPU (HIP)
+	TargetFPGA                   // CPU+FPGA (oneAPI)
+)
+
+// String names the target kind.
+func (k TargetKind) String() string {
+	switch k {
+	case TargetCPU:
+		return "cpu"
+	case TargetGPU:
+		return "gpu"
+	case TargetFPGA:
+		return "fpga"
+	}
+	return "unknown"
+}
+
+// CPUSpec describes a host CPU.
+type CPUSpec struct {
+	Name      string
+	Cores     int
+	ClockHz   float64
+	MemBWBps  float64 // aggregate DRAM bandwidth
+	OMPEff    float64 // parallel efficiency at full thread count
+	PerThread float64 // sustained fraction of the virtual-clock model per thread
+}
+
+// GPUSpec describes a discrete GPU accelerator.
+type GPUSpec struct {
+	Name            string
+	SMs             int
+	CoresPerSM      int
+	ClockHz         float64
+	PeakFP32        float64 // FLOP/s
+	MemBWBps        float64
+	RegsPerSM       int // 32-bit registers per SM
+	MaxThreadsPerSM int
+	MaxBlockSize    int
+	PCIeBps         float64 // effective host transfer bandwidth
+	PinnedScale     float64 // PCIe bandwidth multiplier with pinned host memory
+	Sustained       float64 // achieved/peak FLOPs on saturating compute kernels
+	LatIPC          float64 // per-thread issue rate (ops/cycle) in the latency-bound regime
+	SpecialDiv      float64 // throughput divisor for transcendental (SFU) operations
+}
+
+// FPGASpec describes a PCIe FPGA accelerator card.
+type FPGASpec struct {
+	Name       string
+	ALMs       int     // adaptive logic modules (LUT resource pool)
+	DSPs       int     // hardened DSP blocks
+	BRAMBits   int64   // on-chip block RAM
+	ClockHz    float64 // achievable pipeline clock after place and route
+	DDRBWBps   float64 // on-card DRAM bandwidth
+	PCIeBps    float64 // host transfer bandwidth
+	USM        bool    // unified shared memory (zero-copy host access)
+	USMBps     float64 // zero-copy streaming bandwidth (when USM)
+	AddLatency int     // pipeline latency of a floating accumulation (cycles)
+}
+
+// The evaluation testbed of the paper, with public datasheet numbers.
+// Sustained/LatIPC/OMPEff/PerThread are model calibration constants — they
+// absorb compiler maturity and architectural efficiency differences that
+// specs do not capture; EXPERIMENTS.md documents their calibration against
+// the paper's Fig. 5 ratios.
+var (
+	// EPYC7543: AMD EPYC 7543, 32 cores @ 2.8 GHz, 8-channel DDR4-3200.
+	EPYC7543 = CPUSpec{
+		Name:      "AMD EPYC 7543 (32 cores, 2.8 GHz)",
+		Cores:     32,
+		ClockHz:   2.8e9,
+		MemBWBps:  204.8e9,
+		OMPEff:    0.92,
+		PerThread: 1.0,
+	}
+
+	// GTX1080Ti: NVIDIA GeForce GTX 1080 Ti (Pascal GP102).
+	GTX1080Ti = GPUSpec{
+		Name:            "NVIDIA GeForce GTX 1080 Ti",
+		SMs:             28,
+		CoresPerSM:      128,
+		ClockHz:         1.58e9,
+		PeakFP32:        11.34e12,
+		MemBWBps:        484e9,
+		RegsPerSM:       65536,
+		MaxThreadsPerSM: 2048,
+		MaxBlockSize:    1024,
+		PCIeBps:         9.0e9,
+		PinnedScale:     1.25,
+		Sustained:       0.31,
+		LatIPC:          0.70,
+		SpecialDiv:      6.0,
+	}
+
+	// RTX2080Ti: NVIDIA GeForce RTX 2080 Ti (Turing TU102).
+	RTX2080Ti = GPUSpec{
+		Name:            "NVIDIA GeForce RTX 2080 Ti",
+		SMs:             68,
+		CoresPerSM:      64,
+		ClockHz:         1.545e9,
+		PeakFP32:        13.45e12,
+		MemBWBps:        616e9,
+		RegsPerSM:       65536,
+		MaxThreadsPerSM: 1024,
+		MaxBlockSize:    1024,
+		PCIeBps:         9.0e9,
+		PinnedScale:     1.25,
+		Sustained:       0.58,
+		LatIPC:          0.70,
+		SpecialDiv:      6.0,
+	}
+
+	// Arria10: Intel PAC with Arria 10 GX 1150.
+	Arria10 = FPGASpec{
+		Name:       "Intel PAC Arria 10 GX 1150",
+		ALMs:       427200,
+		DSPs:       1518,
+		BRAMBits:   65 << 20,
+		ClockHz:    240e6,
+		DDRBWBps:   34e9,
+		PCIeBps:    6.0e9, // PCIe gen3 x8
+		USM:        false,
+		AddLatency: 8,
+	}
+
+	// Stratix10: Intel Stratix 10 GX 2800 (D5005-class card) with USM.
+	Stratix10 = FPGASpec{
+		Name:       "Intel Stratix 10 GX 2800",
+		ALMs:       933120,
+		DSPs:       5760,
+		BRAMBits:   244 << 20,
+		ClockHz:    300e6,
+		DDRBWBps:   76.8e9,
+		PCIeBps:    12.0e9, // PCIe gen3 x16
+		USM:        true,
+		USMBps:     12.0e9,
+		AddLatency: 8,
+	}
+)
+
+// GPUs lists the catalog GPUs in the order of the paper's branch point B.
+func GPUs() []GPUSpec { return []GPUSpec{GTX1080Ti, RTX2080Ti} }
+
+// FPGAs lists the catalog FPGAs in the order of the paper's branch point C.
+func FPGAs() []FPGASpec { return []FPGASpec{Arria10, Stratix10} }
+
+// RegLimitedThreadsPerSM returns the number of resident threads per SM
+// permitted by the register file for a kernel using regs registers per
+// thread, clamped to the architectural maximum.
+func (g GPUSpec) RegLimitedThreadsPerSM(regs int) int {
+	if regs <= 0 {
+		return g.MaxThreadsPerSM
+	}
+	t := g.RegsPerSM / regs
+	if t > g.MaxThreadsPerSM {
+		t = g.MaxThreadsPerSM
+	}
+	return t
+}
+
+// TransferTime returns the host↔device time for moving the given byte
+// counts over PCIe, with the pinned-memory bandwidth boost when enabled.
+func (g GPUSpec) TransferTime(bytesIn, bytesOut int64, pinned bool) float64 {
+	bw := g.PCIeBps
+	if pinned {
+		bw *= g.PinnedScale
+	}
+	return float64(bytesIn+bytesOut) / bw
+}
+
+// GPUByName looks up a catalog GPU by its full name.
+func GPUByName(name string) (GPUSpec, bool) {
+	for _, g := range GPUs() {
+		if g.Name == name {
+			return g, true
+		}
+	}
+	return GPUSpec{}, false
+}
+
+// FPGAByName looks up a catalog FPGA by its full name.
+func FPGAByName(name string) (FPGASpec, bool) {
+	for _, f := range FPGAs() {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return FPGASpec{}, false
+}

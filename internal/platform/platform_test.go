@@ -1,0 +1,84 @@
+package platform
+
+import "testing"
+
+func TestCatalogLookups(t *testing.T) {
+	if len(GPUs()) != 2 || len(FPGAs()) != 2 {
+		t.Fatalf("catalog sizes: %d GPUs, %d FPGAs", len(GPUs()), len(FPGAs()))
+	}
+	if g, ok := GPUByName(GTX1080Ti.Name); !ok || g.SMs != 28 {
+		t.Errorf("GTX 1080 Ti lookup: %+v ok=%v", g, ok)
+	}
+	if f, ok := FPGAByName(Stratix10.Name); !ok || !f.USM {
+		t.Errorf("Stratix 10 lookup: %+v ok=%v", f, ok)
+	}
+	if _, ok := GPUByName("nope"); ok {
+		t.Error("bogus GPU resolved")
+	}
+	if _, ok := FPGAByName("nope"); ok {
+		t.Error("bogus FPGA resolved")
+	}
+}
+
+func TestTargetKindStrings(t *testing.T) {
+	cases := map[TargetKind]string{TargetCPU: "cpu", TargetGPU: "gpu", TargetFPGA: "fpga", TargetKind(9): "unknown"}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestDeviceSpecSanity(t *testing.T) {
+	// Published spec relations the models depend on.
+	if RTX2080Ti.SMs <= GTX1080Ti.SMs {
+		t.Error("Turing part must have more SMs")
+	}
+	if RTX2080Ti.PeakFP32 <= GTX1080Ti.PeakFP32 {
+		t.Error("2080 Ti peak must exceed 1080 Ti")
+	}
+	if RTX2080Ti.MemBWBps <= GTX1080Ti.MemBWBps {
+		t.Error("2080 Ti bandwidth must exceed 1080 Ti")
+	}
+	if Stratix10.ALMs <= Arria10.ALMs || Stratix10.DSPs <= Arria10.DSPs {
+		t.Error("Stratix 10 must be the larger FPGA")
+	}
+	if !Stratix10.USM || Arria10.USM {
+		t.Error("only the Stratix 10 supports USM zero-copy (paper)")
+	}
+	if EPYC7543.Cores != 32 {
+		t.Errorf("EPYC 7543 cores = %d, want 32", EPYC7543.Cores)
+	}
+}
+
+func TestRegLimitedThreadsPerSM(t *testing.T) {
+	// 255 registers: 65536/255 = 257, below both architectural caps.
+	if got := GTX1080Ti.RegLimitedThreadsPerSM(255); got != 257 {
+		t.Errorf("1080 reg-limited = %d, want 257", got)
+	}
+	// Tiny kernels clamp to the architectural max.
+	if got := GTX1080Ti.RegLimitedThreadsPerSM(8); got != 2048 {
+		t.Errorf("1080 unlimited = %d, want 2048", got)
+	}
+	if got := RTX2080Ti.RegLimitedThreadsPerSM(8); got != 1024 {
+		t.Errorf("2080 unlimited = %d, want 1024 (Turing)", got)
+	}
+	if got := RTX2080Ti.RegLimitedThreadsPerSM(0); got != 1024 {
+		t.Errorf("zero regs = %d, want max", got)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	plain := GTX1080Ti.TransferTime(9e9, 0, false)
+	if plain != 1.0 {
+		t.Errorf("9 GB over 9 GB/s = %v, want 1s", plain)
+	}
+	pinned := GTX1080Ti.TransferTime(9e9, 0, true)
+	if pinned >= plain {
+		t.Errorf("pinned (%v) must beat pageable (%v)", pinned, plain)
+	}
+	both := GTX1080Ti.TransferTime(4e9, 5e9, false)
+	if both != plain {
+		t.Errorf("in+out should sum: %v", both)
+	}
+}

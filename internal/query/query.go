@@ -1,0 +1,414 @@
+// Package query implements the AST query mechanism of the meta-programming
+// layer: predicate-based selection of nodes, structural relations
+// (encloses, outermost, depth), and loop shape inspection. It is the Go
+// counterpart of the paper's Artisan queries such as
+//
+//	query(∀loop,fn ∈ ast: loop.isForStmt ∧ fn.name = kernel_name
+//	      ∧ fn.encloses(loop) ∧ loop.is_outermost)
+package query
+
+import (
+	"psaflow/internal/minic"
+)
+
+// Q is a query context over one program. It caches the parent map; rebuild
+// the context (New) after structural mutations.
+type Q struct {
+	Prog    *minic.Program
+	parents map[minic.Node]minic.Node
+}
+
+// New builds a query context for prog.
+func New(prog *minic.Program) *Q {
+	return &Q{Prog: prog, parents: minic.Parents(prog)}
+}
+
+// Predicate decides whether a node matches; it receives the context so it
+// can ask structural questions.
+type Predicate func(q *Q, n minic.Node) bool
+
+// Select returns all nodes under the program matching pred, in depth-first
+// source order.
+func (q *Q) Select(pred Predicate) []minic.Node {
+	var out []minic.Node
+	minic.Walk(q.Prog, func(n minic.Node) bool {
+		if pred(q, n) {
+			out = append(out, n)
+		}
+		return true
+	})
+	return out
+}
+
+// Parent returns the parent of n, or nil for the root.
+func (q *Q) Parent(n minic.Node) minic.Node { return q.parents[n] }
+
+// EnclosingFunc returns the function that contains n, or nil.
+func (q *Q) EnclosingFunc(n minic.Node) *minic.FuncDecl {
+	for cur := n; cur != nil; cur = q.parents[cur] {
+		if f, ok := cur.(*minic.FuncDecl); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// Encloses reports whether inner is a strict descendant of outer.
+func (q *Q) Encloses(outer, inner minic.Node) bool {
+	for cur := q.parents[inner]; cur != nil; cur = q.parents[cur] {
+		if cur == outer {
+			return true
+		}
+	}
+	return false
+}
+
+// IsLoop reports whether n is a for or while statement.
+func IsLoop(n minic.Node) bool {
+	switch n.(type) {
+	case *minic.ForStmt, *minic.WhileStmt:
+		return true
+	}
+	return false
+}
+
+// IsForStmt reports whether n is a for statement.
+func IsForStmt(n minic.Node) bool {
+	_, ok := n.(*minic.ForStmt)
+	return ok
+}
+
+// IsOutermostLoop reports whether n is a loop with no enclosing loop in the
+// same function.
+func (q *Q) IsOutermostLoop(n minic.Node) bool {
+	if !IsLoop(n) {
+		return false
+	}
+	for cur := q.parents[n]; cur != nil; cur = q.parents[cur] {
+		if IsLoop(cur) {
+			return false
+		}
+		if _, ok := cur.(*minic.FuncDecl); ok {
+			return true
+		}
+	}
+	return true
+}
+
+// LoopDepth returns the nesting depth of loop n within its function
+// (outermost loop = 1); 0 if n is not a loop.
+func (q *Q) LoopDepth(n minic.Node) int {
+	if !IsLoop(n) {
+		return 0
+	}
+	d := 1
+	for cur := q.parents[n]; cur != nil; cur = q.parents[cur] {
+		if IsLoop(cur) {
+			d++
+		}
+	}
+	return d
+}
+
+// LoopsIn returns every loop statement in fn in depth-first source order.
+func (q *Q) LoopsIn(fn *minic.FuncDecl) []minic.Stmt {
+	var out []minic.Stmt
+	minic.Walk(fn, func(n minic.Node) bool {
+		if IsLoop(n) {
+			out = append(out, n.(minic.Stmt))
+		}
+		return true
+	})
+	return out
+}
+
+// OutermostLoops returns the outermost loops of fn — the query from the
+// paper's Fig. 2 meta-program.
+func (q *Q) OutermostLoops(fn *minic.FuncDecl) []minic.Stmt {
+	var out []minic.Stmt
+	for _, l := range q.LoopsIn(fn) {
+		if q.IsOutermostLoop(l) {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// InnerLoops returns all loops strictly nested inside loop.
+func (q *Q) InnerLoops(loop minic.Stmt) []minic.Stmt {
+	var out []minic.Stmt
+	minic.Walk(loop, func(n minic.Node) bool {
+		if n != minic.Node(loop) && IsLoop(n) {
+			out = append(out, n.(minic.Stmt))
+		}
+		return true
+	})
+	return out
+}
+
+// LoopVar returns the canonical induction variable of a for loop of the
+// form `for (int i = ...; i < ...; i++)`, or "" if the shape does not
+// match.
+func LoopVar(loop *minic.ForStmt) string {
+	switch init := loop.Init.(type) {
+	case *minic.DeclStmt:
+		return init.Name
+	case *minic.ExprStmt:
+		if a, ok := init.X.(*minic.AssignExpr); ok && a.Op == minic.TokAssign {
+			if id, ok := a.LHS.(*minic.Ident); ok {
+				return id.Name
+			}
+		}
+	}
+	// Fall back to the post expression.
+	switch post := loop.Post.(type) {
+	case *minic.IncDecExpr:
+		if id, ok := post.X.(*minic.Ident); ok {
+			return id.Name
+		}
+	case *minic.AssignExpr:
+		if id, ok := post.LHS.(*minic.Ident); ok {
+			return id.Name
+		}
+	}
+	return ""
+}
+
+// LoopBound describes the statically recognized bounds of a canonical for
+// loop: `for (v = Lo; v < Hi; v += Step)`.
+type LoopBound struct {
+	Var  string
+	Lo   minic.Expr
+	Hi   minic.Expr
+	Step int64
+}
+
+// Bounds recognizes canonical for-loop shapes: init assigns the induction
+// variable, cond is `v < hi` or `v <= hi`, post is `v++` or `v += c`.
+// Returns ok=false for any other shape.
+func Bounds(loop *minic.ForStmt) (LoopBound, bool) {
+	var b LoopBound
+	b.Var = LoopVar(loop)
+	if b.Var == "" {
+		return b, false
+	}
+	switch init := loop.Init.(type) {
+	case *minic.DeclStmt:
+		if init.Init == nil {
+			return b, false
+		}
+		b.Lo = init.Init
+	case *minic.ExprStmt:
+		a, ok := init.X.(*minic.AssignExpr)
+		if !ok || a.Op != minic.TokAssign {
+			return b, false
+		}
+		b.Lo = a.RHS
+	default:
+		return b, false
+	}
+	cond, ok := loop.Cond.(*minic.BinaryExpr)
+	if !ok || (cond.Op != minic.TokLt && cond.Op != minic.TokLe) {
+		return b, false
+	}
+	lhs, ok := cond.L.(*minic.Ident)
+	if !ok || lhs.Name != b.Var {
+		return b, false
+	}
+	b.Hi = cond.R
+	switch post := loop.Post.(type) {
+	case *minic.IncDecExpr:
+		if post.Op != minic.TokPlusPlus {
+			return b, false
+		}
+		b.Step = 1
+	case *minic.AssignExpr:
+		if post.Op != minic.TokPlusEq {
+			return b, false
+		}
+		c, ok := post.RHS.(*minic.IntLit)
+		if !ok || c.Val <= 0 {
+			return b, false
+		}
+		b.Step = c.Val
+	default:
+		return b, false
+	}
+	if cond.Op == minic.TokLe {
+		// Normalize `<=` to an exclusive bound when both ends are literal.
+		if hi, ok := b.Hi.(*minic.IntLit); ok {
+			b.Hi = &minic.IntLit{Val: hi.Val + 1}
+		} else {
+			return b, false
+		}
+	}
+	return b, true
+}
+
+// FixedTripCount returns the compile-time trip count of a canonical for
+// loop whose bounds are integer literals, and whether it is fixed. This is
+// the "fixed-bound" test used by the FPGA unroll tasks and the PSA
+// strategy's "can fully unroll?" decision.
+func FixedTripCount(loop minic.Stmt) (int64, bool) {
+	fs, ok := loop.(*minic.ForStmt)
+	if !ok {
+		return 0, false
+	}
+	b, ok := Bounds(fs)
+	if !ok {
+		return 0, false
+	}
+	lo, ok := b.Lo.(*minic.IntLit)
+	if !ok {
+		return 0, false
+	}
+	hi, ok := b.Hi.(*minic.IntLit)
+	if !ok {
+		return 0, false
+	}
+	if hi.Val <= lo.Val {
+		return 0, true
+	}
+	return (hi.Val - lo.Val + b.Step - 1) / b.Step, true
+}
+
+// IdentsUsed returns the set of identifier names referenced anywhere under
+// n (reads and writes, including array bases and call arguments).
+func IdentsUsed(n minic.Node) map[string]bool {
+	out := make(map[string]bool)
+	minic.Walk(n, func(m minic.Node) bool {
+		if id, ok := m.(*minic.Ident); ok {
+			out[id.Name] = true
+		}
+		return true
+	})
+	return out
+}
+
+// IdentsAssigned returns the set of names that are targets of assignment,
+// ++/--, or declaration under n.
+func IdentsAssigned(n minic.Node) map[string]bool {
+	out := make(map[string]bool)
+	minic.Walk(n, func(m minic.Node) bool {
+		switch v := m.(type) {
+		case *minic.AssignExpr:
+			if id, ok := v.LHS.(*minic.Ident); ok {
+				out[id.Name] = true
+			}
+		case *minic.IncDecExpr:
+			if id, ok := v.X.(*minic.Ident); ok {
+				out[id.Name] = true
+			}
+		case *minic.DeclStmt:
+			out[v.Name] = true
+		}
+		return true
+	})
+	return out
+}
+
+// ArraysWritten returns the set of array base names written via
+// `base[idx] = / += / ...` or ++/-- under n.
+func ArraysWritten(n minic.Node) map[string]bool {
+	out := make(map[string]bool)
+	record := func(e minic.Expr) {
+		if ix, ok := e.(*minic.IndexExpr); ok {
+			if id, ok := ix.Base.(*minic.Ident); ok {
+				out[id.Name] = true
+			}
+		}
+	}
+	minic.Walk(n, func(m minic.Node) bool {
+		switch v := m.(type) {
+		case *minic.AssignExpr:
+			record(v.LHS)
+		case *minic.IncDecExpr:
+			record(v.X)
+		}
+		return true
+	})
+	return out
+}
+
+// ArraysRead returns the set of array base names read via `base[idx]`
+// in a value position under n. Writes through `a[i] = x` do not count as
+// reads of a, but `a[i] += x` does.
+func ArraysRead(n minic.Node) map[string]bool {
+	out := make(map[string]bool)
+	var walkExpr func(e minic.Expr, store bool)
+	walkExpr = func(e minic.Expr, store bool) {
+		switch v := e.(type) {
+		case nil:
+		case *minic.IndexExpr:
+			if !store {
+				if id, ok := v.Base.(*minic.Ident); ok {
+					out[id.Name] = true
+				}
+			}
+			walkExpr(v.Index, false)
+			// Nested bases (multi-dim sugar) are always reads.
+			if _, ok := v.Base.(*minic.Ident); !ok {
+				walkExpr(v.Base, false)
+			}
+		case *minic.AssignExpr:
+			// Plain `=` does not read the LHS; compound ops do.
+			walkExpr(v.LHS, v.Op == minic.TokAssign)
+			walkExpr(v.RHS, false)
+		case *minic.IncDecExpr:
+			walkExpr(v.X, false) // x++ reads x
+		case *minic.UnaryExpr:
+			walkExpr(v.X, false)
+		case *minic.BinaryExpr:
+			walkExpr(v.L, false)
+			walkExpr(v.R, false)
+		case *minic.CallExpr:
+			for _, a := range v.Args {
+				walkExpr(a, false)
+			}
+		case *minic.CastExpr:
+			walkExpr(v.X, false)
+		}
+	}
+	minic.Walk(n, func(m minic.Node) bool {
+		switch v := m.(type) {
+		case *minic.ExprStmt:
+			walkExpr(v.X, false)
+			return false
+		case *minic.DeclStmt:
+			walkExpr(v.Init, false)
+			return false
+		case *minic.ReturnStmt:
+			walkExpr(v.X, false)
+			return false
+		case *minic.ForStmt:
+			if v.Cond != nil {
+				walkExpr(v.Cond, false)
+			}
+			if v.Post != nil {
+				walkExpr(v.Post, false)
+			}
+			// Init and body are visited as child statements.
+			return true
+		case *minic.WhileStmt:
+			walkExpr(v.Cond, false)
+			return true
+		case *minic.IfStmt:
+			walkExpr(v.Cond, false)
+			return true
+		}
+		return true
+	})
+	return out
+}
+
+// CallsMade returns the set of function names called under n.
+func CallsMade(n minic.Node) map[string]bool {
+	out := make(map[string]bool)
+	minic.Walk(n, func(m minic.Node) bool {
+		if c, ok := m.(*minic.CallExpr); ok {
+			out[c.Fun] = true
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,65 @@
+package tasks
+
+import (
+	"fmt"
+
+	"psaflow/internal/core"
+	"psaflow/internal/perfmodel"
+	"psaflow/internal/platform"
+	"psaflow/internal/query"
+	"psaflow/internal/transform"
+)
+
+// OMPParallelLoops is the "Multi-Thread Parallel Loops" transform: the
+// kernel's parallel outer loop receives an OpenMP parallel-for annotation
+// (with a reduction clause when the dependence analysis found only
+// reductions).
+var OMPParallelLoops = core.TaskFunc{
+	TaskName: "Multi-Thread Parallel Loops", TaskKind: core.Transform,
+	Fn: func(ctx *core.Context, d *core.Design) error {
+		kfn := d.KernelFunc()
+		if kfn == nil {
+			return fmt.Errorf("no kernel extracted")
+		}
+		q := query.New(d.Prog)
+		outer := q.OutermostLoops(kfn)
+		if len(outer) == 0 {
+			return fmt.Errorf("kernel has no loops")
+		}
+		deps := d.Report.OuterDeps
+		if deps == nil {
+			return fmt.Errorf("run loop dependence analysis first")
+		}
+		if !deps.ParallelWithReduction() {
+			return fmt.Errorf("outer loop is not parallelizable: %v", deps.Carried)
+		}
+		pragma := "omp parallel for"
+		for _, r := range deps.Reductions {
+			if !r.Array {
+				pragma += fmt.Sprintf(" reduction(+:%s)", r.Name)
+			}
+		}
+		if err := transform.InsertLoopPragma(outer[0], pragma); err != nil {
+			return err
+		}
+		d.Target = platform.TargetCPU
+		return nil
+	},
+}
+
+// NumThreadsDSE is the "OMP Num. Threads DSE" optimisation: thread counts
+// are swept on the CPU model and the fastest is selected (the paper
+// reports the DSE always lands on the full core count for the five
+// embarrassingly parallel benchmarks).
+var NumThreadsDSE = core.TaskFunc{
+	TaskName: "OMP Num. Threads DSE", TaskKind: core.Optimisation, IsDyn: true,
+	Fn: func(ctx *core.Context, d *core.Design) error {
+		feat := d.Report.Features()
+		threads, t := perfmodel.BestThreads(ctx.CPU, feat)
+		d.NumThreads = threads
+		d.Device = ctx.CPU.Name
+		d.Est = perfmodel.Breakdown{KernelTime: t, Total: t, Note: fmt.Sprintf("%d threads", threads)}
+		d.Tracef("dse", "numthreads", "best=%d time=%.3gs", threads, t)
+		return nil
+	},
+}

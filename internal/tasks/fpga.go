@@ -1,0 +1,139 @@
+package tasks
+
+import (
+	"fmt"
+
+	"psaflow/internal/analysis"
+	"psaflow/internal/core"
+	"psaflow/internal/hls"
+	"psaflow/internal/perfmodel"
+	"psaflow/internal/platform"
+	"psaflow/internal/query"
+	"psaflow/internal/transform"
+)
+
+// GenerateOneAPI is the "Generate oneAPI Design" code-generation task: it
+// marks the design as a CPU+FPGA target; RenderDesign emits the SYCL
+// source once the unroll DSE has fixed the pipeline configuration.
+var GenerateOneAPI = core.TaskFunc{
+	TaskName: "Generate oneAPI Design", TaskKind: core.CodeGen,
+	Fn: func(ctx *core.Context, d *core.Design) error {
+		if d.Kernel == "" {
+			return fmt.Errorf("no kernel extracted")
+		}
+		d.Target = platform.TargetFPGA
+		return nil
+	},
+}
+
+// UnrollFixedLoopsTask is the "Unroll Fixed Loops" FPGA transform: fixed-
+// bound inner loops are fully materialized so they map to spatial
+// pipelines.
+var UnrollFixedLoopsTask = core.TaskFunc{
+	TaskName: "Unroll Fixed Loops", TaskKind: core.Transform,
+	Fn: func(ctx *core.Context, d *core.Design) error {
+		kfn := d.KernelFunc()
+		if kfn == nil {
+			return fmt.Errorf("no kernel extracted")
+		}
+		// Only inner loops: leave the outer pipeline loop rolled. The
+		// transform's fixed-trip test naturally skips the (runtime-bounded)
+		// outer loop; a fixed OUTER loop is protected by unrolling only
+		// when another loop remains, so check first.
+		q := query.New(d.Prog)
+		outer := q.OutermostLoops(kfn)
+		if len(outer) == 1 {
+			if _, fixed := query.FixedTripCount(outer[0]); fixed {
+				// Temporarily make the outer loop non-eligible by limit 0
+				// if it is the only loop; unrolling it away would remove
+				// the pipeline.
+				inner := q.InnerLoops(outer[0])
+				if len(inner) == 0 {
+					return nil
+				}
+			}
+		}
+		n, err := transform.UnrollFixedLoops(d.Prog, kfn, MaterializeUnrollLimit)
+		if err != nil {
+			return err
+		}
+		d.Tracef("note", "unrollfixed", "%d inner loops fully unrolled", n)
+		return nil
+	},
+}
+
+// ZeroCopy is the "Zero-Copy Data Transfer" transform, valid only on
+// devices with unified shared memory (Stratix 10): kernel buffers become
+// USM host allocations streamed by the pipeline.
+func ZeroCopy(dev platform.FPGASpec) core.Task {
+	return core.TaskFunc{
+		TaskName: "Zero-Copy Data Transfer", TaskKind: core.Transform,
+		Fn: func(ctx *core.Context, d *core.Design) error {
+			if !dev.USM {
+				return fmt.Errorf("device %s does not support USM zero-copy", dev.Name)
+			}
+			d.ZeroCopy = true
+			return nil
+		},
+	}
+}
+
+// UnrollUntilOvermap returns the per-device "Unroll Until Overmap DSE"
+// task — the paper's Fig. 2 meta-program: the outer kernel loop's unroll
+// pragma doubles until the estimated LUT utilisation crosses 90%, keeping
+// the last fitting design. If no factor fits (including 1), the design is
+// marked infeasible — exactly what happens to Rush Larsen's CPU+FPGA
+// designs in the paper.
+func UnrollUntilOvermap(dev platform.FPGASpec) core.Task {
+	return core.TaskFunc{
+		TaskName: fmt.Sprintf("%s Unroll Until Overmap DSE", dev.Name),
+		TaskKind: core.Optimisation, IsDyn: true,
+		Fn: func(ctx *core.Context, d *core.Design) error {
+			kfn := d.KernelFunc()
+			if kfn == nil {
+				return fmt.Errorf("no kernel extracted")
+			}
+			q := query.New(d.Prog)
+			outer := q.OutermostLoops(kfn)
+			if len(outer) == 0 {
+				return fmt.Errorf("kernel has no pipeline loop")
+			}
+			loop := outer[0]
+
+			var best *hls.Report
+			bestUnroll := 0
+			for n := 1; n <= 1<<16; n *= 2 {
+				transform.RemoveLoopPragmas(loop, "unroll")
+				if err := transform.InsertLoopPragma(loop, fmt.Sprintf("unroll %d", n)); err != nil {
+					return err
+				}
+				rep := hls.Estimate(d.Prog, kfn, dev, d.Report.PipelinedTrips)
+				d.Tracef("dse", "unroll", "n=%d LUT=%.1f%% DSP=%.1f%% fits=%t",
+					n, rep.LUTUtil*100, rep.DSPUtil*100, rep.Fits)
+				if !rep.Fits {
+					break
+				}
+				best = rep
+				bestUnroll = n
+			}
+			transform.RemoveLoopPragmas(loop, "unroll")
+			if best == nil {
+				d.Infeasible = fmt.Sprintf("kernel overmaps %s even without unrolling", dev.Name)
+				d.Device = dev.Name
+				d.Tracef("dse", "unroll", "design exceeds device capacity; not synthesizable")
+				return nil
+			}
+			if err := transform.InsertLoopPragma(loop, fmt.Sprintf("unroll %d", bestUnroll)); err != nil {
+				return err
+			}
+			d.Report.SpecialDP = analysis.HasDPSpecialCalls(kfn)
+			d.UnrollFactor = bestUnroll
+			d.HLSReport = best
+			d.Device = dev.Name
+			d.Est = perfmodel.FPGATime(dev, best, d.Report.Features(), d.ZeroCopy)
+			d.Tracef("dse", "unroll", "final unroll=%d II=%d est=%.3gs (%s)",
+				bestUnroll, best.II, d.Est.Total, d.Est.Note)
+			return nil
+		},
+	}
+}

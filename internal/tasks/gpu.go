@@ -1,0 +1,160 @@
+package tasks
+
+import (
+	"fmt"
+
+	"psaflow/internal/analysis"
+	"psaflow/internal/core"
+	"psaflow/internal/minic"
+	"psaflow/internal/perfmodel"
+	"psaflow/internal/platform"
+	"psaflow/internal/query"
+	"psaflow/internal/transform"
+)
+
+// GenerateHIP is the "Generate HIP Design" code-generation task: it marks
+// the design as a CPU+GPU target. The concrete source text is rendered by
+// RenderDesign at the end of the device-specific branch, once the
+// blocksize DSE has fixed the launch configuration.
+var GenerateHIP = core.TaskFunc{
+	TaskName: "Generate HIP Design", TaskKind: core.CodeGen,
+	Fn: func(ctx *core.Context, d *core.Design) error {
+		if d.Kernel == "" {
+			return fmt.Errorf("no kernel extracted")
+		}
+		d.Target = platform.TargetGPU
+		return nil
+	},
+}
+
+// PinnedMemory is the "Employ HIP Pinned Memory" transform: host staging
+// buffers become page-locked, raising effective PCIe bandwidth.
+var PinnedMemory = core.TaskFunc{
+	TaskName: "Employ HIP Pinned Memory", TaskKind: core.Transform,
+	Fn: func(ctx *core.Context, d *core.Design) error {
+		d.Pinned = true
+		return nil
+	},
+}
+
+// SinglePrecisionFns rewrites double-precision math calls in the kernel to
+// single-precision forms (the starred "Employ SP Math Fns" task, shared by
+// the GPU and FPGA branches).
+var SinglePrecisionFns = core.TaskFunc{
+	TaskName: "Employ SP Math Fns", TaskKind: core.Transform,
+	Fn: func(ctx *core.Context, d *core.Design) error {
+		kfn := d.KernelFunc()
+		if kfn == nil {
+			return fmt.Errorf("no kernel extracted")
+		}
+		n := transform.SinglePrecisionFns(kfn)
+		d.Tracef("note", "spfns", "%d calls demoted", n)
+		return nil
+	},
+}
+
+// SinglePrecisionLiterals marks kernel float literals single precision
+// (the starred "Employ SP Numeric Literals" task, shared by GPU and FPGA
+// branches). After both SP tasks the kernel counts as single precision for
+// the device models.
+var SinglePrecisionLiterals = core.TaskFunc{
+	TaskName: "Employ SP Numeric Literals", TaskKind: core.Transform,
+	Fn: func(ctx *core.Context, d *core.Design) error {
+		kfn := d.KernelFunc()
+		if kfn == nil {
+			return fmt.Errorf("no kernel extracted")
+		}
+		n := transform.SinglePrecisionLiterals(kfn)
+		d.Report.SinglePrec = true
+		d.Tracef("note", "spliterals", "%d literals demoted", n)
+		return nil
+	},
+}
+
+// SharedMemBuffer is the "Introduce Shared Mem Buf" transform: read-only
+// pointer parameters whose accesses are uniform across the thread block
+// are staged through GPU shared memory.
+var SharedMemBuffer = core.TaskFunc{
+	TaskName: "Introduce Shared Mem Buf", TaskKind: core.Transform,
+	Fn: func(ctx *core.Context, d *core.Design) error {
+		kfn := d.KernelFunc()
+		if kfn == nil {
+			return fmt.Errorf("no kernel extracted")
+		}
+		// Candidates: const pointer parameters that are read more than
+		// once per outer iteration (reuse makes staging worthwhile).
+		reads := query.ArraysRead(kfn.Body)
+		writes := query.ArraysWritten(kfn.Body)
+		var staged []string
+		for _, p := range kfn.Params {
+			if !p.Type.Ptr || !p.Type.Const {
+				continue
+			}
+			if reads[p.Name] && !writes[p.Name] {
+				staged = append(staged, p.Name)
+			}
+		}
+		d.SharedMem = staged
+		d.Tracef("note", "sharedmem", "staged arrays: %v", staged)
+		return nil
+	},
+}
+
+// SpecialisedMathFns is the "Employ Specialised Math Fns" transform:
+// single-precision libm calls become GPU fast-math intrinsics.
+var SpecialisedMathFns = core.TaskFunc{
+	TaskName: "Employ Specialised Math Fns", TaskKind: core.Transform,
+	Fn: func(ctx *core.Context, d *core.Design) error {
+		kfn := d.KernelFunc()
+		if kfn == nil {
+			return fmt.Errorf("no kernel extracted")
+		}
+		n := transform.SpecialisedMathFns(kfn)
+		d.Specialised = n > 0
+		d.Tracef("note", "fastmath", "%d intrinsics installed", n)
+		return nil
+	},
+}
+
+// BlocksizeDSE returns the per-device blocksize design-space exploration
+// task ("GTX 1080 Blocksize DSE" / "RTX 2080 Blocksize DSE"): it sweeps
+// launch block sizes on the device model, selecting the one minimizing
+// design time, and records the device estimate.
+func BlocksizeDSE(dev platform.GPUSpec) core.Task {
+	return core.TaskFunc{
+		TaskName: fmt.Sprintf("%s Blocksize DSE", dev.Name), TaskKind: core.Optimisation, IsDyn: true,
+		Fn: func(ctx *core.Context, d *core.Design) error {
+			if kfn := d.KernelFunc(); kfn != nil {
+				d.Report.SpecialDP = analysis.HasDPSpecialCalls(kfn)
+				d.Report.HeavyFrac = analysis.HeavySpecialFraction(kfn)
+			}
+			feat := d.Report.Features()
+			bs, bd := perfmodel.BestBlocksize(dev, feat, d.Pinned)
+			if bs < 0 {
+				d.Infeasible = "no feasible blocksize"
+				return nil
+			}
+			d.Blocksize = bs
+			d.Device = dev.Name
+			d.Est = bd
+			d.Tracef("dse", "blocksize", "best=%d time=%.3gs (%s)", bs, bd.Total, bd.Note)
+			return nil
+		},
+	}
+}
+
+// verifyKernelStillRuns re-executes the design after kernel transforms; it
+// guards the SP/fast-math rewrites, whose numerics are allowed to drift
+// but whose execution must stay valid.
+var VerifyKernelRuns = core.TaskFunc{
+	TaskName: "Verify Transformed Kernel", TaskKind: core.Analysis, IsDyn: true,
+	Fn: func(ctx *core.Context, d *core.Design) error {
+		if _, err := runWorkload(ctx, d, d.Kernel); err != nil {
+			return fmt.Errorf("transformed kernel fails: %w", err)
+		}
+		return nil
+	},
+}
+
+// ensure minic import is used even if future edits drop direct uses.
+var _ = minic.Print

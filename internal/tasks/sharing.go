@@ -1,0 +1,144 @@
+package tasks
+
+import (
+	"fmt"
+	"sort"
+
+	"psaflow/internal/analysis"
+	"psaflow/internal/core"
+	"psaflow/internal/hls"
+	"psaflow/internal/minic"
+	"psaflow/internal/perfmodel"
+	"psaflow/internal/platform"
+	"psaflow/internal/query"
+	"psaflow/internal/transform"
+)
+
+// Resource sharing is the paper's suggested remedy for Rush Larsen's
+// unsynthesizable CPU+FPGA designs: "additional strategies, like finer
+// partitioning (e.g. loop splitting) and more effective resource area
+// reduction, need to be incorporated into the PSA-flow. However, these
+// adjustments may potentially impact performance negatively." (§IV-B-iii)
+//
+// UnrollUntilOvermapWithSharing extends the Fig. 2 DSE: when even the
+// un-unrolled datapath overmaps the device, fixed inner loops are marked
+// rolled ("#pragma unroll 1") one at a time — largest resource footprint
+// first — so their body is instantiated once and time-multiplexed. The
+// pipeline then pays the loop's trip count (and its carried-dependence
+// initiation interval) per outer iteration, which is exactly the negative
+// performance impact the paper predicts; the ablation experiment
+// quantifies it.
+func UnrollUntilOvermapWithSharing(dev platform.FPGASpec) core.Task {
+	base := UnrollUntilOvermap(dev)
+	return core.TaskFunc{
+		TaskName: fmt.Sprintf("%s Unroll Until Overmap DSE (with resource sharing)", dev.Name),
+		TaskKind: core.Optimisation, IsDyn: true,
+		Fn: func(ctx *core.Context, d *core.Design) error {
+			if err := base.Run(ctx, d); err != nil {
+				return err
+			}
+			if d.Infeasible == "" {
+				return nil // fits without sharing
+			}
+			kfn := d.KernelFunc()
+			if kfn == nil {
+				return fmt.Errorf("no kernel extracted")
+			}
+			shared, extraTrips, err := shareLargestFixedLoops(d.Prog, kfn, dev)
+			if err != nil {
+				return err
+			}
+			if shared == 0 {
+				return nil // nothing to share; stays infeasible
+			}
+			d.Tracef("dse", "sharing", "%d fixed loop(s) rolled; pipeline pays x%.0f trips", shared, extraTrips)
+			// Retry the unroll DSE on the shared datapath.
+			d.Infeasible = ""
+			if err := base.Run(ctx, d); err != nil {
+				return err
+			}
+			if d.Infeasible != "" {
+				return nil
+			}
+			// The pipeline now iterates the shared loops too.
+			rep := *d.HLSReport
+			rep.PipelinedTrips *= extraTrips
+			d.HLSReport = &rep
+			d.Est = perfmodel.FPGATime(dev, d.HLSReport, d.Report.Features(), d.ZeroCopy)
+			d.Tracef("dse", "sharing", "final: unroll=%d II=%d est=%.3gs", d.UnrollFactor, rep.II, d.Est.Total)
+			return nil
+		},
+	}
+}
+
+// shareLargestFixedLoops marks fixed inner loops rolled, biggest datapath
+// first, until the base (unroll=1) design fits the device or no candidate
+// remains. Returns how many loops were shared and the product of their
+// trip counts (the pipeline trip multiplier).
+func shareLargestFixedLoops(prog *minic.Program, kfn *minic.FuncDecl, dev platform.FPGASpec) (int, float64, error) {
+	type candidate struct {
+		loop  minic.Stmt
+		trips int64
+		cost  float64
+	}
+	q := query.New(prog)
+	outer := q.OutermostLoops(kfn)
+	if len(outer) == 0 {
+		return 0, 1, nil
+	}
+	var cands []candidate
+	for _, l := range q.InnerLoops(outer[0]) {
+		trips, fixed := query.FixedTripCount(l)
+		if !fixed || trips <= 1 || analysis.LoopMarkedRolled(l) {
+			continue
+		}
+		body := l.(*minic.ForStmt)
+		ops := analysis.CountOps(body.Body, kfn)
+		// Rough spatial cost: ops weighted by trip count.
+		cands = append(cands, candidate{loop: l, trips: trips, cost: ops.FlopsW * float64(trips)})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].cost > cands[j].cost })
+
+	shared := 0
+	extra := 1.0
+	for _, c := range cands {
+		if err := transform.InsertLoopPragma(c.loop, "unroll 1"); err != nil {
+			return shared, extra, err
+		}
+		shared++
+		extra *= float64(c.trips)
+		rep := hls.Estimate(prog, kfn, dev, 0)
+		if rep.Fits {
+			break
+		}
+	}
+	if shared == 0 {
+		return 0, 1, nil
+	}
+	// Check the final state actually fits at unroll 1.
+	rep := hls.Estimate(prog, kfn, dev, 0)
+	if !rep.Fits {
+		return 0, 1, nil // sharing could not save the design; leave as-is
+	}
+	return shared, extra, nil
+}
+
+// BuildSharingFPGAFlow composes the extended FPGA path used by the
+// resource-sharing ablation: identical to the paper's CPU+FPGA branch but
+// with the sharing-enabled DSE.
+func BuildSharingFPGAFlow(dev platform.FPGASpec) *core.Flow {
+	f := &core.Flow{Name: "fpga-sharing/" + dev.Name}
+	f.AddTask(GenerateOneAPI)
+	// Unlike the default branch, fixed inner loops are NOT materialized in
+	// source: they stay rolled so the sharing DSE can time-multiplex them
+	// (the estimator still prices unshared fixed loops spatially).
+	f.AddTask(SinglePrecisionFns)
+	f.AddTask(SinglePrecisionLiterals)
+	f.AddTask(VerifyKernelRuns)
+	if dev.USM {
+		f.AddTask(ZeroCopy(dev))
+	}
+	f.AddTask(UnrollUntilOvermapWithSharing(dev))
+	f.AddTask(RenderDesign)
+	return f
+}

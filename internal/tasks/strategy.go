@@ -1,0 +1,135 @@
+package tasks
+
+import (
+	"fmt"
+
+	"psaflow/internal/core"
+	"psaflow/internal/perfmodel"
+	"psaflow/internal/platform"
+)
+
+// StrategyConfig tunes the Fig. 3 PSA strategy.
+type StrategyConfig struct {
+	// AIThreshold is the paper's tunable X: kernels with FLOPs/B below it
+	// are memory bound and stay on the CPU.
+	AIThreshold float64
+	// TransferBW is the host-accelerator bandwidth used for the
+	// Tdata_trnsfr estimate at branch point A (before a device is chosen).
+	TransferBW float64
+}
+
+// DefaultStrategy is the configuration used throughout the evaluation.
+var DefaultStrategy = StrategyConfig{
+	AIThreshold: 6.0,
+	TransferBW:  12.0e9,
+}
+
+// pathIndex finds a branch path by name.
+func pathIndex(paths []core.Path, name string) (int, error) {
+	for i, p := range paths {
+		if p.Name == name {
+			return i, nil
+		}
+	}
+	return -1, fmt.Errorf("strategy: no branch path named %q", name)
+}
+
+// InformedSelector implements the example PSA strategy of paper Fig. 3 for
+// branch point A, choosing among "gpu", "fpga", and "cpu" paths:
+//
+//	Tdata_trnsfr < Tcpu AND FLOPs/B > X ?
+//	  no  → outer loop parallel? yes → CPU path, no → terminate
+//	  yes → outer loop parallel?
+//	          no  → FPGA
+//	          yes → inner loops with dependences?
+//	                  no  → GPU
+//	                  yes → fully unrollable? yes → FPGA, no → GPU
+func InformedSelector(cfg StrategyConfig) core.Selector {
+	return core.SelectorFunc{
+		SelName: "informed-fig3",
+		Fn: func(ctx *core.Context, d *core.Design, paths []core.Path, excluded map[int]bool) ([]int, error) {
+			r := d.Report
+			if r.OuterDeps == nil {
+				return nil, fmt.Errorf("strategy requires dependence analysis results")
+			}
+			pick := func(name string) ([]int, error) {
+				i, err := pathIndex(paths, name)
+				if err != nil {
+					return nil, err
+				}
+				if excluded[i] {
+					// Budget feedback ruled this path out; fall back to the
+					// CPU path, then to termination.
+					if cpu, err2 := pathIndex(paths, "cpu"); err2 == nil && !excluded[cpu] && name != "cpu" {
+						d.Tracef("branch", "A", "path %q over budget; revising to cpu", name)
+						return []int{cpu}, nil
+					}
+					return nil, nil
+				}
+				return []int{i}, nil
+			}
+
+			tCPU := perfmodel.CPUTime1(ctx.CPU, r.Features())
+			tData := (r.BytesIn + r.BytesOut) / cfg.TransferBW
+			ai := r.DynamicAI
+			if ai == 0 {
+				ai = r.StaticAI
+			}
+			parallel := r.OuterDeps.ParallelWithReduction()
+
+			d.Tracef("branch", "A", "Tcpu=%.4gs Tdata=%.4gs AI=%.2f (X=%.2f) parallel=%t innerDeps=%d fullyUnrollable=%t",
+				tCPU, tData, ai, cfg.AIThreshold, parallel, r.Unroll.InnerWithDeps, r.Unroll.AllDepsFixed)
+
+			offload := tData < tCPU && ai > cfg.AIThreshold
+			if !offload {
+				if parallel {
+					return pick("cpu")
+				}
+				d.Tracef("branch", "A", "not worth offloading and not parallel: flow terminates")
+				return nil, nil
+			}
+			if !parallel {
+				return pick("fpga")
+			}
+			if r.Unroll.InnerWithDeps == 0 {
+				return pick("gpu")
+			}
+			if r.Unroll.AllDepsFixed {
+				return pick("fpga")
+			}
+			return pick("gpu")
+		},
+	}
+}
+
+// SelectedTarget reports which target class the informed strategy would
+// choose without running a flow — used by tests and the experiment
+// harness to assert branch decisions.
+func SelectedTarget(ctx *core.Context, d *core.Design, cfg StrategyConfig) (platform.TargetKind, bool) {
+	r := d.Report
+	if r.OuterDeps == nil {
+		return 0, false
+	}
+	tCPU := perfmodel.CPUTime1(ctx.CPU, r.Features())
+	tData := (r.BytesIn + r.BytesOut) / cfg.TransferBW
+	ai := r.DynamicAI
+	if ai == 0 {
+		ai = r.StaticAI
+	}
+	parallel := r.OuterDeps.ParallelWithReduction()
+	offload := tData < tCPU && ai > cfg.AIThreshold
+	switch {
+	case !offload && parallel:
+		return platform.TargetCPU, true
+	case !offload:
+		return 0, false
+	case !parallel:
+		return platform.TargetFPGA, true
+	case r.Unroll.InnerWithDeps == 0:
+		return platform.TargetGPU, true
+	case r.Unroll.AllDepsFixed:
+		return platform.TargetFPGA, true
+	default:
+		return platform.TargetGPU, true
+	}
+}

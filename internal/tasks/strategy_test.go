@@ -1,0 +1,135 @@
+package tasks
+
+import (
+	"testing"
+
+	"psaflow/internal/analysis"
+	"psaflow/internal/core"
+	"psaflow/internal/platform"
+)
+
+// mkReport builds a kernel report exercising one cell of the Fig. 3
+// decision table.
+func mkReport(parallel bool, ai float64, bytesIO float64, cycles float64,
+	innerDeps int, allFixed bool) *core.KernelReport {
+	r := &core.KernelReport{
+		HotspotCycles: cycles,
+		KernelFlops:   ai * bytesIO,
+		KernelBytes:   bytesIO,
+		BytesIn:       bytesIO * 0.6,
+		BytesOut:      bytesIO * 0.4,
+		DynamicAI:     ai,
+		OuterTrips:    1e4,
+		Calls:         1,
+		OuterDeps:     &analysis.LoopDeps{},
+	}
+	if !parallel {
+		r.OuterDeps.Carried = []analysis.Dependence{{Kind: analysis.DepScalar, Name: "s"}}
+	}
+	r.Unroll.InnerWithDeps = innerDeps
+	r.Unroll.AllDepsFixed = allFixed
+	return r
+}
+
+func selectFor(t *testing.T, r *core.KernelReport) (platform.TargetKind, bool) {
+	t.Helper()
+	ctx := &core.Context{CPU: platform.EPYC7543}
+	d := &core.Design{Name: "t", Report: r}
+	return SelectedTarget(ctx, d, DefaultStrategy)
+}
+
+// TestStrategyDecisionTable walks every branch of the paper's Fig. 3
+// flowchart.
+func TestStrategyDecisionTable(t *testing.T) {
+	const (
+		bigCycles  = 1e10 // Tcpu large → transfers cheap by comparison
+		tinyCycles = 1    // Tcpu tiny → transfers dominate
+		highAI     = 100
+		lowAI      = 1
+		someBytes  = 1e6
+	)
+	cases := []struct {
+		name   string
+		r      *core.KernelReport
+		want   platform.TargetKind
+		wantOK bool
+	}{
+		{"compute-bound, parallel, no inner deps -> GPU",
+			mkReport(true, highAI, someBytes, bigCycles, 0, false), platform.TargetGPU, true},
+		{"compute-bound, parallel, inner deps fully unrollable -> FPGA",
+			mkReport(true, highAI, someBytes, bigCycles, 1, true), platform.TargetFPGA, true},
+		{"compute-bound, parallel, inner deps NOT unrollable -> GPU",
+			mkReport(true, highAI, someBytes, bigCycles, 2, false), platform.TargetGPU, true},
+		{"compute-bound, serial outer -> FPGA",
+			mkReport(false, highAI, someBytes, bigCycles, 0, false), platform.TargetFPGA, true},
+		{"memory-bound (low AI), parallel -> CPU",
+			mkReport(true, lowAI, someBytes, bigCycles, 0, false), platform.TargetCPU, true},
+		{"transfer-dominated (Tdata > Tcpu), parallel -> CPU",
+			mkReport(true, highAI, 1e9, tinyCycles, 0, false), platform.TargetCPU, true},
+		{"memory-bound AND serial -> terminate",
+			mkReport(false, lowAI, someBytes, bigCycles, 0, false), 0, false},
+	}
+	for _, c := range cases {
+		got, ok := selectFor(t, c.r)
+		if ok != c.wantOK {
+			t.Errorf("%s: ok=%v want %v", c.name, ok, c.wantOK)
+			continue
+		}
+		if ok && got != c.want {
+			t.Errorf("%s: target=%v want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestInformedSelectorPathsAndExclusion drives the Selector interface
+// directly, including the budget-feedback fallback path.
+func TestInformedSelectorPathsAndExclusion(t *testing.T) {
+	sel := InformedSelector(DefaultStrategy)
+	ctx := &core.Context{CPU: platform.EPYC7543}
+	paths := []core.Path{{Name: "gpu"}, {Name: "fpga"}, {Name: "cpu"}}
+
+	d := &core.Design{Name: "x", Report: mkReport(true, 100, 1e6, 1e10, 0, false)}
+	idxs, err := sel.Select(ctx, d, paths, map[int]bool{})
+	if err != nil || len(idxs) != 1 || paths[idxs[0]].Name != "gpu" {
+		t.Fatalf("idxs=%v err=%v, want gpu", idxs, err)
+	}
+	// Budget feedback excluded the GPU: strategy revises to the CPU.
+	idxs, err = sel.Select(ctx, d, paths, map[int]bool{0: true})
+	if err != nil || len(idxs) != 1 || paths[idxs[0]].Name != "cpu" {
+		t.Fatalf("revision idxs=%v err=%v, want cpu", idxs, err)
+	}
+	// Both excluded: terminates.
+	idxs, err = sel.Select(ctx, d, paths, map[int]bool{0: true, 2: true})
+	if err != nil || len(idxs) != 0 {
+		t.Fatalf("exhausted idxs=%v err=%v, want none", idxs, err)
+	}
+}
+
+func TestInformedSelectorRequiresAnalysis(t *testing.T) {
+	sel := InformedSelector(DefaultStrategy)
+	ctx := &core.Context{CPU: platform.EPYC7543}
+	d := &core.Design{Name: "bare", Report: &core.KernelReport{}}
+	if _, err := sel.Select(ctx, d, []core.Path{{Name: "cpu"}}, map[int]bool{}); err == nil {
+		t.Fatal("selector must demand dependence analysis results")
+	}
+}
+
+func TestStrategyMissingPathName(t *testing.T) {
+	sel := InformedSelector(DefaultStrategy)
+	ctx := &core.Context{CPU: platform.EPYC7543}
+	d := &core.Design{Name: "x", Report: mkReport(true, 100, 1e6, 1e10, 0, false)}
+	// No "gpu" path in this branch layout: selector errors rather than
+	// silently picking something else.
+	if _, err := sel.Select(ctx, d, []core.Path{{Name: "cpu"}}, map[int]bool{}); err == nil {
+		t.Fatal("expected error for missing path name")
+	}
+}
+
+func TestStrategyFallsBackToStaticAI(t *testing.T) {
+	r := mkReport(true, 0, 1e6, 1e10, 0, false)
+	r.DynamicAI = 0
+	r.StaticAI = 100
+	if got, ok := selectFor(t, r); !ok || got != platform.TargetGPU {
+		t.Fatalf("static AI fallback: got %v ok=%v", got, ok)
+	}
+}

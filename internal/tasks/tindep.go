@@ -1,0 +1,330 @@
+// Package tasks is the repository of codified design-flow tasks — the Go
+// counterpart of the paper's Fig. 4 left panel. Each task is a
+// self-contained meta-program operating on a core.Design: target-
+// independent analyses and transforms (this file), GPU-specific tasks
+// (gpu.go), FPGA-specific tasks (fpga.go), and CPU/OpenMP tasks (cpu.go).
+package tasks
+
+import (
+	"fmt"
+	"math"
+
+	"psaflow/internal/analysis"
+	"psaflow/internal/core"
+	"psaflow/internal/interp"
+	"psaflow/internal/minic"
+	"psaflow/internal/query"
+	"psaflow/internal/transform"
+)
+
+// FullyUnrollableLimit is the fixed-trip-count threshold under which an
+// inner dependence loop counts as "fully unrollable" on an FPGA (the PSA
+// strategy's test in Fig. 3).
+const FullyUnrollableLimit = 12
+
+// MaterializeUnrollLimit bounds the "Unroll Fixed Loops" transform that
+// spatially materializes fixed inner loops for the FPGA pipeline.
+const MaterializeUnrollLimit = 64
+
+// runWorkload executes the design's current program on the workload,
+// watching the given function (or the entry when watch is "").
+func runWorkload(ctx *core.Context, d *core.Design, watch string) (*interp.Result, error) {
+	if ctx.Workload == nil {
+		return nil, fmt.Errorf("dynamic task requires a workload")
+	}
+	return interp.Run(d.Prog, interp.Config{
+		Entry: ctx.Workload.Entry(),
+		Args:  ctx.Workload.Args(),
+		Watch: watch,
+	})
+}
+
+// IdentifyHotspots is the paper's "Identify Hotspot Loops" dynamic
+// analysis: the application is executed with loop timers and the
+// outermost loop with the largest time share becomes the acceleration
+// candidate.
+var IdentifyHotspots = core.TaskFunc{
+	TaskName: "Identify Hotspot Loops", TaskKind: core.Analysis, IsDyn: true,
+	Fn: func(ctx *core.Context, d *core.Design) error {
+		res, err := runWorkload(ctx, d, "")
+		if err != nil {
+			return err
+		}
+		hs, share := res.Prof.Hotspot()
+		if hs == nil {
+			return fmt.Errorf("no loops executed; nothing to accelerate")
+		}
+		d.Report.HotspotLoopID = hs.ID
+		d.Report.HotspotShare = share
+		d.Report.HotspotCycles = hs.Cycles
+		d.Tracef("note", "hotspot", "loop #%d in %s at %s: %.1f%% of %.3g cycles",
+			hs.ID, hs.Func, hs.Pos, share*100, res.Prof.Cycles)
+		return nil
+	},
+}
+
+// ExtractHotspot is the "Hotspot Loop Extraction" transform: the detected
+// hotspot loop is outlined into an isolated kernel function and replaced
+// by a call (the partitioning stage).
+var ExtractHotspot = core.TaskFunc{
+	TaskName: "Hotspot Loop Extraction", TaskKind: core.Transform,
+	Fn: func(ctx *core.Context, d *core.Design) error {
+		if d.Report.HotspotLoopID == 0 {
+			return fmt.Errorf("run hotspot identification first")
+		}
+		var loop minic.Stmt
+		var host *minic.FuncDecl
+		q := query.New(d.Prog)
+		minic.Walk(d.Prog, func(n minic.Node) bool {
+			if n.ID() == d.Report.HotspotLoopID && query.IsLoop(n) {
+				loop = n.(minic.Stmt)
+			}
+			return loop == nil
+		})
+		if loop == nil {
+			return fmt.Errorf("hotspot loop #%d not found", d.Report.HotspotLoopID)
+		}
+		host = q.EnclosingFunc(loop)
+		if host == nil {
+			return fmt.Errorf("hotspot loop has no enclosing function")
+		}
+		kernelName := d.Name + "_hotspot"
+		kernel, err := transform.ExtractHotspot(d.Prog, host, loop, kernelName)
+		if err != nil {
+			return err
+		}
+		d.Kernel = kernel.Name
+		d.Tracef("note", "extract", "kernel %s(%d params) outlined from %s",
+			kernel.Name, len(kernel.Params), host.Name)
+		return nil
+	},
+}
+
+// PointerAnalysis is the dynamic pointer alias analysis: the application
+// runs with the kernel watched, and any two pointer parameters observed
+// bound to overlapping memory abort accelerator offloading (generated
+// designs assume restrict semantics).
+var PointerAnalysis = core.TaskFunc{
+	TaskName: "Pointer Analysis", TaskKind: core.Analysis, IsDyn: true,
+	Fn: func(ctx *core.Context, d *core.Design) error {
+		if d.Kernel == "" {
+			return fmt.Errorf("no kernel extracted")
+		}
+		res, err := runWorkload(ctx, d, d.Kernel)
+		if err != nil {
+			return err
+		}
+		d.Report.AliasPairs = res.Prof.AliasPairs()
+		if len(d.Report.AliasPairs) > 0 {
+			return fmt.Errorf("kernel pointer parameters alias: %v", d.Report.AliasPairs)
+		}
+		return nil
+	},
+}
+
+// ArithmeticIntensity is the static arithmetic intensity analysis:
+// FLOPs per byte of the kernel datapath, indicating compute- vs
+// memory-bound behaviour.
+var ArithmeticIntensity = core.TaskFunc{
+	TaskName: "Arithmetic Intensity Analysis", TaskKind: core.Analysis,
+	Fn: func(ctx *core.Context, d *core.Design) error {
+		kfn := d.KernelFunc()
+		if kfn == nil {
+			return fmt.Errorf("no kernel extracted")
+		}
+		ops := analysis.WeightedOps(kfn)
+		d.Report.StaticAI = ops.AI()
+		d.Tracef("note", "ai", "static FLOPs/B = %.3f", d.Report.StaticAI)
+		return nil
+	},
+}
+
+// DataInOut is the dynamic data movement analysis: bytes that must reach
+// and leave an accelerator hosting the kernel, plus total kernel traffic.
+var DataInOut = core.TaskFunc{
+	TaskName: "Data In/Out Analysis", TaskKind: core.Analysis, IsDyn: true,
+	Fn: func(ctx *core.Context, d *core.Design) error {
+		if d.Kernel == "" {
+			return fmt.Errorf("no kernel extracted")
+		}
+		res, err := runWorkload(ctx, d, d.Kernel)
+		if err != nil {
+			return err
+		}
+		// Transfer volume: each kernel pointer argument moves its touched
+		// footprint once per direction (offload granularity), not once per
+		// dynamic access. Footprint = unique elements ~ buffer length; we
+		// approximate with the observed element range via traffic element
+		// counts capped by buffer size.
+		var in, out float64
+		for _, t := range res.Prof.ParamTraffic {
+			if t.BytesIn > 0 {
+				in += footprintBytes(res, t, true)
+			}
+			if t.BytesOut > 0 {
+				out += footprintBytes(res, t, false)
+			}
+		}
+		d.Report.BytesIn = in
+		d.Report.BytesOut = out
+		// Device-memory traffic model: on-chip reuse captures temporal
+		// locality, so the DRAM-visible traffic of a kernel is its data
+		// footprint (the same quantity that crosses the host link).
+		d.Report.KernelBytes = in + out
+		d.Report.KernelFlops = float64(res.Prof.WatchFlops)
+		d.Report.SpecialFlops = float64(res.Prof.WatchSpecialFlops)
+		d.Report.HotspotCycles = res.Prof.WatchCycles
+		d.Report.Calls = float64(res.Prof.WatchCalls)
+		// The strategy's FLOPs/B uses the measured footprint (roofline
+		// convention with cache-resident working sets).
+		if in+out > 0 {
+			d.Report.DynamicAI = d.Report.KernelFlops / (in + out)
+		}
+		d.Tracef("note", "datainout", "in=%.0fB out=%.0fB traffic=%.0fB dynAI=%.2f",
+			in, out, d.Report.KernelBytes, d.Report.DynamicAI)
+		return nil
+	},
+}
+
+// footprintBytes estimates the transferred footprint of one pointer
+// parameter: the buffer it was bound to, moved once.
+func footprintBytes(res *interp.Result, t *interp.Traffic, in bool) float64 {
+	for _, binding := range res.Prof.Bindings {
+		if buf, ok := binding[t.Param]; ok {
+			return float64(int64(buf.Len()) * buf.ElemBytes())
+		}
+	}
+	// Fallback: unique-access approximation.
+	if in {
+		return float64(t.BytesIn)
+	}
+	return float64(t.BytesOut)
+}
+
+// LoopDependence is the static loop dependence analysis on the kernel's
+// outer loop, plus the inner-loop unrollability summary the PSA strategy
+// needs.
+var LoopDependence = core.TaskFunc{
+	TaskName: "Loop Dependence Analysis", TaskKind: core.Analysis,
+	Fn: func(ctx *core.Context, d *core.Design) error {
+		kfn := d.KernelFunc()
+		if kfn == nil {
+			return fmt.Errorf("no kernel extracted")
+		}
+		q := query.New(d.Prog)
+		outer := q.OutermostLoops(kfn)
+		if len(outer) == 0 {
+			return fmt.Errorf("kernel has no loops")
+		}
+		d.Report.OuterDeps = analysis.AnalyzeLoop(outer[0])
+		d.Report.Unroll = analysis.AnalyzeUnrollability(q, outer[0], FullyUnrollableLimit)
+		d.Report.RegsEstimate = analysis.RegisterEstimate(kfn)
+		d.Tracef("note", "deps", "outer parallel=%t reductionOnly=%t innerWithDeps=%d allDepsFixed=%t regs=%d",
+			d.Report.OuterDeps.Parallel(), d.Report.OuterDeps.ParallelWithReduction(),
+			d.Report.Unroll.InnerWithDeps, d.Report.Unroll.AllDepsFixed, d.Report.RegsEstimate)
+		return nil
+	},
+}
+
+// TripCount is the dynamic loop trip-count analysis: characterizes the
+// kernel's loop structure (outer trips for thread mapping, pipelined trips
+// and sequential chain depth for the FPGA/GPU models).
+var TripCount = core.TaskFunc{
+	TaskName: "Loop Trip-Count Analysis", TaskKind: core.Analysis, IsDyn: true,
+	Fn: func(ctx *core.Context, d *core.Design) error {
+		kfn := d.KernelFunc()
+		if kfn == nil {
+			return fmt.Errorf("no kernel extracted")
+		}
+		res, err := runWorkload(ctx, d, d.Kernel)
+		if err != nil {
+			return err
+		}
+		q := query.New(d.Prog)
+		outer := q.OutermostLoops(kfn)
+		if len(outer) == 0 {
+			return fmt.Errorf("kernel has no loops")
+		}
+		outerProf := res.Prof.Loops[outer[0].ID()]
+		if outerProf == nil {
+			return fmt.Errorf("outer loop did not execute")
+		}
+		d.Report.OuterTrips = float64(outerProf.Trips)
+
+		// Pipelined trips: the deepest non-fixed loop's total iterations.
+		pipelined := float64(outerProf.Trips)
+		serial := 0.0
+		for _, l := range q.LoopsIn(kfn) {
+			if _, fixed := query.FixedTripCount(l); fixed {
+				continue
+			}
+			lp := res.Prof.Loops[l.ID()]
+			if lp == nil {
+				continue
+			}
+			if float64(lp.Trips) > pipelined {
+				pipelined = float64(lp.Trips)
+			}
+			if l != outer[0] {
+				deps := analysis.AnalyzeLoop(l)
+				if !deps.Parallel() {
+					serial = math.Max(serial, lp.AvgTrips())
+				}
+			}
+		}
+		// Fixed inner dependence loops also serialize GPU threads.
+		for _, l := range q.InnerLoops(outer[0]) {
+			if n, fixed := query.FixedTripCount(l); fixed {
+				deps := analysis.AnalyzeLoop(l)
+				if !deps.Parallel() {
+					serial = math.Max(serial, float64(n))
+				}
+			}
+		}
+		d.Report.PipelinedTrips = pipelined
+		d.Report.SerialDepth = serial
+		d.Tracef("note", "trips", "outer=%.0f pipelined=%.0f serialDepth=%.1f",
+			d.Report.OuterTrips, pipelined, serial)
+		return nil
+	},
+}
+
+// RemovePlusEqDep is the "Remove Array += Dependency" transform: array
+// read-modify-write accumulations with loop-invariant subscripts become
+// scalar accumulations, unblocking HLS pipelining and GPU register
+// allocation. Functional equivalence is re-verified by execution.
+var RemovePlusEqDep = core.TaskFunc{
+	TaskName: "Remove Array += Dependency", TaskKind: core.Transform, IsDyn: true,
+	Fn: func(ctx *core.Context, d *core.Design) error {
+		kfn := d.KernelFunc()
+		if kfn == nil {
+			return fmt.Errorf("no kernel extracted")
+		}
+		n, err := transform.RemovePlusEqDep(d.Prog, kfn)
+		if err != nil {
+			return err
+		}
+		if n > 0 {
+			d.Tracef("note", "plusEq", "%d accumulation(s) rewritten", n)
+			if _, err := runWorkload(ctx, d, d.Kernel); err != nil {
+				return fmt.Errorf("transformed program fails to execute: %w", err)
+			}
+		}
+		return nil
+	},
+}
+
+// TargetIndependent returns the shared front of the implemented PSA-flow
+// (paper Fig. 4, "Target-Indep. Tasks").
+func TargetIndependent() []core.Task {
+	return []core.Task{
+		IdentifyHotspots,
+		ExtractHotspot,
+		PointerAnalysis,
+		ArithmeticIntensity,
+		DataInOut,
+		LoopDependence,
+		TripCount,
+		RemovePlusEqDep,
+	}
+}

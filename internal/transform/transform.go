@@ -1,0 +1,393 @@
+// Package transform implements the source-to-source transformation tasks
+// of the design-flow repository: hotspot loop extraction (outlining),
+// pragma instrumentation, full unrolling of fixed loops, the
+// "Remove Array += Dependency" rewrite, and the single-precision /
+// specialised math-function substitutions. All transforms operate on the
+// MiniC AST in place and keep the program executable so functional
+// equivalence can be verified in the interpreter.
+package transform
+
+import (
+	"fmt"
+
+	"psaflow/internal/minic"
+	"psaflow/internal/query"
+)
+
+// Error describes a transform failure.
+type Error struct {
+	Transform string
+	Msg       string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("transform %s: %s", e.Transform, e.Msg) }
+
+func errf(tr, format string, args ...any) error {
+	return &Error{Transform: tr, Msg: fmt.Sprintf(format, args...)}
+}
+
+// InsertLoopPragma attaches a pragma to a loop (the paper's
+// instrument(before, loop, #pragma ...) primitive).
+func InsertLoopPragma(loop minic.Stmt, text string) error {
+	switch l := loop.(type) {
+	case *minic.ForStmt:
+		l.Pragmas = append(l.Pragmas, text)
+		return nil
+	case *minic.WhileStmt:
+		l.Pragmas = append(l.Pragmas, text)
+		return nil
+	}
+	return errf("InsertLoopPragma", "node %T is not a loop", loop)
+}
+
+// RemoveLoopPragmas removes all pragmas matching the given prefix from a
+// loop; used by DSE drivers between iterations.
+func RemoveLoopPragmas(loop minic.Stmt, prefix string) {
+	filter := func(pragmas []string) []string {
+		out := pragmas[:0]
+		for _, p := range pragmas {
+			if len(p) < len(prefix) || p[:len(prefix)] != prefix {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	switch l := loop.(type) {
+	case *minic.ForStmt:
+		l.Pragmas = filter(l.Pragmas)
+	case *minic.WhileStmt:
+		l.Pragmas = filter(l.Pragmas)
+	}
+}
+
+// freeVar describes a variable used by an extracted region but declared
+// outside it.
+type freeVar struct {
+	name  string
+	typ   minic.Type
+	isPtr bool
+}
+
+// ExtractHotspot outlines the given loop of function host into a new
+// kernel function named kernelName, replacing the loop with a call. Free
+// scalars become value parameters; arrays become pointer parameters.
+// Fails when a free scalar is written inside the loop (live-out scalars
+// would need reference semantics MiniC does not have).
+//
+// This is the paper's "Hotspot Loop Extraction" task: the partitioning
+// step that isolates the kernel for analysis and offloading.
+func ExtractHotspot(prog *minic.Program, host *minic.FuncDecl, loop minic.Stmt, kernelName string) (*minic.FuncDecl, error) {
+	const tr = "ExtractHotspot"
+	if prog.Func(kernelName) != nil {
+		return nil, errf(tr, "function %q already exists", kernelName)
+	}
+	// Declared inside the loop (including the for-init).
+	declared := map[string]bool{}
+	minic.Walk(loop, func(n minic.Node) bool {
+		if d, ok := n.(*minic.DeclStmt); ok {
+			declared[d.Name] = true
+		}
+		return true
+	})
+
+	// Types of names visible in the host function.
+	hostTypes := map[string]minic.Type{}
+	for _, p := range host.Params {
+		hostTypes[p.Name] = p.Type
+	}
+	arrays := map[string]bool{}
+	minic.Walk(host, func(n minic.Node) bool {
+		if d, ok := n.(*minic.DeclStmt); ok {
+			t := d.Type
+			if d.ArrayLen != nil {
+				t.Ptr = true
+				arrays[d.Name] = true
+			}
+			hostTypes[d.Name] = t
+		}
+		return true
+	})
+	for _, p := range host.Params {
+		if p.Type.Ptr {
+			arrays[p.Name] = true
+		}
+	}
+
+	// Free variables of the loop, in first-use order.
+	var free []freeVar
+	seen := map[string]bool{}
+	var liveOutViolation string
+	assigned := query.IdentsAssigned(loop)
+	minic.Walk(loop, func(n minic.Node) bool {
+		id, ok := n.(*minic.Ident)
+		if !ok {
+			return true
+		}
+		name := id.Name
+		if declared[name] || seen[name] {
+			return true
+		}
+		t, known := hostTypes[name]
+		if !known {
+			return true // builtin or function name in call position
+		}
+		seen[name] = true
+		if !t.Ptr && assigned[name] {
+			liveOutViolation = name
+		}
+		free = append(free, freeVar{name: name, typ: t, isPtr: t.Ptr})
+		return true
+	})
+	if liveOutViolation != "" {
+		return nil, errf(tr, "scalar %q is written inside the hotspot and visible outside (live-out)", liveOutViolation)
+	}
+
+	// Build the kernel function.
+	kernel := &minic.FuncDecl{
+		Ret:  minic.Type{Kind: minic.Void},
+		Name: kernelName,
+	}
+	for _, fv := range free {
+		kernel.Params = append(kernel.Params, &minic.Param{Type: fv.typ, Name: fv.name})
+	}
+	body := &minic.Block{Stmts: []minic.Stmt{minic.CloneStmt(loop)}}
+	kernel.Body = body
+
+	// Replace the loop with a call.
+	call := &minic.CallExpr{Fun: kernelName}
+	for _, fv := range free {
+		call.Args = append(call.Args, &minic.Ident{Name: fv.name})
+	}
+	if !minic.ReplaceStmt(host, loop, &minic.ExprStmt{X: call}) {
+		return nil, errf(tr, "loop is not a direct statement of a block in %s", host.Name)
+	}
+	prog.Funcs = append(prog.Funcs, kernel)
+	minic.AssignIDs(prog)
+	return kernel, nil
+}
+
+// substituteIdent replaces every use of name under root with a clone of
+// repl. Declarations of name shadow and stop substitution conservatively:
+// the caller must guarantee no shadowing (unroll checks this).
+func substituteIdent(root minic.Node, name string, repl minic.Expr) {
+	minic.RewriteExprs(root, func(e minic.Expr) minic.Expr {
+		if id, ok := e.(*minic.Ident); ok && id.Name == name {
+			return minic.CloneExpr(repl)
+		}
+		return nil
+	})
+}
+
+// UnrollFixedLoops fully unrolls every for loop in fn (a function of
+// prog) whose trip count is statically known and at most limit,
+// materializing the body once per iteration with the induction variable
+// substituted by its constant value. Nested fixed loops are unrolled
+// innermost-first. Returns the number of loops unrolled.
+//
+// This is the paper's "Unroll Fixed Loops" FPGA task: fully-unrolled
+// fixed-bound inner loops map to spatial pipelines with II=1.
+func UnrollFixedLoops(prog *minic.Program, fn *minic.FuncDecl, limit int64) (int, error) {
+	const tr = "UnrollFixedLoops"
+	count := 0
+	for {
+		q := query.New(prog)
+		loops := q.LoopsIn(fn)
+		var target *minic.ForStmt
+		var trips int64
+		// Pick the deepest eligible loop first.
+		bestDepth := -1
+		for _, l := range loops {
+			fs, ok := l.(*minic.ForStmt)
+			if !ok {
+				continue
+			}
+			n, fixed := query.FixedTripCount(fs)
+			if !fixed || n > limit || n <= 0 {
+				continue
+			}
+			if d := q.LoopDepth(fs); d > bestDepth {
+				bestDepth = d
+				target = fs
+				trips = n
+			}
+		}
+		if target == nil {
+			return count, nil
+		}
+		b, ok := query.Bounds(target)
+		if !ok {
+			return count, errf(tr, "loop lost canonical shape")
+		}
+		lo := b.Lo.(*minic.IntLit).Val
+		// Shadowing check: body must not redeclare the induction variable.
+		shadowed := false
+		minic.Walk(target.Body, func(n minic.Node) bool {
+			if d, ok := n.(*minic.DeclStmt); ok && d.Name == b.Var {
+				shadowed = true
+			}
+			return true
+		})
+		if shadowed {
+			return count, errf(tr, "induction variable %q shadowed in loop body", b.Var)
+		}
+		unrolled := &minic.Block{}
+		for k := int64(0); k < trips; k++ {
+			iterVal := lo + k*b.Step
+			bodyClone := minic.CloneStmt(target.Body).(*minic.Block)
+			substituteIdent(bodyClone, b.Var, &minic.IntLit{Val: iterVal})
+			// Each iteration keeps its own scope so locals declared in the
+			// body stay valid C after materialization.
+			unrolled.Stmts = append(unrolled.Stmts, bodyClone)
+		}
+		if !minic.ReplaceStmt(fn, target, unrolled) {
+			return count, errf(tr, "failed to replace loop in %s", fn.Name)
+		}
+		minic.AssignIDs(prog)
+		count++
+	}
+}
+
+// RemovePlusEqDep rewrites accumulations of the form
+//
+//	for (j ...) { A[sub] += rhs; }   // sub invariant in j
+//
+// inside fn into a scalar accumulation with a single load before and a
+// single store after the loop, removing the array read-modify-write
+// dependence that blocks HLS pipelining and GPU register allocation.
+// Returns the number of rewrites performed.
+func RemovePlusEqDep(prog *minic.Program, fn *minic.FuncDecl) (int, error) {
+	count := 0
+	q := query.New(prog)
+	for _, l := range q.LoopsIn(fn) {
+		inner, ok := l.(*minic.ForStmt)
+		if !ok {
+			continue
+		}
+		v := query.LoopVar(inner)
+		if v == "" {
+			continue
+		}
+		// Find direct-body statements A[sub] += rhs with sub invariant in v.
+		for _, s := range inner.Body.Stmts {
+			es, ok := s.(*minic.ExprStmt)
+			if !ok {
+				continue
+			}
+			as, ok := es.X.(*minic.AssignExpr)
+			if !ok || as.Op != minic.TokPlusEq {
+				continue
+			}
+			ix, ok := as.LHS.(*minic.IndexExpr)
+			if !ok {
+				continue
+			}
+			if usesVar(ix.Index, v) {
+				continue // subscript varies with the loop: already fine
+			}
+			base, ok := ix.Base.(*minic.Ident)
+			if !ok {
+				continue
+			}
+			accName := fmt.Sprintf("acc_%s_%d", base.Name, count)
+			// double acc = A[sub];
+			decl := &minic.DeclStmt{
+				Type: minic.Type{Kind: minic.Double},
+				Name: accName,
+				Init: minic.CloneExpr(ix),
+			}
+			// acc += rhs;
+			as.LHS = &minic.Ident{Name: accName}
+			// A[sub] = acc;  (after the loop)
+			store := &minic.ExprStmt{X: &minic.AssignExpr{
+				Op:  minic.TokAssign,
+				LHS: minic.CloneExpr(ix),
+				RHS: &minic.Ident{Name: accName},
+			}}
+			if !minic.InsertBefore(fn, inner, decl) {
+				return count, errf("RemovePlusEqDep", "loop is not a direct block statement")
+			}
+			if !minic.InsertAfter(fn, inner, store) {
+				return count, errf("RemovePlusEqDep", "loop is not a direct block statement")
+			}
+			count++
+		}
+	}
+	if count > 0 {
+		minic.AssignIDs(prog)
+	}
+	return count, nil
+}
+
+func usesVar(e minic.Expr, v string) bool {
+	found := false
+	minic.Walk(e, func(n minic.Node) bool {
+		if id, ok := n.(*minic.Ident); ok && id.Name == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// spFnMap maps double-precision libm names to their single-precision
+// counterparts.
+var spFnMap = map[string]string{
+	"sqrt": "sqrtf", "exp": "expf", "log": "logf", "pow": "powf",
+	"sin": "sinf", "cos": "cosf", "tanh": "tanhf", "erf": "erff",
+	"fabs": "fabsf", "floor": "floorf", "fmin": "fminf", "fmax": "fmaxf",
+}
+
+// specialisedFnMap maps single-precision libm names to GPU fast-math
+// intrinsics (the paper's "Employ Specialised Math Fns" HIP task).
+var specialisedFnMap = map[string]string{
+	"expf": "__expf", "logf": "__logf", "powf": "__powf",
+	"sinf": "__sinf", "cosf": "__cosf", "sqrtf": "__fsqrt_rn",
+}
+
+// SinglePrecisionFns rewrites double-precision math calls in fn to their
+// single-precision forms. Returns the number of calls rewritten.
+func SinglePrecisionFns(fn *minic.FuncDecl) int {
+	count := 0
+	minic.RewriteExprs(fn, func(e minic.Expr) minic.Expr {
+		if c, ok := e.(*minic.CallExpr); ok {
+			if sp, ok := spFnMap[c.Fun]; ok {
+				c.Fun = sp
+				count++
+			}
+		}
+		return nil
+	})
+	return count
+}
+
+// SinglePrecisionLiterals marks every double literal in fn as single
+// precision (1.5 → 1.5f). Returns the number of literals rewritten.
+func SinglePrecisionLiterals(fn *minic.FuncDecl) int {
+	count := 0
+	minic.RewriteExprs(fn, func(e minic.Expr) minic.Expr {
+		if fl, ok := e.(*minic.FloatLit); ok && !fl.Single {
+			fl.Single = true
+			count++
+		}
+		return nil
+	})
+	return count
+}
+
+// SpecialisedMathFns rewrites single-precision math calls to GPU
+// fast-math intrinsics. Returns the number of calls rewritten. Run
+// SinglePrecisionFns first.
+func SpecialisedMathFns(fn *minic.FuncDecl) int {
+	count := 0
+	minic.RewriteExprs(fn, func(e minic.Expr) minic.Expr {
+		if c, ok := e.(*minic.CallExpr); ok {
+			if sp, ok := specialisedFnMap[c.Fun]; ok {
+				c.Fun = sp
+				count++
+			}
+		}
+		return nil
+	})
+	return count
+}

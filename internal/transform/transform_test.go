@@ -1,0 +1,394 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+
+	"psaflow/internal/interp"
+	"psaflow/internal/minic"
+	"psaflow/internal/query"
+)
+
+const hostSrc = `
+void app(int n, const double *in, double *out) {
+    double bias = 0.5;
+    for (int i = 0; i < n; i++) {
+        out[i] = in[i] * 2.0 + bias;
+    }
+    out[0] = out[0] + 1.0;
+}
+`
+
+// runApp executes the app function and returns the out buffer contents.
+func runApp(t *testing.T, prog *minic.Program) []float64 {
+	t.Helper()
+	n := 8
+	in := interp.NewFloatBuffer("in", minic.Double, make([]float64, n))
+	out := interp.NewFloatBuffer("out", minic.Double, make([]float64, n))
+	for i := 0; i < n; i++ {
+		in.F[i] = float64(i) * 1.5
+	}
+	_, err := interp.Run(prog, interp.Config{
+		Entry: "app",
+		Args:  []interp.Value{interp.IntVal(int64(n)), interp.BufVal(in), interp.BufVal(out)},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return append([]float64(nil), out.F...)
+}
+
+func TestExtractHotspot(t *testing.T) {
+	ref := minic.MustParse(hostSrc)
+	want := runApp(t, ref)
+
+	prog := minic.MustParse(hostSrc)
+	host := prog.MustFunc("app")
+	q := query.New(prog)
+	loop := q.OutermostLoops(host)[0]
+	kernel, err := ExtractHotspot(prog, host, loop, "app_hotspot")
+	if err != nil {
+		t.Fatalf("ExtractHotspot: %v", err)
+	}
+	if kernel.Name != "app_hotspot" || prog.Func("app_hotspot") == nil {
+		t.Fatal("kernel not registered")
+	}
+	// Parameters: n, in, out, bias (first-use order: i<n, in[i], bias, out[i]... ).
+	names := map[string]bool{}
+	for _, p := range kernel.Params {
+		names[p.Name] = true
+	}
+	for _, want := range []string{"n", "in", "out", "bias"} {
+		if !names[want] {
+			t.Errorf("kernel params missing %q: %v", want, names)
+		}
+	}
+	// Functional equivalence.
+	got := runApp(t, prog)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("out[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// The host now calls the kernel instead of looping.
+	src := minic.Print(prog)
+	if !strings.Contains(src, "app_hotspot(n, in, out, bias);") &&
+		!strings.Contains(src, "app_hotspot(") {
+		t.Errorf("host does not call kernel:\n%s", src)
+	}
+	qq := query.New(prog)
+	if len(qq.LoopsIn(prog.MustFunc("app"))) != 0 {
+		t.Error("host should have no loops after extraction")
+	}
+}
+
+func TestExtractHotspotLiveOutScalar(t *testing.T) {
+	src := `
+void app(int n, double *out) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) {
+        s += out[i];
+    }
+    out[0] = s;
+}
+`
+	prog := minic.MustParse(src)
+	host := prog.MustFunc("app")
+	q := query.New(prog)
+	loop := q.OutermostLoops(host)[0]
+	if _, err := ExtractHotspot(prog, host, loop, "k"); err == nil {
+		t.Fatal("expected live-out scalar error")
+	} else if !strings.Contains(err.Error(), "live-out") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExtractHotspotNameCollision(t *testing.T) {
+	prog := minic.MustParse(hostSrc)
+	host := prog.MustFunc("app")
+	q := query.New(prog)
+	loop := q.OutermostLoops(host)[0]
+	if _, err := ExtractHotspot(prog, host, loop, "app"); err == nil {
+		t.Fatal("expected name collision error")
+	}
+}
+
+func TestInsertAndRemoveLoopPragma(t *testing.T) {
+	prog := minic.MustParse(hostSrc)
+	q := query.New(prog)
+	loop := q.OutermostLoops(prog.MustFunc("app"))[0]
+	if err := InsertLoopPragma(loop, "unroll 4"); err != nil {
+		t.Fatalf("InsertLoopPragma: %v", err)
+	}
+	if err := InsertLoopPragma(loop, "omp parallel for"); err != nil {
+		t.Fatalf("InsertLoopPragma: %v", err)
+	}
+	out := minic.Print(prog)
+	if !strings.Contains(out, "#pragma unroll 4") || !strings.Contains(out, "#pragma omp parallel for") {
+		t.Fatalf("pragmas missing:\n%s", out)
+	}
+	RemoveLoopPragmas(loop, "unroll")
+	out = minic.Print(prog)
+	if strings.Contains(out, "#pragma unroll") {
+		t.Fatalf("unroll pragma not removed:\n%s", out)
+	}
+	if !strings.Contains(out, "#pragma omp parallel for") {
+		t.Fatalf("unrelated pragma removed:\n%s", out)
+	}
+}
+
+func TestInsertLoopPragmaNonLoop(t *testing.T) {
+	prog := minic.MustParse(hostSrc)
+	stmt := prog.MustFunc("app").Body.Stmts[0]
+	if err := InsertLoopPragma(stmt, "unroll"); err == nil {
+		t.Fatal("expected error for non-loop")
+	}
+}
+
+const unrollSrc = `
+void k(const double *w, double *out) {
+    for (int i = 0; i < 3; i++) {
+        out[i] = w[i] * 2.0;
+    }
+}
+`
+
+func TestUnrollFixedLoops(t *testing.T) {
+	prog := minic.MustParse(unrollSrc)
+	fn := prog.MustFunc("k")
+	n, err := UnrollFixedLoops(prog, fn, 16)
+	if err != nil {
+		t.Fatalf("UnrollFixedLoops: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("unrolled %d loops, want 1", n)
+	}
+	out := minic.Print(prog)
+	for _, want := range []string{"out[0] = w[0] * 2.0;", "out[1] = w[1] * 2.0;", "out[2] = w[2] * 2.0;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "for (") {
+		t.Errorf("loop should be gone:\n%s", out)
+	}
+}
+
+func TestUnrollFixedLoopsEquivalence(t *testing.T) {
+	src := `
+void k(int n, const double *w, double *out) {
+    for (int i = 0; i < n; i++) {
+        double acc = 0.0;
+        for (int j = 0; j < 4; j++) {
+            acc += w[j] * (double)(j + 1);
+        }
+        out[i] = acc + (double)i;
+    }
+}
+`
+	mk := func() ([]interp.Value, *interp.Buffer) {
+		w := interp.NewFloatBuffer("w", minic.Double, []float64{1, 2, 3, 4})
+		out := interp.NewFloatBuffer("out", minic.Double, make([]float64, 5))
+		return []interp.Value{interp.IntVal(5), interp.BufVal(w), interp.BufVal(out)}, out
+	}
+	ref := minic.MustParse(src)
+	argsRef, outRef := mk()
+	if _, err := interp.Run(ref, interp.Config{Entry: "k", Args: argsRef}); err != nil {
+		t.Fatal(err)
+	}
+	prog := minic.MustParse(src)
+	if n, err := UnrollFixedLoops(prog, prog.MustFunc("k"), 8); err != nil || n != 1 {
+		t.Fatalf("unroll: n=%d err=%v", n, err)
+	}
+	argsNew, outNew := mk()
+	if _, err := interp.Run(prog, interp.Config{Entry: "k", Args: argsNew}); err != nil {
+		t.Fatalf("unrolled program failed: %v\n%s", err, minic.Print(prog))
+	}
+	for i := range outRef.F {
+		if outRef.F[i] != outNew.F[i] {
+			t.Fatalf("out[%d]: %v != %v", i, outRef.F[i], outNew.F[i])
+		}
+	}
+}
+
+func TestUnrollNestedFixedLoops(t *testing.T) {
+	src := `
+void k(double *out) {
+    for (int i = 0; i < 2; i++) {
+        for (int j = 0; j < 2; j++) {
+            out[i * 2 + j] = (double)(i * 10 + j);
+        }
+    }
+}
+`
+	prog := minic.MustParse(src)
+	n, err := UnrollFixedLoops(prog, prog.MustFunc("k"), 4)
+	if err != nil {
+		t.Fatalf("UnrollFixedLoops: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("unrolled %d, want 2 (inner then outer)", n)
+	}
+	out := interp.NewFloatBuffer("out", minic.Double, make([]float64, 4))
+	if _, err := interp.Run(prog, interp.Config{Entry: "k", Args: []interp.Value{interp.BufVal(out)}}); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 1, 10, 11}
+	for i := range want {
+		if out.F[i] != want[i] {
+			t.Fatalf("out = %v, want %v", out.F, want)
+		}
+	}
+}
+
+func TestUnrollRespectsLimit(t *testing.T) {
+	prog := minic.MustParse(`void k(double *out) { for (int i = 0; i < 100; i++) { out[i] = 0.0; } }`)
+	n, err := UnrollFixedLoops(prog, prog.MustFunc("k"), 16)
+	if err != nil || n != 0 {
+		t.Fatalf("n=%d err=%v, want 0 unrolls", n, err)
+	}
+}
+
+func TestRemovePlusEqDep(t *testing.T) {
+	src := `
+void k(int n, int m, const double *w, double *out) {
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < m; j++) {
+            out[i] += w[i * m + j];
+        }
+    }
+}
+`
+	mk := func() ([]interp.Value, *interp.Buffer) {
+		w := interp.NewFloatBuffer("w", minic.Double, []float64{1, 2, 3, 4, 5, 6})
+		out := interp.NewFloatBuffer("out", minic.Double, make([]float64, 2))
+		return []interp.Value{interp.IntVal(2), interp.IntVal(3), interp.BufVal(w), interp.BufVal(out)}, out
+	}
+	ref := minic.MustParse(src)
+	argsRef, outRef := mk()
+	if _, err := interp.Run(ref, interp.Config{Entry: "k", Args: argsRef}); err != nil {
+		t.Fatal(err)
+	}
+
+	prog := minic.MustParse(src)
+	count, err := RemovePlusEqDep(prog, prog.MustFunc("k"))
+	if err != nil {
+		t.Fatalf("RemovePlusEqDep: %v", err)
+	}
+	if count != 1 {
+		t.Fatalf("count = %d, want 1", count)
+	}
+	out := minic.Print(prog)
+	if !strings.Contains(out, "acc_out_0") {
+		t.Fatalf("accumulator not introduced:\n%s", out)
+	}
+	// The inner loop body must no longer touch the array.
+	if strings.Contains(out, "out[i] +=") {
+		t.Fatalf("array += still present:\n%s", out)
+	}
+	argsNew, outNew := mk()
+	if _, err := interp.Run(prog, interp.Config{Entry: "k", Args: argsNew}); err != nil {
+		t.Fatalf("transformed program failed: %v\n%s", err, minic.Print(prog))
+	}
+	for i := range outRef.F {
+		if outRef.F[i] != outNew.F[i] {
+			t.Fatalf("out[%d]: %v != %v", i, outRef.F[i], outNew.F[i])
+		}
+	}
+}
+
+func TestRemovePlusEqDepSkipsVaryingSubscript(t *testing.T) {
+	src := `
+void k(int n, const double *w, double *out) {
+    for (int j = 0; j < n; j++) {
+        out[j] += w[j];
+    }
+}
+`
+	prog := minic.MustParse(src)
+	count, err := RemovePlusEqDep(prog, prog.MustFunc("k"))
+	if err != nil || count != 0 {
+		t.Fatalf("count=%d err=%v, want 0 (subscript varies with loop)", count, err)
+	}
+}
+
+func TestSinglePrecisionFns(t *testing.T) {
+	prog := minic.MustParse(`double k(double x) { return sqrt(x) + exp(x) * pow(x, 2.0) - fabs(x); }`)
+	n := SinglePrecisionFns(prog.MustFunc("k"))
+	if n != 4 {
+		t.Fatalf("rewrote %d calls, want 4", n)
+	}
+	out := minic.Print(prog)
+	for _, want := range []string{"sqrtf(", "expf(", "powf(", "fabsf("} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestSinglePrecisionLiterals(t *testing.T) {
+	prog := minic.MustParse(`double k(double x) { return x * 2.5 + 0.5f - 1.0; }`)
+	n := SinglePrecisionLiterals(prog.MustFunc("k"))
+	if n != 2 {
+		t.Fatalf("rewrote %d literals, want 2", n)
+	}
+	out := minic.Print(prog)
+	if !strings.Contains(out, "2.5f") || !strings.Contains(out, "1.0f") {
+		t.Fatalf("literals not converted:\n%s", out)
+	}
+}
+
+func TestSpecialisedMathFns(t *testing.T) {
+	prog := minic.MustParse(`float k(float x) { return expf(x) + sqrtf(x) * logf(x); }`)
+	n := SpecialisedMathFns(prog.MustFunc("k"))
+	if n != 3 {
+		t.Fatalf("rewrote %d calls, want 3", n)
+	}
+	out := minic.Print(prog)
+	for _, want := range []string{"__expf(", "__fsqrt_rn(", "__logf("} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestSPPipelineEquivalenceApprox(t *testing.T) {
+	// SP demotion changes numerics slightly but must stay close.
+	src := `
+void k(int n, const double *in, double *out) {
+    for (int i = 0; i < n; i++) {
+        out[i] = sqrt(in[i] * 2.0 + 1.0);
+    }
+}
+`
+	mk := func() ([]interp.Value, *interp.Buffer) {
+		n := 6
+		in := interp.NewFloatBuffer("in", minic.Double, make([]float64, n))
+		out := interp.NewFloatBuffer("out", minic.Double, make([]float64, n))
+		for i := 0; i < n; i++ {
+			in.F[i] = float64(i) * 0.7
+		}
+		return []interp.Value{interp.IntVal(int64(n)), interp.BufVal(in), interp.BufVal(out)}, out
+	}
+	ref := minic.MustParse(src)
+	argsRef, outRef := mk()
+	if _, err := interp.Run(ref, interp.Config{Entry: "k", Args: argsRef}); err != nil {
+		t.Fatal(err)
+	}
+	prog := minic.MustParse(src)
+	SinglePrecisionFns(prog.MustFunc("k"))
+	SinglePrecisionLiterals(prog.MustFunc("k"))
+	argsNew, outNew := mk()
+	if _, err := interp.Run(prog, interp.Config{Entry: "k", Args: argsNew}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range outRef.F {
+		rel := outRef.F[i] - outNew.F[i]
+		if rel < 0 {
+			rel = -rel
+		}
+		if outRef.F[i] != 0 && rel/outRef.F[i] > 1e-5 {
+			t.Fatalf("out[%d] drifted: %v vs %v", i, outRef.F[i], outNew.F[i])
+		}
+	}
+}
