@@ -6,9 +6,12 @@
 //
 // Usage:
 //
-//	psabench [-fig5] [-table1] [-fig6] [-ablate] [-json out.json] [-v]
+//	psabench [-fig5] [-table1] [-fig6] [-ablate] [-json out.json]
+//	         [-metrics] [-metrics-json out.json] [-v]
 //
-// With no selection flags, everything runs.
+// With no selection flags, everything runs. -metrics prints a flow
+// telemetry report (per-task wall clock plus interp/DSE/HLS counters)
+// for the experiment runs; -metrics-json writes the same report as JSON.
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"os"
 
 	"psaflow/internal/experiments"
+	"psaflow/internal/telemetry"
 )
 
 func main() {
@@ -25,6 +29,8 @@ func main() {
 	fig6 := flag.Bool("fig6", false, "reproduce Fig. 6 (FPGA vs GPU cost trade-off)")
 	ablate := flag.Bool("ablate", false, "run the optimisation-task ablation study")
 	jsonOut := flag.String("json", "", "also write the selected results as JSON to this file")
+	metrics := flag.Bool("metrics", false, "print a flow telemetry report (timings + counters)")
+	metricsJSON := flag.String("metrics-json", "", "write the flow telemetry report as JSON to this file")
 	verbose := flag.Bool("v", false, "log flow execution")
 	flag.Parse()
 
@@ -36,10 +42,15 @@ func main() {
 		}
 	}
 
+	var rec *telemetry.Recorder
+	if *metrics || *metricsJSON != "" {
+		rec = telemetry.New()
+	}
+
 	var fig5Rows []experiments.Fig5Row
 	needFig5 := all || *fig5 || *fig6
 	if needFig5 {
-		rows, err := experiments.RunFig5(logf)
+		rows, err := experiments.RunFig5Recorded(logf, rec)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fig5:", err)
 			os.Exit(1)
@@ -109,5 +120,24 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+
+	if rec != nil {
+		rep := rec.Snapshot()
+		if *metrics {
+			fmt.Println(rep.Text())
+		}
+		if *metricsJSON != "" {
+			data, err := rep.JSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "metrics-json:", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*metricsJSON, data, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "metrics-json:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *metricsJSON)
+		}
 	}
 }

@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	psaflow -bench nbody [-mode informed|uninformed] [-trace] [-emit] [-v]
+//	psaflow -bench nbody [-mode informed|uninformed] [-trace] [-emit]
+//	        [-metrics] [-metrics-json out.json] [-v]
 //	psaflow -list
 package main
 
@@ -17,6 +18,7 @@ import (
 	"psaflow/internal/bench"
 	"psaflow/internal/experiments"
 	"psaflow/internal/tasks"
+	"psaflow/internal/telemetry"
 )
 
 func main() {
@@ -27,6 +29,8 @@ func main() {
 	trace := flag.Bool("trace", false, "print the provenance trace of each design")
 	emit := flag.Bool("emit", false, "print the generated target source of each design")
 	outDir := flag.String("out", "", "export each design (source, trace, summary) under this directory")
+	metrics := flag.Bool("metrics", false, "print a flow telemetry report (timings + counters)")
+	metricsJSON := flag.String("metrics-json", "", "write the flow telemetry report as JSON to this file")
 	verbose := flag.Bool("v", false, "log flow execution")
 	flag.Parse()
 
@@ -59,8 +63,13 @@ func main() {
 		}
 	}
 
-	results, err := experiments.RunBenchmarkOpts(b,
-		tasks.FlowOptions{Mode: m, Strategy: tasks.DefaultStrategy, ResourceSharing: *sharing}, logf)
+	var rec *telemetry.Recorder
+	if *metrics || *metricsJSON != "" {
+		rec = telemetry.New()
+	}
+
+	results, err := experiments.RunBenchmarkRecorded(b,
+		tasks.FlowOptions{Mode: m, Strategy: tasks.DefaultStrategy, ResourceSharing: *sharing}, logf, rec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -109,5 +118,24 @@ func main() {
 			fmt.Printf("  exported to %s\n", dir)
 		}
 		fmt.Println()
+	}
+
+	if rec != nil {
+		rep := rec.Snapshot()
+		if *metrics {
+			fmt.Println(rep.Text())
+		}
+		if *metricsJSON != "" {
+			data, err := rep.JSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "metrics-json:", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*metricsJSON, data, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "metrics-json:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *metricsJSON)
+		}
 	}
 }

@@ -59,6 +59,19 @@ type LoopDeps struct {
 	Reductions []Reduction
 }
 
+// Clone returns an independent deep copy: forked designs must not share
+// the dependence/reduction slices with the original (parallel branch
+// paths would otherwise race on the backing arrays).
+func (d *LoopDeps) Clone() *LoopDeps {
+	if d == nil {
+		return nil
+	}
+	nd := *d
+	nd.Carried = append([]Dependence(nil), d.Carried...)
+	nd.Reductions = append([]Reduction(nil), d.Reductions...)
+	return &nd
+}
+
 // Parallel reports whether the loop has no carried dependences at all.
 func (d *LoopDeps) Parallel() bool {
 	return len(d.Carried) == 0 && len(d.Reductions) == 0

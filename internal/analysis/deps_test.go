@@ -257,3 +257,23 @@ func TestAnalyzeUnrollability(t *testing.T) {
 		t.Fatalf("500-trip dep loop above limit 64 must not be fully unrollable: %+v", u3)
 	}
 }
+
+func TestLoopDepsClone(t *testing.T) {
+	var nilDeps *LoopDeps
+	if nilDeps.Clone() != nil {
+		t.Error("nil clone must stay nil")
+	}
+	d := &LoopDeps{
+		LoopID:     3,
+		Var:        "i",
+		Carried:    []Dependence{{Kind: DepScalar, Name: "s", Detail: "x"}},
+		Reductions: []Reduction{{Name: "acc"}},
+	}
+	c := d.Clone()
+	c.Carried[0].Name = "mutated"
+	c.Reductions[0].Name = "mutated"
+	c.Carried = append(c.Carried, Dependence{Kind: DepUnknown})
+	if d.Carried[0].Name != "s" || d.Reductions[0].Name != "acc" || len(d.Carried) != 1 {
+		t.Errorf("clone shares slices with original: %+v", d)
+	}
+}

@@ -145,17 +145,38 @@ func (d *Design) Tracef(kind, name, format string, args ...any) {
 	d.Trace = append(d.Trace, TraceEvent{Kind: kind, Name: name, Detail: fmt.Sprintf(format, args...)})
 }
 
-// Fork deep-copies the design for a branch path. The report is copied by
-// value (analysis results are immutable snapshots); the program is cloned.
+// Clone returns an independent deep copy of the report. A plain struct
+// copy is not enough: AliasPairs shares its backing array and OuterDeps
+// is a pointer, so two forks mutating either would race (or silently
+// cross-contaminate analyses) when branch paths run in parallel.
+func (r *KernelReport) Clone() *KernelReport {
+	if r == nil {
+		return nil
+	}
+	nr := *r
+	nr.AliasPairs = append([][2]string(nil), r.AliasPairs...)
+	nr.OuterDeps = r.OuterDeps.Clone()
+	return &nr
+}
+
+// Fork deep-copies the design for a branch path: the program, the report
+// (including its alias/dependence results), the provenance trace, and the
+// per-design artifacts. Forks share no mutable state, so parallel branch
+// paths can work on them concurrently.
 func (d *Design) Fork() *Design {
 	nd := *d
 	nd.Prog = d.Prog.Clone()
-	if d.Report != nil {
-		rep := *d.Report
-		nd.Report = &rep
-	}
+	nd.Report = d.Report.Clone()
 	nd.Trace = append([]TraceEvent(nil), d.Trace...)
 	nd.SharedMem = append([]string(nil), d.SharedMem...)
+	if d.HLSReport != nil {
+		rep := *d.HLSReport
+		nd.HLSReport = &rep
+	}
+	if d.Artifact != nil {
+		art := *d.Artifact
+		nd.Artifact = &art
+	}
 	return &nd
 }
 

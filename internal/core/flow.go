@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"psaflow/internal/platform"
+	"psaflow/internal/telemetry"
 )
 
 // TaskKind classifies tasks as in the paper's Fig. 4 legend.
@@ -49,8 +50,19 @@ type Context struct {
 	// on its own design fork; Workload.Args must allocate fresh buffers per
 	// call, which every bundled workload does). Results keep path order.
 	Parallel bool
+	// Telemetry records hierarchical flow-run spans (flow → branch → path
+	// → task) and named counters from the hot layers. Nil disables
+	// recording at zero cost; the recorder is race-safe, so it can be
+	// shared by parallel branch paths.
+	Telemetry *telemetry.Recorder
 
 	logMu sync.Mutex
+}
+
+// Count increments a named telemetry counter; no-op without a recorder.
+// Tasks use this to report DSE iterations and other per-run quantities.
+func (c *Context) Count(name string, delta int64) {
+	c.Telemetry.Add(name, delta)
 }
 
 func (c *Context) logf(format string, args ...any) {
@@ -203,18 +215,33 @@ func (e *FlowError) Unwrap() error { return e.Err }
 // overmap) are still returned, marked via Design.Infeasible, so harnesses
 // can report them as the paper does ("n/a" bars).
 func (f *Flow) Run(ctx *Context, d *Design) ([]*Design, error) {
+	span := ctx.Telemetry.StartSpan(nil, telemetry.KindFlow, f.Name)
+	defer span.End()
+	return f.run(ctx, d, span)
+}
+
+// run executes the flow's nodes with telemetry attached under parent
+// (sub-flows of a branch path attach to the path's span).
+func (f *Flow) run(ctx *Context, d *Design, parent *telemetry.Span) ([]*Design, error) {
 	designs := []*Design{d}
 	for _, node := range f.Nodes {
 		switch n := node.(type) {
 		case Step:
-			next := designs[:0]
+			// A fresh output slice: reusing designs[:0] would alias the
+			// input's backing array, corrupting not-yet-visited designs the
+			// moment a step drops or expands entries.
+			next := make([]*Design, 0, len(designs))
 			for _, cur := range designs {
 				if cur.Infeasible != "" {
 					next = append(next, cur)
 					continue
 				}
 				ctx.logf("  task %-32s (%s) on %s", n.Task.Name(), n.Task.Kind(), cur.Label())
-				if err := n.Task.Run(ctx, cur); err != nil {
+				span := ctx.Telemetry.StartSpan(parent, telemetry.KindTask, n.Task.Name())
+				span.SetDetail(cur.Label())
+				err := n.Task.Run(ctx, cur)
+				span.End()
+				if err != nil {
 					return nil, &FlowError{Flow: f.Name, Task: n.Task.Name(), Err: err}
 				}
 				cur.Tracef("task", n.Task.Name(), "%s", n.Task.Kind())
@@ -222,13 +249,13 @@ func (f *Flow) Run(ctx *Context, d *Design) ([]*Design, error) {
 			}
 			designs = next
 		case Branch:
-			var next []*Design
+			next := make([]*Design, 0, len(designs))
 			for _, cur := range designs {
 				if cur.Infeasible != "" {
 					next = append(next, cur)
 					continue
 				}
-				out, err := runBranch(ctx, n, cur, f.Name)
+				out, err := runBranch(ctx, n, cur, f.Name, parent)
 				if err != nil {
 					return nil, err
 				}
@@ -243,15 +270,19 @@ func (f *Flow) Run(ctx *Context, d *Design) ([]*Design, error) {
 }
 
 // runBranch executes one branch point on one design, including the budget
-// feedback loop.
-func runBranch(ctx *Context, b Branch, d *Design, flowName string) ([]*Design, error) {
+// feedback loop: an initial selection plus at most MaxRevisions
+// re-selections, each revision excluding the paths that exceeded the
+// budget.
+func runBranch(ctx *Context, b Branch, d *Design, flowName string, parent *telemetry.Span) ([]*Design, error) {
 	maxRev := b.MaxRevisions
 	if maxRev <= 0 {
 		maxRev = 4
 	}
 	gated := b.Gated && ctx.Budget > 0 && ctx.Cost != nil
 	excluded := map[int]bool{}
-	for rev := 0; rev <= maxRev; rev++ {
+	branchSpan := ctx.Telemetry.StartSpan(parent, telemetry.KindBranch, b.PointName)
+	defer branchSpan.End()
+	for rev := 0; ; rev++ {
 		idxs, err := b.Select.Select(ctx, d, b.Paths, excluded)
 		if err != nil {
 			return nil, &FlowError{Flow: flowName, Task: "branch:" + b.PointName, Err: err}
@@ -278,10 +309,14 @@ func runBranch(ctx *Context, b Branch, d *Design, flowName string) ([]*Design, e
 			// the unmodified design.
 			if len(idxs) > 1 || gated {
 				fork = d.Fork()
+				ctx.Count(telemetry.CounterDesignsForked, 1)
 			}
 			fork.Tracef("branch", b.PointName, "selected path %q (strategy %s)", p.Name, b.Select.Name())
 			ctx.logf("branch %s -> %s", b.PointName, p.Name)
-			perPath[slot], errs[slot] = p.Flow.Run(ctx, fork)
+			pathSpan := ctx.Telemetry.StartSpan(branchSpan, telemetry.KindPath, b.PointName+"/"+p.Name)
+			pathSpan.SetDetail(fork.Label())
+			perPath[slot], errs[slot] = p.Flow.run(ctx, fork, pathSpan)
+			pathSpan.End()
 		}
 		if ctx.Parallel && len(idxs) > 1 {
 			var wg sync.WaitGroup
@@ -320,12 +355,15 @@ func runBranch(ctx *Context, b Branch, d *Design, flowName string) ([]*Design, e
 		if !gated || !overBudget {
 			return out, nil
 		}
+		if rev == maxRev {
+			return nil, &FlowError{Flow: flowName, Task: "branch:" + b.PointName,
+				Err: fmt.Errorf("budget feedback exhausted %d revisions", maxRev)}
+		}
 		// Feedback: revise by excluding the failed path(s) and re-selecting.
 		for _, i := range idxs {
 			excluded[i] = true
 		}
+		ctx.Count(telemetry.CounterBudgetRevisions, 1)
 		d.Tracef("branch", b.PointName, "revision %d: all selected paths over budget, re-selecting", rev+1)
 	}
-	return nil, &FlowError{Flow: flowName, Task: "branch:" + b.PointName,
-		Err: fmt.Errorf("budget feedback exhausted %d revisions", maxRev)}
 }

@@ -8,8 +8,12 @@ import (
 	"strings"
 	"testing"
 
+	"psaflow/internal/analysis"
+	"psaflow/internal/codegen"
+	"psaflow/internal/hls"
 	"psaflow/internal/minic"
 	"psaflow/internal/platform"
+	"psaflow/internal/telemetry"
 )
 
 const flowSrc = `
@@ -304,6 +308,166 @@ func TestForkIndependence(t *testing.T) {
 	}
 	if len(d.Trace) != 1 {
 		t.Error("fork shares trace")
+	}
+}
+
+// TestForkDeepCopiesReport: forks must not share the report's reference
+// fields (AliasPairs backing array, OuterDeps pointer) — parallel branch
+// paths would race or cross-contaminate analyses through them.
+func TestForkDeepCopiesReport(t *testing.T) {
+	d := newTestDesign()
+	d.Report.AliasPairs = [][2]string{{"a", "b"}}
+	d.Report.OuterDeps = &analysis.LoopDeps{
+		LoopID:     7,
+		Var:        "i",
+		Carried:    []analysis.Dependence{{Kind: analysis.DepScalar, Name: "s"}},
+		Reductions: []analysis.Reduction{{Name: "acc"}},
+	}
+	f := d.Fork()
+	if f.Report.OuterDeps == d.Report.OuterDeps {
+		t.Fatal("fork shares *LoopDeps")
+	}
+	f.Report.AliasPairs[0] = [2]string{"x", "y"}
+	f.Report.AliasPairs = append(f.Report.AliasPairs, [2]string{"p", "q"})
+	f.Report.OuterDeps.Carried[0].Name = "mutated"
+	f.Report.OuterDeps.Reductions[0].Name = "mutated"
+	if d.Report.AliasPairs[0] != [2]string{"a", "b"} || len(d.Report.AliasPairs) != 1 {
+		t.Errorf("fork mutated original alias pairs: %v", d.Report.AliasPairs)
+	}
+	if d.Report.OuterDeps.Carried[0].Name != "s" {
+		t.Errorf("fork mutated original carried deps: %v", d.Report.OuterDeps.Carried)
+	}
+	if d.Report.OuterDeps.Reductions[0].Name != "acc" {
+		t.Errorf("fork mutated original reductions: %v", d.Report.OuterDeps.Reductions)
+	}
+}
+
+// TestForkDeepCopiesArtifacts: the HLS report and rendered artifact are
+// per-design results; forks must own their copies.
+func TestForkDeepCopiesArtifacts(t *testing.T) {
+	d := newTestDesign()
+	d.HLSReport = &hls.Report{Device: "A10", Unroll: 4}
+	d.Artifact = &codegen.Design{Target: "oneapi", LOC: 10}
+	f := d.Fork()
+	f.HLSReport.Unroll = 8
+	f.Artifact.LOC = 99
+	if d.HLSReport.Unroll != 4 || d.Artifact.LOC != 10 {
+		t.Errorf("fork shares artifacts: hls=%+v art=%+v", d.HLSReport, d.Artifact)
+	}
+}
+
+// TestBudgetExhaustionRevisionCount: with MaxRevisions=N the branch does
+// one initial selection plus exactly N revisions, the trace numbers them
+// 1..N, and the terminal error reports the same N.
+func TestBudgetExhaustionRevisionCount(t *testing.T) {
+	selections := 0
+	sel := SelectorFunc{SelName: "stubborn",
+		Fn: func(ctx *Context, d *Design, paths []Path, excluded map[int]bool) ([]int, error) {
+			selections++
+			return []int{0}, nil // ignores exclusion, so the loop must bound it
+		}}
+	const maxRev = 2
+	flow := &Flow{Name: "exhaust-count"}
+	flow.AddBranch(Branch{PointName: "X",
+		Paths:  []Path{{Name: "only", Flow: pathFlow("only")}},
+		Select: sel, Gated: true, MaxRevisions: maxRev})
+	d := newTestDesign()
+	ctx := &Context{Budget: 1, Cost: func(*Design) float64 { return 50 }}
+	_, err := flow.Run(ctx, d)
+	if err == nil {
+		t.Fatal("expected exhaustion error")
+	}
+	if want := fmt.Sprintf("exhausted %d revisions", maxRev); !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not report %q", err, want)
+	}
+	if selections != maxRev+1 {
+		t.Errorf("selections = %d, want %d (initial + %d revisions)", selections, maxRev+1, maxRev)
+	}
+	trace := fmt.Sprint(d.Trace)
+	for rev := 1; rev <= maxRev; rev++ {
+		if !strings.Contains(trace, fmt.Sprintf("revision %d:", rev)) {
+			t.Errorf("trace missing revision %d: %v", rev, trace)
+		}
+	}
+	if strings.Contains(trace, fmt.Sprintf("revision %d:", maxRev+1)) {
+		t.Errorf("trace numbers a revision beyond MaxRevisions: %v", trace)
+	}
+}
+
+// TestStepErrorLeavesPriorDesignsIntact: the Step case must build its
+// output in a fresh slice; reusing the input's backing array would let a
+// mid-step failure (or a future drop/expand step) corrupt designs that
+// were already processed.
+func TestStepErrorLeavesPriorDesignsIntact(t *testing.T) {
+	var visited []*Design
+	flow := &Flow{Name: "midstep"}
+	flow.AddBranch(Branch{
+		PointName: "X",
+		Paths: []Path{
+			{Name: "a", Flow: pathFlow("a")},
+			{Name: "b", Flow: pathFlow("b")},
+			{Name: "c", Flow: pathFlow("c")},
+		},
+		Select: SelectAll{},
+	})
+	flow.AddTask(TaskFunc{TaskName: "fail-on-b", TaskKind: Transform,
+		Fn: func(ctx *Context, d *Design) error {
+			visited = append(visited, d)
+			if d.Device == "b" {
+				return errors.New("boom")
+			}
+			d.NumThreads = 32 // mark successful processing
+			return nil
+		}})
+	_, err := flow.Run(&Context{}, newTestDesign())
+	if err == nil {
+		t.Fatal("expected mid-step error")
+	}
+	if len(visited) != 2 {
+		t.Fatalf("visited %d designs before failing, want 2", len(visited))
+	}
+	first := visited[0]
+	if first.Device != "a" || first.NumThreads != 32 {
+		t.Errorf("prior design corrupted: device=%q threads=%d", first.Device, first.NumThreads)
+	}
+}
+
+// TestFlowTelemetrySpans: a recorded run produces the flow → branch →
+// path → task hierarchy and the fork counter.
+func TestFlowTelemetrySpans(t *testing.T) {
+	rec := telemetry.New()
+	flow := &Flow{Name: "observed"}
+	flow.AddTask(TaskFunc{TaskName: "prep", TaskKind: Analysis,
+		Fn: func(*Context, *Design) error { return nil }})
+	flow.AddBranch(Branch{
+		PointName: "X",
+		Paths:     []Path{{Name: "a", Flow: pathFlow("a")}, {Name: "b", Flow: pathFlow("b")}},
+		Select:    SelectAll{},
+	})
+	if _, err := flow.Run(&Context{Telemetry: rec, Parallel: true}, newTestDesign()); err != nil {
+		t.Fatal(err)
+	}
+	rep := rec.Snapshot()
+	if len(rep.Spans) != 1 || rep.Spans[0].Kind != telemetry.KindFlow {
+		t.Fatalf("roots = %+v", rep.Spans)
+	}
+	kinds := map[string]int64{}
+	names := map[string]bool{}
+	for _, st := range rep.Stats {
+		kinds[st.Kind] += st.Calls
+		names[st.Name] = true
+	}
+	if kinds[telemetry.KindTask] != 3 { // prep + 2 path stamps
+		t.Errorf("task spans = %d, want 3 (%v)", kinds[telemetry.KindTask], rep.Stats)
+	}
+	if kinds[telemetry.KindBranch] != 1 || kinds[telemetry.KindPath] != 2 {
+		t.Errorf("branch/path spans = %d/%d, want 1/2", kinds[telemetry.KindBranch], kinds[telemetry.KindPath])
+	}
+	if !names["X/a"] || !names["X/b"] || !names["stamp-a"] {
+		t.Errorf("span names missing: %v", names)
+	}
+	if got := rec.Counter(telemetry.CounterDesignsForked); got != 2 {
+		t.Errorf("designs forked = %d, want 2", got)
 	}
 }
 

@@ -168,6 +168,27 @@ func UnrollPragmaFactor(prog *minic.Program, fn *minic.FuncDecl) int {
 	return 1
 }
 
+// Counter receives named counter increments (*telemetry.Recorder
+// satisfies it); the flow telemetry uses it to total partial-compile
+// invocations across DSE loops.
+type Counter interface {
+	Add(name string, delta int64)
+}
+
+// CounterPartialCompiles names the counter EstimateCounted increments
+// once per invocation — each call stands for one dpcpp partial compile,
+// the expensive tool step the paper's Fig. 2 DSE repeats.
+const CounterPartialCompiles = "hls.partial_compiles"
+
+// EstimateCounted is Estimate with telemetry: it reports the invocation
+// to c (nil skips accounting only).
+func EstimateCounted(c Counter, prog *minic.Program, fn *minic.FuncDecl, dev platform.FPGASpec, pipelinedTrips float64) *Report {
+	if c != nil {
+		c.Add(CounterPartialCompiles, 1)
+	}
+	return Estimate(prog, fn, dev, pipelinedTrips)
+}
+
 // Estimate produces the high-level design report for kernel fn of prog on
 // device dev. The datapath is costed from the kernel AST with
 // statically-fixed inner loops counted spatially (they will be fully

@@ -16,12 +16,29 @@ type RuntimeError struct {
 // Error implements the error interface.
 func (e *RuntimeError) Error() string { return fmt.Sprintf("runtime %s: %s", e.Pos, e.Msg) }
 
+// Counters receives named counter increments describing a run's hot-path
+// totals (*telemetry.Recorder satisfies it). The sink must be safe for
+// concurrent use when runs execute on parallel branch paths.
+type Counters interface {
+	Add(name string, delta int64)
+}
+
+// Counter names emitted to Config.Counters after each run.
+const (
+	CounterRuns   = "interp.runs"
+	CounterOps    = "interp.ops"    // AST evaluation steps executed
+	CounterCycles = "interp.cycles" // virtual cycles charged (rounded)
+)
+
 // Config configures one execution.
 type Config struct {
 	Entry    string  // entry function name
 	Args     []Value // arguments bound to the entry function's parameters
 	Watch    string  // function to watch for kernel analyses; defaults to Entry
 	MaxSteps int64   // step budget; defaults to 400M
+	// Counters, when non-nil, receives the run's op/cycle totals
+	// (CounterRuns/CounterOps/CounterCycles) once execution finishes.
+	Counters Counters
 }
 
 // Result is the outcome of one execution.
@@ -87,6 +104,11 @@ func Run(prog *minic.Program, cfg Config) (*Result, error) {
 	ret, err := m.call(entry, cfg.Args, entry.NodePos())
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Counters != nil {
+		cfg.Counters.Add(CounterRuns, 1)
+		cfg.Counters.Add(CounterOps, m.steps)
+		cfg.Counters.Add(CounterCycles, int64(m.prof.Cycles))
 	}
 	return &Result{Ret: ret, Prof: m.prof, Steps: m.steps, Output: m.output}, nil
 }

@@ -7,6 +7,7 @@ import (
 	"psaflow/internal/perfmodel"
 	"psaflow/internal/platform"
 	"psaflow/internal/query"
+	"psaflow/internal/telemetry"
 	"psaflow/internal/transform"
 )
 
@@ -55,6 +56,7 @@ var NumThreadsDSE = core.TaskFunc{
 	TaskName: "OMP Num. Threads DSE", TaskKind: core.Optimisation, IsDyn: true,
 	Fn: func(ctx *core.Context, d *core.Design) error {
 		feat := d.Report.Features()
+		ctx.Count(telemetry.DSECounter("numthreads"), int64(ctx.CPU.Cores))
 		threads, t := perfmodel.BestThreads(ctx.CPU, feat)
 		d.NumThreads = threads
 		d.Device = ctx.CPU.Name

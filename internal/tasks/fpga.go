@@ -9,6 +9,7 @@ import (
 	"psaflow/internal/perfmodel"
 	"psaflow/internal/platform"
 	"psaflow/internal/query"
+	"psaflow/internal/telemetry"
 	"psaflow/internal/transform"
 )
 
@@ -103,11 +104,12 @@ func UnrollUntilOvermap(dev platform.FPGASpec) core.Task {
 			var best *hls.Report
 			bestUnroll := 0
 			for n := 1; n <= 1<<16; n *= 2 {
+				ctx.Count(telemetry.DSECounter("unroll"), 1)
 				transform.RemoveLoopPragmas(loop, "unroll")
 				if err := transform.InsertLoopPragma(loop, fmt.Sprintf("unroll %d", n)); err != nil {
 					return err
 				}
-				rep := hls.Estimate(d.Prog, kfn, dev, d.Report.PipelinedTrips)
+				rep := hls.EstimateCounted(ctx.Telemetry, d.Prog, kfn, dev, d.Report.PipelinedTrips)
 				d.Tracef("dse", "unroll", "n=%d LUT=%.1f%% DSP=%.1f%% fits=%t",
 					n, rep.LUTUtil*100, rep.DSPUtil*100, rep.Fits)
 				if !rep.Fits {

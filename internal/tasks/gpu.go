@@ -9,6 +9,7 @@ import (
 	"psaflow/internal/perfmodel"
 	"psaflow/internal/platform"
 	"psaflow/internal/query"
+	"psaflow/internal/telemetry"
 	"psaflow/internal/transform"
 )
 
@@ -129,6 +130,7 @@ func BlocksizeDSE(dev platform.GPUSpec) core.Task {
 				d.Report.HeavyFrac = analysis.HeavySpecialFraction(kfn)
 			}
 			feat := d.Report.Features()
+			ctx.Count(telemetry.DSECounter("blocksize"), int64(len(perfmodel.BlocksizeCandidates)))
 			bs, bd := perfmodel.BestBlocksize(dev, feat, d.Pinned)
 			if bs < 0 {
 				d.Infeasible = "no feasible blocksize"

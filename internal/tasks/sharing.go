@@ -11,6 +11,7 @@ import (
 	"psaflow/internal/perfmodel"
 	"psaflow/internal/platform"
 	"psaflow/internal/query"
+	"psaflow/internal/telemetry"
 	"psaflow/internal/transform"
 )
 
@@ -44,7 +45,7 @@ func UnrollUntilOvermapWithSharing(dev platform.FPGASpec) core.Task {
 			if kfn == nil {
 				return fmt.Errorf("no kernel extracted")
 			}
-			shared, extraTrips, err := shareLargestFixedLoops(d.Prog, kfn, dev)
+			shared, extraTrips, err := shareLargestFixedLoops(ctx, d.Prog, kfn, dev)
 			if err != nil {
 				return err
 			}
@@ -75,7 +76,7 @@ func UnrollUntilOvermapWithSharing(dev platform.FPGASpec) core.Task {
 // first, until the base (unroll=1) design fits the device or no candidate
 // remains. Returns how many loops were shared and the product of their
 // trip counts (the pipeline trip multiplier).
-func shareLargestFixedLoops(prog *minic.Program, kfn *minic.FuncDecl, dev platform.FPGASpec) (int, float64, error) {
+func shareLargestFixedLoops(ctx *core.Context, prog *minic.Program, kfn *minic.FuncDecl, dev platform.FPGASpec) (int, float64, error) {
 	type candidate struct {
 		loop  minic.Stmt
 		trips int64
@@ -107,7 +108,8 @@ func shareLargestFixedLoops(prog *minic.Program, kfn *minic.FuncDecl, dev platfo
 		}
 		shared++
 		extra *= float64(c.trips)
-		rep := hls.Estimate(prog, kfn, dev, 0)
+		ctx.Count(telemetry.DSECounter("sharing"), 1)
+		rep := hls.EstimateCounted(ctx.Telemetry, prog, kfn, dev, 0)
 		if rep.Fits {
 			break
 		}
@@ -116,7 +118,7 @@ func shareLargestFixedLoops(prog *minic.Program, kfn *minic.FuncDecl, dev platfo
 		return 0, 1, nil
 	}
 	// Check the final state actually fits at unroll 1.
-	rep := hls.Estimate(prog, kfn, dev, 0)
+	rep := hls.EstimateCounted(ctx.Telemetry, prog, kfn, dev, 0)
 	if !rep.Fits {
 		return 0, 1, nil // sharing could not save the design; leave as-is
 	}

@@ -27,15 +27,21 @@ const FullyUnrollableLimit = 12
 const MaterializeUnrollLimit = 64
 
 // runWorkload executes the design's current program on the workload,
-// watching the given function (or the entry when watch is "").
+// watching the given function (or the entry when watch is ""). Each run's
+// op/cycle totals flow into the context's telemetry recorder.
 func runWorkload(ctx *core.Context, d *core.Design, watch string) (*interp.Result, error) {
 	if ctx.Workload == nil {
 		return nil, fmt.Errorf("dynamic task requires a workload")
 	}
+	var counters interp.Counters
+	if ctx.Telemetry != nil {
+		counters = ctx.Telemetry
+	}
 	return interp.Run(d.Prog, interp.Config{
-		Entry: ctx.Workload.Entry(),
-		Args:  ctx.Workload.Args(),
-		Watch: watch,
+		Entry:    ctx.Workload.Entry(),
+		Args:     ctx.Workload.Args(),
+		Watch:    watch,
+		Counters: counters,
 	})
 }
 

@@ -1,0 +1,161 @@
+// Package telemetry is the flow-observability substrate: hierarchical
+// wall-clock spans over PSA-flow execution (flow → branch → path → task)
+// plus named counters fed from the hot layers (interpreter ops/cycles,
+// DSE iterations, HLS partial compiles, design forks, budget revisions).
+// The paper's PSA-flows exist to explain how a design was derived; the
+// recorder captures the same provenance quantitatively, producing the
+// per-stage timing data any learned/adaptive PSA strategy trains on.
+//
+// A nil *Recorder is fully functional as a no-op: every method is
+// nil-safe, so flow code records unconditionally and pays nothing when
+// telemetry is disabled. All methods are safe for concurrent use — branch
+// paths run on separate goroutines when core.Context.Parallel is set.
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Span kinds used by the flow engine. Exported as constants so exporters
+// and tests do not scatter string literals.
+const (
+	KindFlow   = "flow"
+	KindBranch = "branch"
+	KindPath   = "path"
+	KindTask   = "task"
+)
+
+// Counter names fed by the instrumented layers.
+const (
+	// CounterInterpRuns / Ops / Cycles total the profiling interpreter's
+	// executions, AST steps, and virtual cycles across all dynamic tasks.
+	CounterInterpRuns   = "interp.runs"
+	CounterInterpOps    = "interp.ops"
+	CounterInterpCycles = "interp.cycles"
+	// CounterHLSPartialCompiles counts invocations of the simulated
+	// oneAPI partial compile (hls.Estimate) — the expensive tool step of
+	// the unroll-until-overmap DSE.
+	CounterHLSPartialCompiles = "hls.partial_compiles"
+	// CounterDesignsForked counts Design.Fork calls made at branch points.
+	CounterDesignsForked = "flow.designs_forked"
+	// CounterBudgetRevisions counts Fig. 3 budget-feedback re-selections.
+	CounterBudgetRevisions = "flow.budget_revisions"
+)
+
+// DSECounter returns the iteration-counter name for one named DSE loop,
+// e.g. DSECounter("blocksize") = "dse.blocksize.iterations".
+func DSECounter(name string) string { return "dse." + name + ".iterations" }
+
+// Span is one timed node of the flow-run hierarchy. Fields are written by
+// the creating goroutine; children may be appended concurrently by the
+// paths forked under it, so child access goes through the span's mutex.
+type Span struct {
+	Kind   string
+	Name   string
+	Detail string // free-form context, e.g. the design label a task ran on
+
+	rec   *Recorder
+	start time.Time
+	dur   time.Duration
+
+	mu       sync.Mutex
+	children []*Span
+	ended    bool
+}
+
+// Recorder accumulates spans and counters for one flow run (or a whole
+// experiment sweep). The zero value is not usable; call New. A nil
+// receiver disables recording at zero cost.
+type Recorder struct {
+	now func() time.Time // injectable clock for tests
+
+	mu       sync.Mutex
+	roots    []*Span
+	counters map[string]int64
+}
+
+// New returns an empty recorder.
+func New() *Recorder {
+	return &Recorder{now: time.Now, counters: make(map[string]int64)}
+}
+
+// StartSpan opens a span under parent (nil parent = new root span) and
+// returns it; call End on the result. Nil recorder returns a nil span,
+// which is itself safe to End or use as a parent.
+func (r *Recorder) StartSpan(parent *Span, kind, name string) *Span {
+	if r == nil {
+		return nil
+	}
+	s := &Span{Kind: kind, Name: name, rec: r, start: r.now()}
+	if parent != nil {
+		parent.mu.Lock()
+		parent.children = append(parent.children, s)
+		parent.mu.Unlock()
+		return s
+	}
+	r.mu.Lock()
+	r.roots = append(r.roots, s)
+	r.mu.Unlock()
+	return s
+}
+
+// SetDetail attaches free-form context to the span. Call before the span
+// is shared with other goroutines (i.e. right after StartSpan).
+func (s *Span) SetDetail(detail string) {
+	if s == nil {
+		return
+	}
+	s.Detail = detail
+}
+
+// End closes the span, fixing its duration. Ending twice keeps the first
+// duration; ending a nil span is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return
+	}
+	s.ended = true
+	s.dur = s.rec.now().Sub(s.start)
+}
+
+// Duration returns the span's wall-clock time (elapsed-so-far if the span
+// is still open).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		return s.rec.now().Sub(s.start)
+	}
+	return s.dur
+}
+
+// Add increments a named counter. Safe from any goroutine; no-op on a nil
+// recorder. It also satisfies the counter-sink interfaces of the
+// instrumented layers (interp.Counters, hls.Counter).
+func (r *Recorder) Add(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Counter returns the current value of one named counter.
+func (r *Recorder) Counter(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}

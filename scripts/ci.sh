@@ -1,0 +1,11 @@
+#!/bin/sh
+# CI entry point: vet, build, and run the full test suite with the race
+# detector (the parallel branch-path execution in internal/core is only
+# meaningfully exercised under -race). Mirrors .github/workflows/ci.yml.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race ./...
