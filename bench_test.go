@@ -23,21 +23,36 @@ import (
 	"psaflow/internal/minic"
 	"psaflow/internal/platform"
 	"psaflow/internal/tasks"
+	"psaflow/internal/telemetry"
 	"psaflow/internal/transform"
 )
 
 // BenchmarkFig5 runs the uninformed PSA-flow per benchmark and reports the
-// five design speedups (the bars of Fig. 5) as custom metrics.
+// five design speedups (the bars of Fig. 5) as custom metrics, plus the
+// interpreter-substrate metrics the perf trajectory tracks: profiled-run
+// cache hit rate and interpreter throughput (virtual ops per wall second).
 func BenchmarkFig5(b *testing.B) {
 	for _, app := range bench.All() {
 		b.Run(app.Name, func(b *testing.B) {
 			var results []experiments.DesignResult
+			var hits, misses, ops int64
 			for i := 0; i < b.N; i++ {
+				rec := telemetry.New()
 				var err error
-				results, err = experiments.RunBenchmark(app, tasks.Uninformed, nil)
+				results, err = experiments.RunBenchmarkRecorded(app,
+					tasks.FlowOptions{Mode: tasks.Uninformed, Strategy: tasks.DefaultStrategy}, nil, rec)
 				if err != nil {
 					b.Fatal(err)
 				}
+				hits += rec.Counter(telemetry.CounterRunCacheHits)
+				misses += rec.Counter(telemetry.CounterRunCacheMisses)
+				ops += rec.Counter(telemetry.CounterInterpOps)
+			}
+			if hits+misses > 0 {
+				b.ReportMetric(100*float64(hits)/float64(hits+misses), "cache-hit%")
+			}
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(ops)/secs/1e6, "interp-Mops/s")
 			}
 			for _, r := range results {
 				label := metricLabel(r.Design)
@@ -158,16 +173,33 @@ void k(int n, const float *a, float *b) {
 }
 
 // BenchmarkInterp measures the dynamic-analysis substrate: one profiled
-// execution of each benchmark application.
+// execution of each benchmark application on the compiled fast path.
 func BenchmarkInterp(b *testing.B) {
+	benchmarkInterp(b, false)
+}
+
+// BenchmarkInterpTreeWalk runs the same executions on the reference
+// tree-walking evaluator, so the compiled path's gain stays measured.
+func BenchmarkInterpTreeWalk(b *testing.B) {
+	benchmarkInterp(b, true)
+}
+
+func benchmarkInterp(b *testing.B, treeWalk bool) {
 	for _, app := range bench.All() {
 		b.Run(app.Name, func(b *testing.B) {
 			prog := app.Parse()
+			w := bench.Workload{B: app}
 			b.ReportAllocs()
+			var steps int64
 			for i := 0; i < b.N; i++ {
-				if _, err := runApp(prog, app); err != nil {
+				res, err := interp.Run(prog, interp.Config{Entry: w.Entry(), Args: w.Args(), TreeWalk: treeWalk})
+				if err != nil {
 					b.Fatal(err)
 				}
+				steps += res.Steps
+			}
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(steps)/secs/1e6, "interp-Mops/s")
 			}
 		})
 	}

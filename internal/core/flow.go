@@ -55,6 +55,12 @@ type Context struct {
 	// recording at zero cost; the recorder is race-safe, so it can be
 	// shared by parallel branch paths.
 	Telemetry *telemetry.Recorder
+	// Runs memoizes profiled interpreter executions across the dynamic
+	// analyses and across sibling forked paths, keyed by program
+	// fingerprint + workload identity (see RunCache). Nil disables
+	// memoization; every dynamic task then re-executes the program. The
+	// cache is race-safe and shared as-is by parallel branch paths.
+	Runs *RunCache
 
 	logMu sync.Mutex
 }

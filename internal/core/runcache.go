@@ -1,0 +1,105 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"psaflow/internal/interp"
+)
+
+// The profiled-run cache. The target-independent analyses (tindep.go in
+// internal/tasks) execute the same program on the same workload up to five
+// times per branch path — hotspot identification, pointer analysis,
+// data-in/out, trip counts, dependence re-verification — and sibling paths
+// forked at a branch point repeat the identical runs on identical program
+// copies. RunCache memoizes those executions on the Context, keyed by a
+// deterministic AST fingerprint (minic.Fingerprint) plus workload
+// identity, so an unchanged program runs once and every other consumer
+// reuses the profiled interp.Result. Transform rewrites change the
+// fingerprint, invalidating automatically.
+
+// RunKey identifies one profiled interpreter execution.
+type RunKey struct {
+	// Fingerprint is minic.Fingerprint of the program that would run.
+	Fingerprint uint64
+	// Workload names the workload supplying the entry arguments.
+	Workload string
+	// Entry is the entry function name.
+	Entry string
+	// Watch is the watched function, normalized the way interp.Run
+	// normalizes it (the empty string means the entry).
+	Watch string
+}
+
+type runEntry struct {
+	once sync.Once
+	res  *interp.Result
+	err  error
+}
+
+// RunCache memoizes profiled interpreter runs across the dynamic analyses
+// of one flow, or a whole experiment sweep. It is safe for concurrent use:
+// branch paths forked under Context.Parallel share one cache, and a
+// per-key sync.Once collapses concurrent first requests into a single
+// execution (singleflight), so no run is ever duplicated by a race.
+// Cached Results are shared between consumers and must be treated as
+// read-only, which every bundled task does.
+type RunCache struct {
+	mu      sync.Mutex
+	entries map[RunKey]*runEntry
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+// NewRunCache returns an empty cache.
+func NewRunCache() *RunCache {
+	return &RunCache{entries: make(map[RunKey]*runEntry)}
+}
+
+// Do returns the memoized result for key, calling run — exactly once per
+// key, even under concurrency — to produce it on first request. hit
+// reports whether this call avoided an execution. Errors are cached too:
+// the interpreter is deterministic, so a failing program fails identically
+// on re-execution. A nil cache always executes.
+func (c *RunCache) Do(key RunKey, run func() (*interp.Result, error)) (res *interp.Result, err error, hit bool) {
+	if c == nil {
+		res, err = run()
+		return res, err, false
+	}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &runEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	executed := false
+	e.once.Do(func() {
+		e.res, e.err = run()
+		executed = true
+	})
+	if executed {
+		c.misses.Add(1)
+		return e.res, e.err, false
+	}
+	c.hits.Add(1)
+	return e.res, e.err, true
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *RunCache) Stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len returns the number of distinct runs cached.
+func (c *RunCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

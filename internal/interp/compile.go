@@ -1,0 +1,1043 @@
+package interp
+
+import (
+	"psaflow/internal/minic"
+)
+
+// The compiled fast path. Run lowers every function of the program once:
+// local variables are resolved at compile time to integer slots in a flat
+// per-activation []Value frame (replacing the tree-walker's linear scan
+// over a stack of scope maps), and every statement/expression becomes a
+// pre-bound closure, eliminating the per-node AST type switch from the
+// hot loop. Semantics — step accounting, cycle charging order, loop
+// profiles, memory tracing, alias observation, captured output, and error
+// messages — are bit-for-bit identical to the tree-walker because both
+// paths share the helpers in apply.go; the equivalence suite
+// (compile_test.go) checks this over every bundled benchmark.
+
+// cframe is one compiled function activation: a flat slot frame.
+type cframe struct {
+	slots []Value
+	ret   Value
+}
+
+// cstmt executes one compiled statement.
+type cstmt func(m *machine, fr *cframe) (ctrl, error)
+
+// cexpr evaluates one compiled expression.
+type cexpr func(m *machine, fr *cframe) (Value, error)
+
+// cindex resolves a compiled index target to (buffer, element index).
+type cindex func(m *machine, fr *cframe) (*Buffer, int64, error)
+
+// compiledFunc is one lowered function.
+type compiledFunc struct {
+	decl   *minic.FuncDecl
+	nslots int
+	body   []cstmt
+}
+
+// compiledProg is the lowered program.
+type compiledProg struct {
+	funcs map[string]*compiledFunc
+}
+
+// compiler carries the per-function resolution state: a lexical scope
+// stack mapping names to slots. Slots are never reused, so sibling scopes
+// get distinct slots and shadowing resolves to the innermost declaration
+// exactly as frame.lookup does.
+type compiler struct {
+	prog   *minic.Program
+	funcs  map[string]*compiledFunc
+	scopes []map[string]int
+	nslots int
+	curFn  *minic.FuncDecl
+}
+
+// compileProgram lowers every function of prog. Never fails: constructs
+// that the tree-walker would only reject at runtime (undefined variables
+// or functions, unhandled node types) compile to closures producing the
+// identical runtime error, so unexecuted dead code stays legal.
+func compileProgram(prog *minic.Program) *compiledProg {
+	c := &compiler{prog: prog, funcs: make(map[string]*compiledFunc, len(prog.Funcs))}
+	for _, f := range prog.Funcs {
+		if _, exists := c.funcs[f.Name]; !exists { // first declaration wins, as in Program.Func
+			c.funcs[f.Name] = &compiledFunc{decl: f}
+		}
+	}
+	for _, f := range prog.Funcs {
+		if cf := c.funcs[f.Name]; cf.decl == f {
+			c.compileFunc(cf)
+		}
+	}
+	return &compiledProg{funcs: c.funcs}
+}
+
+func (c *compiler) push() { c.scopes = append(c.scopes, make(map[string]int)) }
+func (c *compiler) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+// declare allocates a fresh slot for name in the innermost scope.
+func (c *compiler) declare(name string) int {
+	slot := c.nslots
+	c.nslots++
+	c.scopes[len(c.scopes)-1][name] = slot
+	return slot
+}
+
+// lookup resolves name to the innermost shadowing declaration's slot.
+func (c *compiler) lookup(name string) (int, bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if slot, ok := c.scopes[i][name]; ok {
+			return slot, true
+		}
+	}
+	return 0, false
+}
+
+func (c *compiler) compileFunc(cf *compiledFunc) {
+	fn := cf.decl
+	c.curFn = fn
+	c.scopes = c.scopes[:0]
+	c.nslots = 0
+	c.push() // parameter scope, as in machine.call
+	for _, p := range fn.Params {
+		c.declare(p.Name) // params occupy slots 0..len-1 in order
+	}
+	cf.body = c.compileBlock(fn.Body)
+	c.pop()
+	cf.nslots = c.nslots
+}
+
+// compileBlock compiles a block's statements under a fresh scope. The
+// returned list is executed without a step charge — matching execBlock,
+// which only steps when the block itself appears as a statement.
+func (c *compiler) compileBlock(b *minic.Block) []cstmt {
+	c.push()
+	defer c.pop()
+	out := make([]cstmt, len(b.Stmts))
+	for i, s := range b.Stmts {
+		out[i] = c.compileStmt(s)
+	}
+	return out
+}
+
+// runStmts executes a compiled statement list (the execBlock equivalent).
+func runStmts(m *machine, fr *cframe, stmts []cstmt) (ctrl, error) {
+	for _, s := range stmts {
+		ctl, err := s(m, fr)
+		if err != nil {
+			return ctrlNone, err
+		}
+		if ctl != ctrlNone {
+			return ctl, nil
+		}
+	}
+	return ctrlNone, nil
+}
+
+func (c *compiler) compileStmt(s minic.Stmt) cstmt {
+	pos := s.NodePos()
+	switch v := s.(type) {
+	case *minic.Block:
+		inner := c.compileBlock(v)
+		return func(m *machine, fr *cframe) (ctrl, error) {
+			if err := m.step(pos); err != nil {
+				return ctrlNone, err
+			}
+			return runStmts(m, fr, inner)
+		}
+	case *minic.DeclStmt:
+		return c.compileDecl(v)
+	case *minic.ExprStmt:
+		x := c.compileExpr(v.X)
+		return func(m *machine, fr *cframe) (ctrl, error) {
+			if err := m.step(pos); err != nil {
+				return ctrlNone, err
+			}
+			_, err := x(m, fr)
+			return ctrlNone, err
+		}
+	case *minic.ForStmt:
+		return c.compileFor(v)
+	case *minic.WhileStmt:
+		return c.compileWhile(v)
+	case *minic.IfStmt:
+		cond := c.compileExpr(v.Cond)
+		then := c.compileBlock(v.Then)
+		var els cstmt
+		if v.Else != nil {
+			els = c.compileStmt(v.Else)
+		}
+		return func(m *machine, fr *cframe) (ctrl, error) {
+			if err := m.step(pos); err != nil {
+				return ctrlNone, err
+			}
+			cv, err := cond(m, fr)
+			if err != nil {
+				return ctrlNone, err
+			}
+			m.charge(CostBranch)
+			if cv.AsBool() {
+				return runStmts(m, fr, then)
+			}
+			if els != nil {
+				return els(m, fr)
+			}
+			return ctrlNone, nil
+		}
+	case *minic.ReturnStmt:
+		retType := c.curFn.Ret
+		if v.X == nil {
+			return func(m *machine, fr *cframe) (ctrl, error) {
+				if err := m.step(pos); err != nil {
+					return ctrlNone, err
+				}
+				return ctrlReturn, nil
+			}
+		}
+		x := c.compileExpr(v.X)
+		return func(m *machine, fr *cframe) (ctrl, error) {
+			if err := m.step(pos); err != nil {
+				return ctrlNone, err
+			}
+			rv, err := x(m, fr)
+			if err != nil {
+				return ctrlNone, err
+			}
+			coerced, err := m.coerce(rv, retType, pos)
+			if err != nil {
+				return ctrlNone, m.errf(pos, "return: %v", err)
+			}
+			fr.ret = coerced
+			return ctrlReturn, nil
+		}
+	case *minic.BreakStmt:
+		return func(m *machine, fr *cframe) (ctrl, error) {
+			if err := m.step(pos); err != nil {
+				return ctrlNone, err
+			}
+			return ctrlBreak, nil
+		}
+	case *minic.ContinueStmt:
+		return func(m *machine, fr *cframe) (ctrl, error) {
+			if err := m.step(pos); err != nil {
+				return ctrlNone, err
+			}
+			return ctrlContinue, nil
+		}
+	case *minic.PragmaStmt:
+		return func(m *machine, fr *cframe) (ctrl, error) {
+			if err := m.step(pos); err != nil {
+				return ctrlNone, err
+			}
+			return ctrlNone, nil // pragmas are semantically transparent
+		}
+	}
+	node := s
+	return func(m *machine, fr *cframe) (ctrl, error) {
+		if err := m.step(pos); err != nil {
+			return ctrlNone, err
+		}
+		return ctrlNone, m.errf(pos, "unhandled statement %T", node)
+	}
+}
+
+func (c *compiler) compileDecl(d *minic.DeclStmt) cstmt {
+	pos := d.NodePos()
+	if d.ArrayLen != nil {
+		// The length expression resolves in the surrounding scope, before
+		// the array's own name becomes visible.
+		alen := c.compileExpr(d.ArrayLen)
+		slot := c.declare(d.Name)
+		name, kind := d.Name, d.Type.Kind
+		return func(m *machine, fr *cframe) (ctrl, error) {
+			if err := m.step(pos); err != nil {
+				return ctrlNone, err
+			}
+			nv, err := alen(m, fr)
+			if err != nil {
+				return ctrlNone, err
+			}
+			buf, err := m.makeArray(name, kind, nv.AsInt(), pos)
+			if err != nil {
+				return ctrlNone, err
+			}
+			fr.slots[slot] = BufVal(buf)
+			return ctrlNone, nil
+		}
+	}
+	// Initializers see the outer binding of a shadowed name (int x = x + 1
+	// reads the outer x), so compile Init before declaring.
+	var initC cexpr
+	if d.Init != nil {
+		initC = c.compileExpr(d.Init)
+	}
+	slot := c.declare(d.Name)
+	name, typ := d.Name, d.Type
+	return func(m *machine, fr *cframe) (ctrl, error) {
+		if err := m.step(pos); err != nil {
+			return ctrlNone, err
+		}
+		var init Value
+		if initC != nil {
+			v, err := initC(m, fr)
+			if err != nil {
+				return ctrlNone, err
+			}
+			init = v
+		}
+		coerced, err := m.coerce(init, typ, pos)
+		if err != nil {
+			return ctrlNone, m.errf(pos, "declare %s: %v", name, err)
+		}
+		m.charge(CostLocal)
+		fr.slots[slot] = coerced
+		return ctrlNone, nil
+	}
+}
+
+func (c *compiler) compileFor(f *minic.ForStmt) cstmt {
+	c.push() // the for-init scope, as in execFor
+	var initC cstmt
+	if f.Init != nil {
+		initC = c.compileStmt(f.Init)
+	}
+	var condC cexpr
+	if f.Cond != nil {
+		condC = c.compileExpr(f.Cond)
+	}
+	var postC cexpr
+	if f.Post != nil {
+		postC = c.compileExpr(f.Post)
+	}
+	body := c.compileBlock(f.Body)
+	c.pop()
+	id, pos := f.ID(), f.NodePos()
+	return func(m *machine, fr *cframe) (ctrl, error) {
+		if err := m.step(pos); err != nil {
+			return ctrlNone, err
+		}
+		lp := m.loopProfile(id, pos)
+		lp.Entries++
+		start := m.prof.Cycles
+		defer func() { lp.Cycles += m.prof.Cycles - start }()
+
+		if initC != nil {
+			if _, err := initC(m, fr); err != nil {
+				return ctrlNone, err
+			}
+		}
+		for {
+			if condC != nil {
+				cond, err := condC(m, fr)
+				if err != nil {
+					return ctrlNone, err
+				}
+				m.charge(CostBranch)
+				if !cond.AsBool() {
+					return ctrlNone, nil
+				}
+			}
+			if err := m.step(pos); err != nil {
+				return ctrlNone, err
+			}
+			lp.Trips++
+			ctl, err := runStmts(m, fr, body)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if ctl == ctrlBreak {
+				return ctrlNone, nil
+			}
+			if ctl == ctrlReturn {
+				return ctrlReturn, nil
+			}
+			if postC != nil {
+				if _, err := postC(m, fr); err != nil {
+					return ctrlNone, err
+				}
+			}
+		}
+	}
+}
+
+func (c *compiler) compileWhile(w *minic.WhileStmt) cstmt {
+	condC := c.compileExpr(w.Cond)
+	body := c.compileBlock(w.Body)
+	id, pos := w.ID(), w.NodePos()
+	return func(m *machine, fr *cframe) (ctrl, error) {
+		if err := m.step(pos); err != nil {
+			return ctrlNone, err
+		}
+		lp := m.loopProfile(id, pos)
+		lp.Entries++
+		start := m.prof.Cycles
+		defer func() { lp.Cycles += m.prof.Cycles - start }()
+		for {
+			cond, err := condC(m, fr)
+			if err != nil {
+				return ctrlNone, err
+			}
+			m.charge(CostBranch)
+			if !cond.AsBool() {
+				return ctrlNone, nil
+			}
+			if err := m.step(pos); err != nil {
+				return ctrlNone, err
+			}
+			lp.Trips++
+			ctl, err := runStmts(m, fr, body)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if ctl == ctrlBreak {
+				return ctrlNone, nil
+			}
+			if ctl == ctrlReturn {
+				return ctrlReturn, nil
+			}
+		}
+	}
+}
+
+func (c *compiler) compileExpr(e minic.Expr) cexpr {
+	pos := e.NodePos()
+	switch v := e.(type) {
+	case *minic.IntLit:
+		val := IntVal(v.Val)
+		return func(m *machine, fr *cframe) (Value, error) {
+			if err := m.step(pos); err != nil {
+				return Value{}, err
+			}
+			return val, nil
+		}
+	case *minic.FloatLit:
+		var val Value
+		if v.Single {
+			val = FloatVal(v.Val)
+		} else {
+			val = DoubleVal(v.Val)
+		}
+		return func(m *machine, fr *cframe) (Value, error) {
+			if err := m.step(pos); err != nil {
+				return Value{}, err
+			}
+			return val, nil
+		}
+	case *minic.BoolLit:
+		val := BoolVal(v.Val)
+		return func(m *machine, fr *cframe) (Value, error) {
+			if err := m.step(pos); err != nil {
+				return Value{}, err
+			}
+			return val, nil
+		}
+	case *minic.StringLit:
+		return func(m *machine, fr *cframe) (Value, error) {
+			if err := m.step(pos); err != nil {
+				return Value{}, err
+			}
+			return Value{K: KVoid}, nil // only meaningful inside printf-family calls
+		}
+	case *minic.Ident:
+		slot, ok := c.lookup(v.Name)
+		if !ok {
+			name := v.Name
+			return func(m *machine, fr *cframe) (Value, error) {
+				if err := m.step(pos); err != nil {
+					return Value{}, err
+				}
+				return Value{}, m.errf(pos, "undefined variable %q", name)
+			}
+		}
+		return func(m *machine, fr *cframe) (Value, error) {
+			if err := m.step(pos); err != nil {
+				return Value{}, err
+			}
+			m.charge(CostLocal)
+			return fr.slots[slot], nil
+		}
+	case *minic.UnaryExpr:
+		x := c.compileExpr(v.X)
+		op := v.Op
+		return func(m *machine, fr *cframe) (Value, error) {
+			if err := m.step(pos); err != nil {
+				return Value{}, err
+			}
+			xv, err := x(m, fr)
+			if err != nil {
+				return Value{}, err
+			}
+			return m.applyUnary(op, xv), nil
+		}
+	case *minic.BinaryExpr:
+		return c.compileBinary(v)
+	case *minic.AssignExpr:
+		return c.compileAssign(v)
+	case *minic.IncDecExpr:
+		return c.compileIncDec(v)
+	case *minic.IndexExpr:
+		tgt := c.compileIndexTarget(v)
+		return func(m *machine, fr *cframe) (Value, error) {
+			if err := m.step(pos); err != nil {
+				return Value{}, err
+			}
+			buf, i, err := tgt(m, fr)
+			if err != nil {
+				return Value{}, err
+			}
+			return m.loadElem(buf, i, pos)
+		}
+	case *minic.CallExpr:
+		return c.compileCall(v)
+	case *minic.CastExpr:
+		x := c.compileExpr(v.X)
+		to := v.To
+		return func(m *machine, fr *cframe) (Value, error) {
+			if err := m.step(pos); err != nil {
+				return Value{}, err
+			}
+			xv, err := x(m, fr)
+			if err != nil {
+				return Value{}, err
+			}
+			m.charge(CostCast)
+			return m.coerce(xv, to, pos)
+		}
+	}
+	node := e
+	return func(m *machine, fr *cframe) (Value, error) {
+		if err := m.step(pos); err != nil {
+			return Value{}, err
+		}
+		return Value{}, m.errf(pos, "unhandled expression %T", node)
+	}
+}
+
+func (c *compiler) compileBinary(b *minic.BinaryExpr) cexpr {
+	pos := b.NodePos()
+	op := b.Op
+	// Short-circuit logical operators.
+	if op == minic.TokAndAnd || op == minic.TokOrOr {
+		l := c.compileExpr(b.L)
+		r := c.compileExpr(b.R)
+		isAnd := op == minic.TokAndAnd
+		return func(m *machine, fr *cframe) (Value, error) {
+			if err := m.step(pos); err != nil {
+				return Value{}, err
+			}
+			lv, err := l(m, fr)
+			if err != nil {
+				return Value{}, err
+			}
+			m.charge(CostLogic)
+			if isAnd && !lv.AsBool() {
+				return BoolVal(false), nil
+			}
+			if !isAnd && lv.AsBool() {
+				return BoolVal(true), nil
+			}
+			rv, err := r(m, fr)
+			if err != nil {
+				return Value{}, err
+			}
+			return BoolVal(rv.AsBool()), nil
+		}
+	}
+	l := c.operand(b.L)
+	r := c.operand(b.R)
+	lslot, lconst, lval, lgen, lpos := l.slot, l.isConst, l.val, l.gen, l.pos
+	rslot, rconst, rval, rgen, rpos := r.slot, r.isConst, r.val, r.gen, r.pos
+	// One closure with everything inlined: the step accounting, the
+	// slot/literal operand fetches, and applyBinary's full dispatch body.
+	// No internal calls remain on the hot path. Accounting (charge order,
+	// IntOps / Flops, watch attribution) and every error message stay
+	// identical to the tree-walk path — compile_test.go holds both to the
+	// bit.
+	return func(m *machine, fr *cframe) (Value, error) {
+		m.steps++
+		if m.steps > m.maxSteps {
+			return Value{}, m.errf(pos, "step budget exceeded (%d)", m.maxSteps)
+		}
+		var lv, rv Value
+		if lslot >= 0 {
+			m.steps++
+			if m.steps > m.maxSteps {
+				return Value{}, m.errf(lpos, "step budget exceeded (%d)", m.maxSteps)
+			}
+			m.charge(CostLocal)
+			lv = fr.slots[lslot]
+		} else if lconst {
+			m.steps++
+			if m.steps > m.maxSteps {
+				return Value{}, m.errf(lpos, "step budget exceeded (%d)", m.maxSteps)
+			}
+			lv = lval
+		} else {
+			var err error
+			if lv, err = lgen(m, fr); err != nil {
+				return Value{}, err
+			}
+		}
+		if rslot >= 0 {
+			m.steps++
+			if m.steps > m.maxSteps {
+				return Value{}, m.errf(rpos, "step budget exceeded (%d)", m.maxSteps)
+			}
+			m.charge(CostLocal)
+			rv = fr.slots[rslot]
+		} else if rconst {
+			m.steps++
+			if m.steps > m.maxSteps {
+				return Value{}, m.errf(rpos, "step budget exceeded (%d)", m.maxSteps)
+			}
+			rv = rval
+		} else {
+			var err error
+			if rv, err = rgen(m, fr); err != nil {
+				return Value{}, err
+			}
+		}
+		if !lv.IsNumeric() || !rv.IsNumeric() {
+			return Value{}, m.errf(pos, "non-numeric operands to %s", op)
+		}
+		switch op {
+		case minic.TokLt:
+			m.charge(CostCmp)
+			return BoolVal(lv.AsFloat() < rv.AsFloat()), nil
+		case minic.TokGt:
+			m.charge(CostCmp)
+			return BoolVal(lv.AsFloat() > rv.AsFloat()), nil
+		case minic.TokLe:
+			m.charge(CostCmp)
+			return BoolVal(lv.AsFloat() <= rv.AsFloat()), nil
+		case minic.TokGe:
+			m.charge(CostCmp)
+			return BoolVal(lv.AsFloat() >= rv.AsFloat()), nil
+		case minic.TokEqEq:
+			m.charge(CostCmp)
+			return BoolVal(lv.AsFloat() == rv.AsFloat()), nil
+		case minic.TokNe:
+			m.charge(CostCmp)
+			return BoolVal(lv.AsFloat() != rv.AsFloat()), nil
+		case minic.TokPercent:
+			if lv.K != KInt || rv.K != KInt {
+				return Value{}, m.errf(pos, "%% requires int operands")
+			}
+			if rv.I == 0 {
+				return Value{}, m.errf(pos, "modulo by zero")
+			}
+			m.charge(CostDivInt)
+			m.prof.IntOps++
+			return IntVal(lv.I % rv.I), nil
+		}
+		if k := promote(lv, rv); k == KInt {
+			m.prof.IntOps++
+			li, ri := lv.AsInt(), rv.AsInt()
+			switch op {
+			case minic.TokPlus:
+				m.charge(CostAddSub)
+				return IntVal(li + ri), nil
+			case minic.TokMinus:
+				m.charge(CostAddSub)
+				return IntVal(li - ri), nil
+			case minic.TokStar:
+				m.charge(CostMul)
+				return IntVal(li * ri), nil
+			case minic.TokSlash:
+				if ri == 0 {
+					return Value{}, m.errf(pos, "integer division by zero")
+				}
+				m.charge(CostDivInt)
+				return IntVal(li / ri), nil
+			}
+		} else {
+			lf, rf := lv.AsFloat(), rv.AsFloat()
+			switch op {
+			case minic.TokPlus:
+				m.chargeFlop(CostAddSub, 1)
+				return makeNum(k, lf+rf), nil
+			case minic.TokMinus:
+				m.chargeFlop(CostAddSub, 1)
+				return makeNum(k, lf-rf), nil
+			case minic.TokStar:
+				m.chargeFlop(CostMul, 1)
+				return makeNum(k, lf*rf), nil
+			case minic.TokSlash:
+				if rf == 0 {
+					return Value{}, m.errf(pos, "floating division by zero")
+				}
+				m.chargeFlop(CostDivF, 1)
+				return makeNum(k, lf/rf), nil
+			}
+		}
+		return Value{}, m.errf(pos, "unhandled binary operator %s", op)
+	}
+}
+
+// operand is a compiled expression with its common shapes — local slot
+// load, literal — flattened so hot consumers (binary ops, index targets)
+// can fetch the value without a closure call. fetch preserves exactly the
+// accounting the standalone closure would perform: one step at the
+// operand's position, plus CostLocal for slot reads.
+type operand struct {
+	slot    int   // >= 0: read fr.slots[slot]
+	isConst bool  // slot < 0: return val
+	val     Value // literal value for isConst
+	gen     cexpr // fallback for every other shape
+	pos     minic.Pos
+}
+
+func (c *compiler) operand(e minic.Expr) operand {
+	pos := e.NodePos()
+	switch v := e.(type) {
+	case *minic.Ident:
+		if slot, ok := c.lookup(v.Name); ok {
+			return operand{slot: slot, pos: pos}
+		}
+	case *minic.IntLit:
+		return operand{slot: -1, isConst: true, val: IntVal(v.Val), pos: pos}
+	case *minic.FloatLit:
+		if v.Single {
+			return operand{slot: -1, isConst: true, val: FloatVal(v.Val), pos: pos}
+		}
+		return operand{slot: -1, isConst: true, val: DoubleVal(v.Val), pos: pos}
+	case *minic.BoolLit:
+		return operand{slot: -1, isConst: true, val: BoolVal(v.Val), pos: pos}
+	}
+	return operand{slot: -1, gen: c.compileExpr(e), pos: pos}
+}
+
+func (o *operand) fetch(m *machine, fr *cframe) (Value, error) {
+	if o.slot >= 0 {
+		m.steps++
+		if m.steps > m.maxSteps {
+			return Value{}, m.errf(o.pos, "step budget exceeded (%d)", m.maxSteps)
+		}
+		m.charge(CostLocal)
+		return fr.slots[o.slot], nil
+	}
+	if o.isConst {
+		m.steps++
+		if m.steps > m.maxSteps {
+			return Value{}, m.errf(o.pos, "step budget exceeded (%d)", m.maxSteps)
+		}
+		return o.val, nil
+	}
+	return o.gen(m, fr)
+}
+
+func (c *compiler) compileIndexTarget(ix *minic.IndexExpr) cindex {
+	base := c.operand(ix.Base)
+	idx := c.operand(ix.Index)
+	bslot, bconst, bval, bgen, bpos := base.slot, base.isConst, base.val, base.gen, base.pos
+	islot, iconst, ival, igen, ipos := idx.slot, idx.isConst, idx.val, idx.gen, idx.pos
+	pos := ix.NodePos()
+	// Fetches inlined as in compileBinary: the base-is-buffer check still
+	// happens before the index expression evaluates, as in the tree walk.
+	return func(m *machine, fr *cframe) (*Buffer, int64, error) {
+		var bv Value
+		if bslot >= 0 {
+			m.steps++
+			if m.steps > m.maxSteps {
+				return nil, 0, m.errf(bpos, "step budget exceeded (%d)", m.maxSteps)
+			}
+			m.charge(CostLocal)
+			bv = fr.slots[bslot]
+		} else if bconst {
+			m.steps++
+			if m.steps > m.maxSteps {
+				return nil, 0, m.errf(bpos, "step budget exceeded (%d)", m.maxSteps)
+			}
+			bv = bval
+		} else {
+			var err error
+			if bv, err = bgen(m, fr); err != nil {
+				return nil, 0, err
+			}
+		}
+		buf, err := m.bufOf(bv, pos)
+		if err != nil {
+			return nil, 0, err
+		}
+		var iv Value
+		if islot >= 0 {
+			m.steps++
+			if m.steps > m.maxSteps {
+				return nil, 0, m.errf(ipos, "step budget exceeded (%d)", m.maxSteps)
+			}
+			m.charge(CostLocal)
+			iv = fr.slots[islot]
+		} else if iconst {
+			m.steps++
+			if m.steps > m.maxSteps {
+				return nil, 0, m.errf(ipos, "step budget exceeded (%d)", m.maxSteps)
+			}
+			iv = ival
+		} else {
+			if iv, err = igen(m, fr); err != nil {
+				return nil, 0, err
+			}
+		}
+		i, err := m.boundsOf(buf, iv, pos)
+		if err != nil {
+			return nil, 0, err
+		}
+		return buf, i, nil
+	}
+}
+
+func (c *compiler) compileAssign(a *minic.AssignExpr) cexpr {
+	pos := a.NodePos()
+	rhsC := c.compileExpr(a.RHS)
+	op := a.Op
+	compound := op != minic.TokAssign
+	switch lhs := a.LHS.(type) {
+	case *minic.Ident:
+		lpos := lhs.NodePos()
+		slot, ok := c.lookup(lhs.Name)
+		if !ok {
+			name := lhs.Name
+			return func(m *machine, fr *cframe) (Value, error) {
+				if err := m.step(pos); err != nil {
+					return Value{}, err
+				}
+				if _, err := rhsC(m, fr); err != nil {
+					return Value{}, err
+				}
+				return Value{}, m.errf(lpos, "undefined variable %q", name)
+			}
+		}
+		return func(m *machine, fr *cframe) (Value, error) {
+			if err := m.step(pos); err != nil {
+				return Value{}, err
+			}
+			rhs, err := rhsC(m, fr)
+			if err != nil {
+				return Value{}, err
+			}
+			cell := &fr.slots[slot]
+			var old Value
+			if compound {
+				m.charge(CostLocal)
+				old = *cell
+			}
+			nv, err := m.applyCompound(op, old, rhs, pos)
+			if err != nil {
+				return Value{}, err
+			}
+			// Preserve the declared scalar kind of the cell.
+			return m.storeScalarCell(cell, nv, lpos)
+		}
+	case *minic.IndexExpr:
+		lpos := lhs.NodePos()
+		tgt := c.compileIndexTarget(lhs)
+		return func(m *machine, fr *cframe) (Value, error) {
+			if err := m.step(pos); err != nil {
+				return Value{}, err
+			}
+			rhs, err := rhsC(m, fr)
+			if err != nil {
+				return Value{}, err
+			}
+			buf, i, err := tgt(m, fr)
+			if err != nil {
+				return Value{}, err
+			}
+			var old Value
+			if compound {
+				old, err = m.loadElem(buf, i, lpos)
+				if err != nil {
+					return Value{}, err
+				}
+			}
+			nv, err := m.applyCompound(op, old, rhs, pos)
+			if err != nil {
+				return Value{}, err
+			}
+			if err := m.storeElem(buf, i, nv, lpos); err != nil {
+				return Value{}, err
+			}
+			return nv, nil
+		}
+	}
+	node := a.LHS
+	return func(m *machine, fr *cframe) (Value, error) {
+		if err := m.step(pos); err != nil {
+			return Value{}, err
+		}
+		if _, err := rhsC(m, fr); err != nil {
+			return Value{}, err
+		}
+		return Value{}, m.errf(pos, "invalid assignment target %T", node)
+	}
+}
+
+func (c *compiler) compileIncDec(x *minic.IncDecExpr) cexpr {
+	pos := x.NodePos()
+	delta := int64(1)
+	if x.Op == minic.TokMinusMinus {
+		delta = -1
+	}
+	switch t := x.X.(type) {
+	case *minic.Ident:
+		tpos := t.NodePos()
+		slot, ok := c.lookup(t.Name)
+		if !ok {
+			name := t.Name
+			return func(m *machine, fr *cframe) (Value, error) {
+				if err := m.step(pos); err != nil {
+					return Value{}, err
+				}
+				return Value{}, m.errf(tpos, "undefined variable %q", name)
+			}
+		}
+		return func(m *machine, fr *cframe) (Value, error) {
+			if err := m.step(pos); err != nil {
+				return Value{}, err
+			}
+			return m.incDecCell(&fr.slots[slot], delta, tpos) // postfix semantics
+		}
+	case *minic.IndexExpr:
+		tpos := t.NodePos()
+		tgt := c.compileIndexTarget(t)
+		return func(m *machine, fr *cframe) (Value, error) {
+			if err := m.step(pos); err != nil {
+				return Value{}, err
+			}
+			buf, i, err := tgt(m, fr)
+			if err != nil {
+				return Value{}, err
+			}
+			old, err := m.loadElem(buf, i, tpos)
+			if err != nil {
+				return Value{}, err
+			}
+			nv := m.incDecElemValue(old, delta)
+			if err := m.storeElem(buf, i, nv, tpos); err != nil {
+				return Value{}, err
+			}
+			return old, nil
+		}
+	}
+	node := x.X
+	return func(m *machine, fr *cframe) (Value, error) {
+		if err := m.step(pos); err != nil {
+			return Value{}, err
+		}
+		return Value{}, m.errf(pos, "invalid ++/-- target %T", node)
+	}
+}
+
+func (c *compiler) compileCall(call *minic.CallExpr) cexpr {
+	pos := call.NodePos()
+	// printf-family builtins capture output without evaluating format
+	// strings for cost.
+	if call.Fun == "printf" {
+		var argCs []cexpr
+		for _, a := range call.Args {
+			if _, ok := a.(*minic.StringLit); ok {
+				continue // format strings carry no data we need to capture
+			}
+			argCs = append(argCs, c.compileExpr(a))
+		}
+		return func(m *machine, fr *cframe) (Value, error) {
+			if err := m.step(pos); err != nil {
+				return Value{}, err
+			}
+			var parts []string
+			for _, ac := range argCs {
+				v, err := ac(m, fr)
+				if err != nil {
+					return Value{}, err
+				}
+				parts = append(parts, v.String())
+			}
+			if len(parts) > 0 {
+				m.output = append(m.output, sprintParts(parts))
+			}
+			return Value{K: KVoid}, nil
+		}
+	}
+	argCs := make([]cexpr, len(call.Args))
+	for i, a := range call.Args {
+		argCs[i] = c.compileExpr(a)
+	}
+	if bi, ok := builtins[call.Fun]; ok {
+		name := call.Fun
+		return func(m *machine, fr *cframe) (Value, error) {
+			if err := m.step(pos); err != nil {
+				return Value{}, err
+			}
+			args := make([]Value, len(argCs))
+			for i, ac := range argCs {
+				v, err := ac(m, fr)
+				if err != nil {
+					return Value{}, err
+				}
+				args[i] = v
+			}
+			return m.callBuiltin(name, bi, args, pos)
+		}
+	}
+	callee := c.prog.Func(call.Fun)
+	if callee == nil {
+		name := call.Fun
+		return func(m *machine, fr *cframe) (Value, error) {
+			if err := m.step(pos); err != nil {
+				return Value{}, err
+			}
+			return Value{}, m.errf(pos, "call to undefined function %q", name)
+		}
+	}
+	cf := c.funcs[callee.Name]
+	return func(m *machine, fr *cframe) (Value, error) {
+		if err := m.step(pos); err != nil {
+			return Value{}, err
+		}
+		args := make([]Value, len(argCs))
+		for i, ac := range argCs {
+			v, err := ac(m, fr)
+			if err != nil {
+				return Value{}, err
+			}
+			args[i] = v
+		}
+		return m.callCompiled(cf, args, pos)
+	}
+}
+
+// callCompiled invokes a lowered function, mirroring machine.call.
+func (m *machine) callCompiled(cf *compiledFunc, args []Value, pos minic.Pos) (Value, error) {
+	fn := cf.decl
+	if len(args) != len(fn.Params) {
+		return Value{}, m.errf(pos, "call %s: %d args, want %d", fn.Name, len(args), len(fn.Params))
+	}
+	m.charge(CostCall)
+	fr := &cframe{slots: make([]Value, cf.nslots)}
+	for i, p := range fn.Params {
+		coerced, err := m.coerce(args[i], p.Type, pos)
+		if err != nil {
+			return Value{}, m.errf(pos, "call %s param %s: %v", fn.Name, p.Name, err)
+		}
+		fr.slots[i] = coerced // params occupy the first slots in order
+	}
+
+	watching := fn.Name == m.watch
+	var prevParamOf map[*Buffer]string
+	if watching {
+		prevParamOf = m.enterWatch(fn.Params, args)
+	}
+
+	ctl, err := runStmts(m, fr, cf.body)
+	if watching {
+		m.exitWatch(prevParamOf)
+	}
+	if err != nil {
+		return Value{}, err
+	}
+	if ctl == ctrlBreak || ctl == ctrlContinue {
+		return Value{}, m.errf(fn.NodePos(), "break/continue escaped function %s", fn.Name)
+	}
+	return fr.ret, nil
+}

@@ -1,10 +1,13 @@
 package interp
 
 import (
-	"fmt"
-
 	"psaflow/internal/minic"
 )
+
+// The tree-walking evaluator. Since the compiled fast path (compile.go)
+// became the default, this walker is kept as the semantic reference the
+// equivalence suite checks the compiler against; all value semantics and
+// cost charging live in the shared helpers of apply.go.
 
 func (m *machine) eval(fr *frame, e minic.Expr) (Value, error) {
 	if err := m.step(e.NodePos()); err != nil {
@@ -34,21 +37,7 @@ func (m *machine) eval(fr *frame, e minic.Expr) (Value, error) {
 		if err != nil {
 			return Value{}, err
 		}
-		if v.Op == minic.TokNot {
-			m.charge(CostLogic)
-			return BoolVal(!x.AsBool()), nil
-		}
-		switch x.K {
-		case KInt:
-			m.charge(CostAddSub)
-			return IntVal(-x.I), nil
-		case KFloat:
-			m.chargeFlop(CostAddSub, 1)
-			return FloatVal(-x.F), nil
-		default:
-			m.chargeFlop(CostAddSub, 1)
-			return DoubleVal(-x.AsFloat()), nil
-		}
+		return m.applyUnary(v.Op, x), nil
 	case *minic.BinaryExpr:
 		return m.evalBinary(fr, v)
 	case *minic.AssignExpr:
@@ -125,84 +114,7 @@ func (m *machine) evalBinary(fr *frame, b *minic.BinaryExpr) (Value, error) {
 	if err != nil {
 		return Value{}, err
 	}
-	if !l.IsNumeric() || !r.IsNumeric() {
-		return Value{}, m.errf(b.NodePos(), "non-numeric operands to %s", b.Op)
-	}
-	k := promote(l, r)
-
-	switch b.Op {
-	case minic.TokLt, minic.TokGt, minic.TokLe, minic.TokGe, minic.TokEqEq, minic.TokNe:
-		m.charge(CostCmp)
-		lf, rf := l.AsFloat(), r.AsFloat()
-		var res bool
-		switch b.Op {
-		case minic.TokLt:
-			res = lf < rf
-		case minic.TokGt:
-			res = lf > rf
-		case minic.TokLe:
-			res = lf <= rf
-		case minic.TokGe:
-			res = lf >= rf
-		case minic.TokEqEq:
-			res = lf == rf
-		case minic.TokNe:
-			res = lf != rf
-		}
-		return BoolVal(res), nil
-	case minic.TokPercent:
-		if l.K != KInt || r.K != KInt {
-			return Value{}, m.errf(b.NodePos(), "%% requires int operands")
-		}
-		if r.I == 0 {
-			return Value{}, m.errf(b.NodePos(), "modulo by zero")
-		}
-		m.charge(CostDivInt)
-		m.prof.IntOps++
-		return IntVal(l.I % r.I), nil
-	}
-
-	if k == KInt {
-		m.prof.IntOps++
-		li, ri := l.AsInt(), r.AsInt()
-		switch b.Op {
-		case minic.TokPlus:
-			m.charge(CostAddSub)
-			return IntVal(li + ri), nil
-		case minic.TokMinus:
-			m.charge(CostAddSub)
-			return IntVal(li - ri), nil
-		case minic.TokStar:
-			m.charge(CostMul)
-			return IntVal(li * ri), nil
-		case minic.TokSlash:
-			if ri == 0 {
-				return Value{}, m.errf(b.NodePos(), "integer division by zero")
-			}
-			m.charge(CostDivInt)
-			return IntVal(li / ri), nil
-		}
-	} else {
-		lf, rf := l.AsFloat(), r.AsFloat()
-		switch b.Op {
-		case minic.TokPlus:
-			m.chargeFlop(CostAddSub, 1)
-			return makeNum(k, lf+rf), nil
-		case minic.TokMinus:
-			m.chargeFlop(CostAddSub, 1)
-			return makeNum(k, lf-rf), nil
-		case minic.TokStar:
-			m.chargeFlop(CostMul, 1)
-			return makeNum(k, lf*rf), nil
-		case minic.TokSlash:
-			if rf == 0 {
-				return Value{}, m.errf(b.NodePos(), "floating division by zero")
-			}
-			m.chargeFlop(CostDivF, 1)
-			return makeNum(k, lf/rf), nil
-		}
-	}
-	return Value{}, m.errf(b.NodePos(), "unhandled binary operator %s", b.Op)
+	return m.applyBinary(b.Op, l, r, b.NodePos())
 }
 
 // evalIndexTarget resolves base buffer and index for an IndexExpr.
@@ -211,18 +123,19 @@ func (m *machine) evalIndexTarget(fr *frame, ix *minic.IndexExpr) (*Buffer, int6
 	if err != nil {
 		return nil, 0, err
 	}
-	if base.K != KBuf {
-		return nil, 0, m.errf(ix.NodePos(), "indexing non-array value (%s)", base.K)
+	buf, err := m.bufOf(base, ix.NodePos())
+	if err != nil {
+		return nil, 0, err
 	}
 	idx, err := m.eval(fr, ix.Index)
 	if err != nil {
 		return nil, 0, err
 	}
-	i := idx.AsInt()
-	if i < 0 || i >= int64(base.Buf.Len()) {
-		return nil, 0, m.errf(ix.NodePos(), "index %d out of range [0,%d) for %s", i, base.Buf.Len(), base.Buf.Name)
+	i, err := m.boundsOf(buf, idx, ix.NodePos())
+	if err != nil {
+		return nil, 0, err
 	}
-	return base.Buf, i, nil
+	return buf, i, nil
 }
 
 func (m *machine) loadElem(buf *Buffer, i int64, pos minic.Pos) (Value, error) {
@@ -275,45 +188,6 @@ func (m *machine) evalAssign(fr *frame, a *minic.AssignExpr) (Value, error) {
 	if err != nil {
 		return Value{}, err
 	}
-	apply := func(old Value) (Value, error) {
-		if a.Op == minic.TokAssign {
-			return rhs, nil
-		}
-		if !old.IsNumeric() || !rhs.IsNumeric() {
-			return Value{}, m.errf(a.NodePos(), "non-numeric compound assignment")
-		}
-		k := promote(old, rhs)
-		lf, rf := old.AsFloat(), rhs.AsFloat()
-		var res float64
-		switch a.Op {
-		case minic.TokPlusEq:
-			res = lf + rf
-		case minic.TokMinusEq:
-			res = lf - rf
-		case minic.TokStarEq:
-			res = lf * rf
-		case minic.TokSlashEq:
-			if rf == 0 {
-				return Value{}, m.errf(a.NodePos(), "division by zero in /=")
-			}
-			res = lf / rf
-		default:
-			return Value{}, m.errf(a.NodePos(), "unhandled assign op %s", a.Op)
-		}
-		cost := CostAddSub
-		if a.Op == minic.TokStarEq {
-			cost = CostMul
-		} else if a.Op == minic.TokSlashEq {
-			cost = CostDivF
-		}
-		if k == KInt {
-			m.charge(cost)
-			m.prof.IntOps++
-		} else {
-			m.chargeFlop(cost, 1)
-		}
-		return makeNum(k, res), nil
-	}
 
 	switch lhs := a.LHS.(type) {
 	case *minic.Ident:
@@ -326,25 +200,12 @@ func (m *machine) evalAssign(fr *frame, a *minic.AssignExpr) (Value, error) {
 			m.charge(CostLocal)
 			old = *cell
 		}
-		nv, err := apply(old)
+		nv, err := m.applyCompound(a.Op, old, rhs, a.NodePos())
 		if err != nil {
 			return Value{}, err
 		}
 		// Preserve the declared scalar kind of the cell.
-		switch cell.K {
-		case KInt:
-			*cell = IntVal(nv.AsInt())
-		case KFloat:
-			*cell = FloatVal(nv.AsFloat())
-		case KDouble:
-			*cell = DoubleVal(nv.AsFloat())
-		case KBool:
-			*cell = BoolVal(nv.AsBool())
-		default:
-			return Value{}, m.errf(lhs.NodePos(), "cannot assign to %s", cell.K)
-		}
-		m.charge(CostLocal)
-		return *cell, nil
+		return m.storeScalarCell(cell, nv, lhs.NodePos())
 	case *minic.IndexExpr:
 		buf, i, err := m.evalIndexTarget(fr, lhs)
 		if err != nil {
@@ -357,7 +218,7 @@ func (m *machine) evalAssign(fr *frame, a *minic.AssignExpr) (Value, error) {
 				return Value{}, err
 			}
 		}
-		nv, err := apply(old)
+		nv, err := m.applyCompound(a.Op, old, rhs, a.NodePos())
 		if err != nil {
 			return Value{}, err
 		}
@@ -380,22 +241,7 @@ func (m *machine) evalIncDec(fr *frame, x *minic.IncDecExpr) (Value, error) {
 		if cell == nil {
 			return Value{}, m.errf(t.NodePos(), "undefined variable %q", t.Name)
 		}
-		old := *cell
-		switch cell.K {
-		case KInt:
-			m.charge(CostAddSub)
-			m.prof.IntOps++
-			*cell = IntVal(cell.I + delta)
-		case KFloat:
-			m.chargeFlop(CostAddSub, 1)
-			*cell = FloatVal(cell.F + float64(delta))
-		case KDouble:
-			m.chargeFlop(CostAddSub, 1)
-			*cell = DoubleVal(cell.F + float64(delta))
-		default:
-			return Value{}, m.errf(t.NodePos(), "cannot ++/-- a %s", cell.K)
-		}
-		return old, nil // postfix semantics
+		return m.incDecCell(cell, delta, t.NodePos()) // postfix semantics
 	case *minic.IndexExpr:
 		buf, i, err := m.evalIndexTarget(fr, t)
 		if err != nil {
@@ -405,15 +251,7 @@ func (m *machine) evalIncDec(fr *frame, x *minic.IncDecExpr) (Value, error) {
 		if err != nil {
 			return Value{}, err
 		}
-		var nv Value
-		if old.K == KInt {
-			m.charge(CostAddSub)
-			m.prof.IntOps++
-			nv = IntVal(old.I + delta)
-		} else {
-			m.chargeFlop(CostAddSub, 1)
-			nv = makeNum(old.K, old.F+float64(delta))
-		}
+		nv := m.incDecElemValue(old, delta)
 		if err := m.storeElem(buf, i, nv, t.NodePos()); err != nil {
 			return Value{}, err
 		}
@@ -437,14 +275,7 @@ func (m *machine) evalCall(fr *frame, c *minic.CallExpr) (Value, error) {
 			}
 			args[i] = v
 		}
-		if len(args) != bi.arity {
-			return Value{}, m.errf(c.NodePos(), "%s: %d args, want %d", c.Fun, len(args), bi.arity)
-		}
-		m.chargeFlop(bi.cost, bi.flops)
-		if bi.flops > 1 && m.watchDepth > 0 {
-			m.prof.WatchSpecialFlops += bi.flops
-		}
-		return bi.fn(args), nil
+		return m.callBuiltin(c.Fun, bi, args, c.NodePos())
 	}
 	callee := m.prog.Func(c.Fun)
 	if callee == nil {
@@ -474,7 +305,7 @@ func (m *machine) evalPrintf(fr *frame, c *minic.CallExpr) (Value, error) {
 		parts = append(parts, v.String())
 	}
 	if len(parts) > 0 {
-		m.output = append(m.output, fmt.Sprint(parts))
+		m.output = append(m.output, sprintParts(parts))
 	}
 	return Value{K: KVoid}, nil
 }

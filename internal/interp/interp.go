@@ -2,6 +2,7 @@ package interp
 
 import (
 	"fmt"
+	"time"
 
 	"psaflow/internal/minic"
 	"psaflow/internal/query"
@@ -28,6 +29,10 @@ const (
 	CounterRuns   = "interp.runs"
 	CounterOps    = "interp.ops"    // AST evaluation steps executed
 	CounterCycles = "interp.cycles" // virtual cycles charged (rounded)
+	// CounterCompileFuncs / CounterCompileNanos describe the compile pass
+	// that lowers the AST to slot-indexed closures before execution.
+	CounterCompileFuncs = "interp.compile.funcs"
+	CounterCompileNanos = "interp.compile.ns"
 )
 
 // Config configures one execution.
@@ -39,6 +44,11 @@ type Config struct {
 	// Counters, when non-nil, receives the run's op/cycle totals
 	// (CounterRuns/CounterOps/CounterCycles) once execution finishes.
 	Counters Counters
+	// TreeWalk forces the legacy tree-walking evaluator instead of the
+	// compiled slot-frame fast path. The two are bit-for-bit equivalent
+	// (profiles, outputs, errors); the walker remains as the semantic
+	// reference for differential testing.
+	TreeWalk bool
 }
 
 // Result is the outcome of one execution.
@@ -81,6 +91,8 @@ type machine struct {
 }
 
 // Run executes cfg.Entry in prog and returns the result with its profile.
+// By default the program is first lowered to slot-indexed closures
+// (compile.go); cfg.TreeWalk selects the reference tree-walker instead.
 func Run(prog *minic.Program, cfg Config) (*Result, error) {
 	entry := prog.Func(cfg.Entry)
 	if entry == nil {
@@ -101,7 +113,19 @@ func Run(prog *minic.Program, cfg Config) (*Result, error) {
 		watch:    watch,
 		loopInfo: buildLoopInfo(prog),
 	}
-	ret, err := m.call(entry, cfg.Args, entry.NodePos())
+	var ret Value
+	var err error
+	var compileNanos int64
+	var compiledFuncs int64
+	if cfg.TreeWalk {
+		ret, err = m.call(entry, cfg.Args, entry.NodePos())
+	} else {
+		compileStart := time.Now()
+		cp := compileProgram(prog)
+		compileNanos = time.Since(compileStart).Nanoseconds()
+		compiledFuncs = int64(len(cp.funcs))
+		ret, err = m.callCompiled(cp.funcs[cfg.Entry], cfg.Args, entry.NodePos())
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -109,6 +133,10 @@ func Run(prog *minic.Program, cfg Config) (*Result, error) {
 		cfg.Counters.Add(CounterRuns, 1)
 		cfg.Counters.Add(CounterOps, m.steps)
 		cfg.Counters.Add(CounterCycles, int64(m.prof.Cycles))
+		if compiledFuncs > 0 {
+			cfg.Counters.Add(CounterCompileFuncs, compiledFuncs)
+			cfg.Counters.Add(CounterCompileNanos, compileNanos)
+		}
 	}
 	return &Result{Ret: ret, Prof: m.prof, Steps: m.steps, Output: m.output}, nil
 }
@@ -195,38 +223,14 @@ func (m *machine) call(fn *minic.FuncDecl, args []Value, pos minic.Pos) (Value, 
 	}
 
 	watching := fn.Name == m.watch
-	var startCycles float64
-	var startFlops int64
 	var prevParamOf map[*Buffer]string
 	if watching {
-		m.prof.WatchCalls++
-		binding := make(map[string]*Buffer)
-		pm := make(map[*Buffer]string)
-		for i, p := range fn.Params {
-			if args[i].K == KBuf {
-				binding[p.Name] = args[i].Buf
-				pm[args[i].Buf] = p.Name
-				if _, ok := m.prof.ParamTraffic[p.Name]; !ok {
-					m.prof.ParamTraffic[p.Name] = &Traffic{Param: p.Name}
-				}
-			}
-		}
-		m.prof.Bindings = append(m.prof.Bindings, binding)
-		prevParamOf = m.paramOf
-		m.paramOf = pm
-		if m.watchDepth == 0 {
-			startCycles = m.prof.Cycles
-			startFlops = m.prof.Flops
-			_ = startCycles
-			_ = startFlops
-		}
-		m.watchDepth++
+		prevParamOf = m.enterWatch(fn.Params, args)
 	}
 
 	c, err := m.execBlock(fr, fn.Body)
 	if watching {
-		m.watchDepth--
-		m.paramOf = prevParamOf
+		m.exitWatch(prevParamOf)
 	}
 	if err != nil {
 		return Value{}, err
@@ -337,15 +341,9 @@ func (m *machine) execDecl(fr *frame, d *minic.DeclStmt) error {
 		if err != nil {
 			return err
 		}
-		n := nv.AsInt()
-		if n < 0 || n > 1<<26 {
-			return m.errf(d.NodePos(), "array %s has invalid length %d", d.Name, n)
-		}
-		buf := &Buffer{Name: d.Name, Kind: d.Type.Kind}
-		if d.Type.Kind == minic.Int {
-			buf.I = make([]int64, n)
-		} else {
-			buf.F = make([]float64, n)
+		buf, err := m.makeArray(d.Name, d.Type.Kind, nv.AsInt(), d.NodePos())
+		if err != nil {
+			return err
 		}
 		fr.declare(d.Name, BufVal(buf))
 		return nil

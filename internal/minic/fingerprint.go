@@ -1,0 +1,236 @@
+package minic
+
+import "math"
+
+// This file defines the deterministic structural AST hash that keys the
+// profiled-run cache (core.RunCache). Two properties matter for cache
+// safety:
+//
+//  1. Any rewrite a transform can make — renamed identifiers, changed
+//     literals (including the float 'f' suffix the SP transforms toggle),
+//     added or removed pragmas, restructured or outlined loops — changes
+//     the hash, so a stale interp.Result can never be reused.
+//  2. Loop node IDs are hashed. A cached Profile keys its per-loop
+//     counters by node ID, so a hit must guarantee the consumer's AST
+//     numbers its loops identically to the profiled one. The parser and
+//     Clone both run AssignIDs (a dense depth-first numbering), so
+//     structurally identical programs carry identical IDs and still hash
+//     equal; anything that renumbers differently misses harmlessly.
+//
+// The hash is 64-bit FNV-1a over a type-tagged preorder serialisation
+// with explicit nil markers for optional children, so `for(;;body)` vs
+// `for(init;;)` and `if/else` vs `if` cannot collide structurally (the
+// generic Children() flattening would conflate them).
+
+const (
+	fpOffset uint64 = 14695981039346656037
+	fpPrime  uint64 = 1099511628211
+)
+
+// Node type tags for the serialisation. Values are part of the hash, so
+// keep the order append-only.
+const (
+	fpNil byte = iota
+	fpProgram
+	fpFunc
+	fpParam
+	fpBlock
+	fpDecl
+	fpExprStmt
+	fpFor
+	fpWhile
+	fpIf
+	fpReturn
+	fpBreak
+	fpContinue
+	fpPragmaStmt
+	fpIdent
+	fpIntLit
+	fpFloatLit
+	fpBoolLit
+	fpStringLit
+	fpUnary
+	fpBinary
+	fpAssign
+	fpIncDec
+	fpIndex
+	fpCall
+	fpCast
+)
+
+type fingerprinter struct{ h uint64 }
+
+func (f *fingerprinter) byte(b byte) { f.h = (f.h ^ uint64(b)) * fpPrime }
+
+func (f *fingerprinter) u64(v uint64) {
+	for i := 0; i < 8; i++ {
+		f.byte(byte(v))
+		v >>= 8
+	}
+}
+
+func (f *fingerprinter) boolean(b bool) {
+	if b {
+		f.byte(1)
+	} else {
+		f.byte(0)
+	}
+}
+
+func (f *fingerprinter) str(s string) {
+	f.u64(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		f.byte(s[i])
+	}
+}
+
+func (f *fingerprinter) strs(ss []string) {
+	f.u64(uint64(len(ss)))
+	for _, s := range ss {
+		f.str(s)
+	}
+}
+
+func (f *fingerprinter) typ(t Type) {
+	f.byte(byte(t.Kind))
+	f.boolean(t.Ptr)
+	f.boolean(t.Const)
+}
+
+// opt hashes an optional child, with an explicit marker when absent.
+func (f *fingerprinter) opt(n Node) {
+	if n == nil {
+		f.byte(fpNil)
+		return
+	}
+	f.node(n)
+}
+
+func (f *fingerprinter) node(n Node) {
+	switch v := n.(type) {
+	case *Program:
+		f.byte(fpProgram)
+		f.u64(uint64(len(v.Funcs)))
+		for _, fn := range v.Funcs {
+			f.node(fn)
+		}
+	case *FuncDecl:
+		f.byte(fpFunc)
+		f.typ(v.Ret)
+		f.str(v.Name)
+		f.u64(uint64(len(v.Params)))
+		for _, p := range v.Params {
+			f.node(p)
+		}
+		f.opt(v.Body)
+	case *Param:
+		f.byte(fpParam)
+		f.typ(v.Type)
+		f.str(v.Name)
+	case *Block:
+		f.byte(fpBlock)
+		f.u64(uint64(len(v.Stmts)))
+		for _, s := range v.Stmts {
+			f.node(s)
+		}
+	case *DeclStmt:
+		f.byte(fpDecl)
+		f.typ(v.Type)
+		f.str(v.Name)
+		f.opt(v.ArrayLen)
+		f.opt(v.Init)
+	case *ExprStmt:
+		f.byte(fpExprStmt)
+		f.node(v.X)
+	case *ForStmt:
+		f.byte(fpFor)
+		f.u64(uint64(v.ID())) // ties cached loop-profile keys to this AST
+		f.opt(v.Init)
+		f.opt(v.Cond)
+		f.opt(v.Post)
+		f.node(v.Body)
+		f.strs(v.Pragmas)
+	case *WhileStmt:
+		f.byte(fpWhile)
+		f.u64(uint64(v.ID()))
+		f.node(v.Cond)
+		f.node(v.Body)
+		f.strs(v.Pragmas)
+	case *IfStmt:
+		f.byte(fpIf)
+		f.node(v.Cond)
+		f.node(v.Then)
+		f.opt(v.Else)
+	case *ReturnStmt:
+		f.byte(fpReturn)
+		f.opt(v.X)
+	case *BreakStmt:
+		f.byte(fpBreak)
+	case *ContinueStmt:
+		f.byte(fpContinue)
+	case *PragmaStmt:
+		f.byte(fpPragmaStmt)
+		f.str(v.Text)
+	case *Ident:
+		f.byte(fpIdent)
+		f.str(v.Name)
+	case *IntLit:
+		f.byte(fpIntLit)
+		f.u64(uint64(v.Val))
+	case *FloatLit:
+		f.byte(fpFloatLit)
+		f.u64(math.Float64bits(v.Val))
+		f.boolean(v.Single)
+	case *BoolLit:
+		f.byte(fpBoolLit)
+		f.boolean(v.Val)
+	case *StringLit:
+		f.byte(fpStringLit)
+		f.str(v.Val)
+	case *UnaryExpr:
+		f.byte(fpUnary)
+		f.u64(uint64(v.Op))
+		f.node(v.X)
+	case *BinaryExpr:
+		f.byte(fpBinary)
+		f.u64(uint64(v.Op))
+		f.node(v.L)
+		f.node(v.R)
+	case *AssignExpr:
+		f.byte(fpAssign)
+		f.u64(uint64(v.Op))
+		f.node(v.LHS)
+		f.node(v.RHS)
+	case *IncDecExpr:
+		f.byte(fpIncDec)
+		f.u64(uint64(v.Op))
+		f.node(v.X)
+	case *IndexExpr:
+		f.byte(fpIndex)
+		f.node(v.Base)
+		f.node(v.Index)
+	case *CallExpr:
+		f.byte(fpCall)
+		f.str(v.Fun)
+		f.u64(uint64(len(v.Args)))
+		for _, a := range v.Args {
+			f.node(a)
+		}
+	case *CastExpr:
+		f.byte(fpCast)
+		f.typ(v.To)
+		f.node(v.X)
+	default:
+		f.byte(fpNil) // unknown node kinds hash as absent
+	}
+}
+
+// Fingerprint returns a deterministic structural hash of the program.
+// Equal fingerprints mean the interpreter would produce identical results
+// (same outputs, profile, and loop-profile keys) for the same workload;
+// any transform rewrite changes the fingerprint.
+func Fingerprint(p *Program) uint64 {
+	f := &fingerprinter{h: fpOffset}
+	f.node(p)
+	return f.h
+}

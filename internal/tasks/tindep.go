@@ -14,6 +14,7 @@ import (
 	"psaflow/internal/interp"
 	"psaflow/internal/minic"
 	"psaflow/internal/query"
+	"psaflow/internal/telemetry"
 	"psaflow/internal/transform"
 )
 
@@ -29,6 +30,13 @@ const MaterializeUnrollLimit = 64
 // runWorkload executes the design's current program on the workload,
 // watching the given function (or the entry when watch is ""). Each run's
 // op/cycle totals flow into the context's telemetry recorder.
+//
+// When the context carries a RunCache, the execution is memoized on
+// (program fingerprint, workload, entry, watch): the analyses that re-run
+// an unchanged program — and sibling forked paths holding identical
+// program copies — share one profiled interp.Result. Transform rewrites
+// change the fingerprint, so invalidation is automatic. Cached results are
+// shared and therefore read-only for all consumers.
 func runWorkload(ctx *core.Context, d *core.Design, watch string) (*interp.Result, error) {
 	if ctx.Workload == nil {
 		return nil, fmt.Errorf("dynamic task requires a workload")
@@ -37,12 +45,38 @@ func runWorkload(ctx *core.Context, d *core.Design, watch string) (*interp.Resul
 	if ctx.Telemetry != nil {
 		counters = ctx.Telemetry
 	}
-	return interp.Run(d.Prog, interp.Config{
-		Entry:    ctx.Workload.Entry(),
-		Args:     ctx.Workload.Args(),
-		Watch:    watch,
-		Counters: counters,
-	})
+	run := func() (*interp.Result, error) {
+		return interp.Run(d.Prog, interp.Config{
+			Entry:    ctx.Workload.Entry(),
+			Args:     ctx.Workload.Args(),
+			Watch:    watch,
+			Counters: counters,
+		})
+	}
+	if ctx.Runs == nil {
+		return run()
+	}
+	w := watch
+	if w == "" {
+		w = ctx.Workload.Entry() // match interp.Run's watch default
+	}
+	key := core.RunKey{
+		Fingerprint: minic.Fingerprint(d.Prog),
+		Workload:    ctx.Workload.Name(),
+		Entry:       ctx.Workload.Entry(),
+		Watch:       w,
+	}
+	res, err, hit := ctx.Runs.Do(key, run)
+	if hit {
+		ctx.Count(telemetry.CounterRunCacheHits, 1)
+		if res != nil {
+			ctx.Count(telemetry.CounterRunCacheOpsAvoided, res.Steps)
+			ctx.Count(telemetry.CounterRunCacheCyclesAvoided, int64(res.Prof.Cycles))
+		}
+	} else {
+		ctx.Count(telemetry.CounterRunCacheMisses, 1)
+	}
+	return res, err
 }
 
 // IdentifyHotspots is the paper's "Identify Hotspot Loops" dynamic

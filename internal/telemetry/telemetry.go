@@ -37,6 +37,13 @@ const (
 	// oneAPI partial compile (hls.Estimate) — the expensive tool step of
 	// the unroll-until-overmap DSE.
 	CounterHLSPartialCompiles = "hls.partial_compiles"
+	// CounterRunCacheHits / Misses count memoized profiled-run lookups in
+	// core.RunCache; OpsAvoided / CyclesAvoided total the interpreter work
+	// each hit skipped (the cached run's AST steps and virtual cycles).
+	CounterRunCacheHits          = "runcache.hits"
+	CounterRunCacheMisses        = "runcache.misses"
+	CounterRunCacheOpsAvoided    = "runcache.ops_avoided"
+	CounterRunCacheCyclesAvoided = "runcache.cycles_avoided"
 	// CounterDesignsForked counts Design.Fork calls made at branch points.
 	CounterDesignsForked = "flow.designs_forked"
 	// CounterBudgetRevisions counts Fig. 3 budget-feedback re-selections.

@@ -9,3 +9,9 @@ cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
 go test -race ./...
+# Compiled-vs-tree-walk and cached-vs-uncached equivalence under -race:
+# the singleflight run cache is shared by concurrent branch paths.
+go test -race -run 'Equivalence' ./internal/interp/ ./internal/tasks/
+# Bench smoke: one shot of every harness benchmark, so a regression that
+# breaks a figure harness (not just a unit) fails CI.
+go test -run '^$' -bench . -benchtime=1x .
