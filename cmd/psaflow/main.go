@@ -5,17 +5,19 @@
 //
 // Usage:
 //
-//	psaflow -bench nbody [-mode informed|uninformed] [-trace] [-emit]
-//	        [-metrics] [-metrics-json out.json] [-v]
+//	psaflow -bench nbody [-mode informed|uninformed] [-timeout 30s] [-trace]
+//	        [-emit] [-metrics] [-metrics-json out.json] [-v]
 //	psaflow -list
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"psaflow/internal/bench"
+	"psaflow/internal/core"
 	"psaflow/internal/experiments"
 	"psaflow/internal/tasks"
 	"psaflow/internal/telemetry"
@@ -31,6 +33,7 @@ func main() {
 	outDir := flag.String("out", "", "export each design (source, trace, summary) under this directory")
 	metrics := flag.Bool("metrics", false, "print a flow telemetry report (timings + counters)")
 	metricsJSON := flag.String("metrics-json", "", "write the flow telemetry report as JSON to this file")
+	timeout := flag.Duration("timeout", 0, "bound the flow's wall-clock time (0 = unbounded)")
 	verbose := flag.Bool("v", false, "log flow execution")
 	flag.Parse()
 
@@ -68,8 +71,15 @@ func main() {
 		rec = telemetry.New()
 	}
 
-	results, err := experiments.RunBenchmarkRecorded(b,
-		tasks.FlowOptions{Mode: m, Strategy: tasks.DefaultStrategy, ResourceSharing: *sharing}, logf, rec)
+	runCtx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(runCtx, *timeout)
+		defer cancel()
+	}
+	results, err := experiments.RunBenchmarkJob(runCtx, b, nil,
+		tasks.FlowOptions{Mode: m, Strategy: tasks.DefaultStrategy, ResourceSharing: *sharing},
+		logf, rec, core.NewRunCache())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -1,0 +1,93 @@
+// Command psaflowd serves PSA-flows over HTTP: clients POST MiniC source +
+// workload + mode to /v1/jobs, a bounded worker pool executes the flows
+// against one process-wide profiled-run cache, and results persist as JSON
+// under -data-dir. SIGINT/SIGTERM drains gracefully: the listener stops,
+// in-flight jobs finish, and still-queued jobs are snapshotted to disk and
+// restored on the next start.
+//
+// Usage:
+//
+//	psaflowd [-addr :8080] [-workers 4] [-queue 64] [-data-dir DIR]
+//	         [-timeout 5m] [-v]
+//
+// Endpoints:
+//
+//	POST   /v1/jobs             submit a job (202; 429 when the queue is full)
+//	GET    /v1/jobs/{id}        job status
+//	GET    /v1/jobs/{id}/result designs + telemetry (409 while running)
+//	DELETE /v1/jobs/{id}        cancel (queued: 200; running: 202)
+//	GET    /healthz             liveness (503 while draining)
+//	GET    /metrics             service gauges + telemetry report
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"psaflow/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	workers := flag.Int("workers", 4, "worker pool size (concurrent flows)")
+	queueSize := flag.Int("queue", 64, "job queue capacity (beyond it, submissions get 429)")
+	dataDir := flag.String("data-dir", "", "persist job results and the drain snapshot here (empty = no persistence)")
+	timeout := flag.Duration("timeout", 5*time.Minute, "default per-job run-time bound (0 = unbounded)")
+	verbose := flag.Bool("v", false, "log job lifecycle events")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "psaflowd: ", log.LstdFlags|log.Lmsgprefix)
+	var logf func(string, ...any)
+	if *verbose {
+		logf = logger.Printf
+	}
+
+	s := service.New(service.Config{
+		Workers:        *workers,
+		QueueSize:      *queueSize,
+		DataDir:        *dataDir,
+		DefaultTimeout: *timeout,
+		Logf:           logf,
+	})
+	if err := s.Start(); err != nil {
+		logger.Fatalf("start: %v", err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	logger.Printf("listening on %s (workers=%d queue=%d data-dir=%q)", *addr, *workers, *queueSize, *dataDir)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		logger.Printf("%s: draining (in-flight jobs finish, queued jobs snapshot)", sig)
+	case err := <-errCh:
+		logger.Fatalf("serve: %v", err)
+	}
+
+	// Stop accepting connections first, then drain the queue so no new job
+	// can slip in behind the snapshot.
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("http shutdown: %v", err)
+	}
+	snapshotted, err := s.Drain()
+	if err != nil {
+		logger.Fatalf("drain: %v", err)
+	}
+	if snapshotted > 0 {
+		fmt.Fprintf(os.Stderr, "psaflowd: snapshotted %d queued job(s)\n", snapshotted)
+	}
+	logger.Printf("drained cleanly")
+}

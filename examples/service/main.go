@@ -1,0 +1,200 @@
+// Command service is a psaflowd client: it submits one or more jobs,
+// polls them to completion, and reports the selected designs. With -n > 1
+// it doubles as a small load generator (identical jobs race through the
+// daemon's queue and shared run cache), and -json emits a machine-readable
+// summary that scripts/loadtest.sh and the CI smoke test consume.
+//
+// Usage (against a running daemon):
+//
+//	go run ./examples/service -addr http://localhost:8080 -bench nbody
+//	go run ./examples/service -bench adpredictor -n 32 -json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+)
+
+type jobSpec struct {
+	Bench     string `json:"bench"`
+	Mode      string `json:"mode,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+type jobStatus struct {
+	ID          string  `json:"id"`
+	State       string  `json:"state"`
+	Error       string  `json:"error"`
+	QueueWaitMS float64 `json:"queue_wait_ms"`
+	RunMS       float64 `json:"run_ms"`
+}
+
+type jobResult struct {
+	jobStatus
+	AutoTarget string `json:"auto_target"`
+	Designs    []struct {
+		Label   string  `json:"label"`
+		Target  string  `json:"target"`
+		Speedup float64 `json:"speedup"`
+	} `json:"designs"`
+}
+
+type metrics struct {
+	Service struct {
+		RunCacheHits   int64   `json:"runcache_hits"`
+		RunCacheMisses int64   `json:"runcache_misses"`
+		QueueWaitMSAvg float64 `json:"queue_wait_ms_avg"`
+	} `json:"service"`
+}
+
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %d: %s", url, resp.StatusCode, body)
+	}
+	return json.Unmarshal(body, v)
+}
+
+func submit(addr string, spec jobSpec) (string, error) {
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(addr+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		return "", fmt.Errorf("submit: %d: %s", resp.StatusCode, data)
+	}
+	var st jobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		return "", err
+	}
+	return st.ID, nil
+}
+
+func await(addr, id string, poll, wait time.Duration) (jobStatus, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		var st jobStatus
+		if err := getJSON(addr+"/v1/jobs/"+id, &st); err != nil {
+			return st, err
+		}
+		switch st.State {
+		case "done", "failed", "cancelled":
+			return st, nil
+		}
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("job %s still %s after %v", id, st.State, wait)
+		}
+		time.Sleep(poll)
+	}
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "psaflowd base URL")
+	benchName := flag.String("bench", "nbody", "benchmark to submit")
+	mode := flag.String("mode", "", "informed (default) or uninformed")
+	n := flag.Int("n", 1, "number of identical jobs to submit concurrently")
+	timeoutMS := flag.Int64("timeout-ms", 0, "per-job run-time bound (0 = server default)")
+	poll := flag.Duration("poll", 100*time.Millisecond, "status poll interval")
+	wait := flag.Duration("wait", 5*time.Minute, "per-job completion deadline")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable run summary")
+	flag.Parse()
+
+	spec := jobSpec{Bench: *benchName, Mode: *mode, TimeoutMS: *timeoutMS}
+	start := time.Now()
+
+	ids := make([]string, *n)
+	errs := make([]error, *n)
+	var wg sync.WaitGroup
+	for i := 0; i < *n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ids[i], errs[i] = submit(*addr, spec)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "job %d: %v\n", i, err)
+			os.Exit(1)
+		}
+	}
+
+	// Jobs run concurrently server-side; polling them in order just
+	// collects the results.
+	states := make([]jobStatus, *n)
+	for i, id := range ids {
+		st, err := await(*addr, id, *poll, *wait)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "job %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		states[i] = st
+	}
+	wall := time.Since(start)
+
+	done := 0
+	var waitSum float64
+	for _, st := range states {
+		if st.State == "done" {
+			done++
+		}
+		waitSum += st.QueueWaitMS
+	}
+
+	if *jsonOut {
+		var m metrics
+		_ = getJSON(*addr+"/metrics", &m)
+		out := map[string]any{
+			"jobs":               *n,
+			"done":               done,
+			"bench":              *benchName,
+			"wall_s":             wall.Seconds(),
+			"throughput_jobs_s":  float64(*n) / wall.Seconds(),
+			"queue_wait_ms_avg":  waitSum / float64(*n),
+			"runcache_hits":      m.Service.RunCacheHits,
+			"runcache_misses":    m.Service.RunCacheMisses,
+			"server_wait_ms_avg": m.Service.QueueWaitMSAvg,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	} else {
+		for _, st := range states {
+			fmt.Printf("job %s: %s (queued %.0fms, ran %.0fms)\n", st.ID, st.State, st.QueueWaitMS, st.RunMS)
+			if st.Error != "" {
+				fmt.Printf("  error: %s\n", st.Error)
+			}
+		}
+		// Show the first job's designs as the walkthrough payload.
+		var res jobResult
+		if err := getJSON(*addr+"/v1/jobs/"+ids[0]+"/result", &res); err == nil {
+			fmt.Printf("auto-selected target: %s\n", res.AutoTarget)
+			for _, d := range res.Designs {
+				if d.Speedup > 0 {
+					fmt.Printf("  %-28s %-6s %5.1fX\n", d.Label, d.Target, d.Speedup)
+				} else {
+					fmt.Printf("  %-28s %-6s (infeasible)\n", d.Label, d.Target)
+				}
+			}
+		}
+	}
+	if done != *n {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"psaflow/internal/minic"
+)
+
+func cancelTask(name string, fn func(ctx *Context, d *Design) error) Task {
+	return TaskFunc{TaskName: name, TaskKind: Analysis, Fn: fn}
+}
+
+func newCancelDesign(t *testing.T) *Design {
+	t.Helper()
+	prog, err := minic.Parse(`void app(int n) { int x; x = n; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewDesign("cancel", prog)
+}
+
+func TestInterruptedNilContext(t *testing.T) {
+	ctx := &Context{}
+	if err := ctx.Interrupted(); err != nil {
+		t.Fatalf("nil Ctx should never report interruption, got %v", err)
+	}
+}
+
+// The engine must refuse to start the task after the one that observed the
+// cancellation, and the error must unwrap to context.Canceled.
+func TestFlowCancelStopsAtTaskBoundary(t *testing.T) {
+	cctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	flow := &Flow{Name: "cancel-flow"}
+	flow.AddTask(cancelTask("first", func(ctx *Context, d *Design) error {
+		cancel() // cancellation lands while the flow is mid-run
+		return nil
+	}))
+	flow.AddTask(cancelTask("second", func(ctx *Context, d *Design) error {
+		ran.Add(1)
+		return nil
+	}))
+
+	_, err := flow.Run(&Context{Ctx: cctx}, newCancelDesign(t))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	var fe *FlowError
+	if !errors.As(err, &fe) {
+		t.Fatalf("want *FlowError, got %T", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("task after cancellation still ran %d time(s)", ran.Load())
+	}
+}
+
+// Cancellation must interrupt every forked branch path of a parallel
+// uninformed run: each path blocks mid-task until the context is cancelled,
+// and the tasks scheduled after the blocking one must never start.
+func TestParallelBranchCancelMidPath(t *testing.T) {
+	cctx, cancel := context.WithCancel(context.Background())
+	const paths = 3
+	started := make(chan struct{}, paths)
+	var after atomic.Int32
+
+	var ps []Path
+	for i := 0; i < paths; i++ {
+		pf := &Flow{Name: "path"}
+		pf.AddTask(cancelTask("block", func(ctx *Context, d *Design) error {
+			started <- struct{}{}
+			<-ctx.Ctx.Done() // a long profiled run, interrupted
+			return nil
+		}))
+		pf.AddTask(cancelTask("after", func(ctx *Context, d *Design) error {
+			after.Add(1)
+			return nil
+		}))
+		ps = append(ps, Path{Name: "p", Flow: pf})
+	}
+	flow := &Flow{Name: "parallel-cancel"}
+	flow.AddBranch(Branch{PointName: "X", Paths: ps, Select: SelectAll{}})
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := flow.Run(&Context{Ctx: cctx, Parallel: true}, newCancelDesign(t))
+		done <- err
+	}()
+	for i := 0; i < paths; i++ {
+		<-started // every forked path is in flight
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled parallel flow did not return")
+	}
+	if after.Load() != 0 {
+		t.Fatalf("%d path task(s) ran after cancellation", after.Load())
+	}
+}
+
+// A deadline must surface as context.DeadlineExceeded through the same
+// boundary checks.
+func TestFlowDeadline(t *testing.T) {
+	cctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	flow := &Flow{Name: "deadline-flow"}
+	flow.AddTask(cancelTask("slow", func(ctx *Context, d *Design) error {
+		<-ctx.Ctx.Done()
+		return nil
+	}))
+	flow.AddTask(cancelTask("late", func(ctx *Context, d *Design) error { return nil }))
+	_, err := flow.Run(&Context{Ctx: cctx}, newCancelDesign(t))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+}

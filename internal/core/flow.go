@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -37,6 +38,12 @@ func (k TaskKind) String() string {
 
 // Context carries the environment tasks run in.
 type Context struct {
+	// Ctx carries cancellation and deadlines into the flow run: the engine
+	// checks it at every task boundary and branch revision, the bundled DSE
+	// loops check it per iteration, and dynamic tasks hand it to the
+	// interpreter so an in-flight profiled run aborts promptly. Nil means
+	// the run cannot be interrupted (the historical CLI behaviour).
+	Ctx      context.Context
 	Workload Workload
 	CPU      platform.CPUSpec
 	// Budget is the user cost budget for the Fig. 3 cost-evaluation
@@ -63,6 +70,22 @@ type Context struct {
 	Runs *RunCache
 
 	logMu sync.Mutex
+}
+
+// Interrupted returns the context's error once cancellation or a deadline
+// has landed, and nil before that (or when no context is attached). Tasks
+// with internal iteration (DSE sweeps) should poll it so long explorations
+// stop at the next iteration boundary.
+func (c *Context) Interrupted() error {
+	if c.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-c.Ctx.Done():
+		return c.Ctx.Err()
+	default:
+		return nil
+	}
 }
 
 // Count increments a named telemetry counter; no-op without a recorder.
@@ -242,6 +265,9 @@ func (f *Flow) run(ctx *Context, d *Design, parent *telemetry.Span) ([]*Design, 
 					next = append(next, cur)
 					continue
 				}
+				if err := ctx.Interrupted(); err != nil {
+					return nil, &FlowError{Flow: f.Name, Task: n.Task.Name(), Err: err}
+				}
 				ctx.logf("  task %-32s (%s) on %s", n.Task.Name(), n.Task.Kind(), cur.Label())
 				span := ctx.Telemetry.StartSpan(parent, telemetry.KindTask, n.Task.Name())
 				span.SetDetail(cur.Label())
@@ -289,6 +315,9 @@ func runBranch(ctx *Context, b Branch, d *Design, flowName string, parent *telem
 	branchSpan := ctx.Telemetry.StartSpan(parent, telemetry.KindBranch, b.PointName)
 	defer branchSpan.End()
 	for rev := 0; ; rev++ {
+		if err := ctx.Interrupted(); err != nil {
+			return nil, &FlowError{Flow: flowName, Task: "branch:" + b.PointName, Err: err}
+		}
 		idxs, err := b.Select.Select(ctx, d, b.Paths, excluded)
 		if err != nil {
 			return nil, &FlowError{Flow: flowName, Task: "branch:" + b.PointName, Err: err}

@@ -86,6 +86,20 @@ func (c *RunCache) Do(key RunKey, run func() (*interp.Result, error)) (res *inte
 	return e.res, e.err, true
 }
 
+// Forget drops the entry for key so a later Do re-executes it. The serving
+// layer needs it for cancellation hygiene: Do caches errors on the premise
+// that the interpreter is deterministic, but a run aborted by one job's
+// deadline says nothing about the program, and a process-wide cache shared
+// across jobs must not replay that abort into other jobs.
+func (c *RunCache) Forget(key RunKey) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	delete(c.entries, key)
+	c.mu.Unlock()
+}
+
 // Stats returns the cumulative hit and miss counts.
 func (c *RunCache) Stats() (hits, misses int64) {
 	if c == nil {

@@ -1,0 +1,70 @@
+package interp
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"psaflow/internal/minic"
+)
+
+// spinSrc loops long enough to exhaust the default step budget many times
+// over if cancellation failed to land.
+const spinSrc = `
+int spin(int n) {
+    int acc = 0;
+    for (int i = 0; i < 2000000000; i++) {
+        acc = acc + i % 7;
+    }
+    return acc;
+}
+`
+
+func testCancelPrompt(t *testing.T, treeWalk bool) {
+	t.Helper()
+	prog := minic.MustParse(spinSrc)
+	cctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := Run(prog, Config{Entry: "spin", Args: []Value{IntVal(1)}, Ctx: cctx, TreeWalk: treeWalk})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	var ce *CancelError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CancelError, got %T", err)
+	}
+	// The spin would run for many seconds; cancellation must cut it down to
+	// roughly the cancel delay. Generous bound for loaded CI machines.
+	if elapsed > 3*time.Second {
+		t.Fatalf("cancellation took %v; expected prompt abort", elapsed)
+	}
+}
+
+func TestCancelPromptCompiled(t *testing.T) { testCancelPrompt(t, false) }
+func TestCancelPromptTreeWalk(t *testing.T) { testCancelPrompt(t, true) }
+
+func TestCancelBeforeRun(t *testing.T) {
+	prog := minic.MustParse(spinSrc)
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(prog, Config{Entry: "spin", Args: []Value{IntVal(1)}, Ctx: cctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestDeadlineExceededSurfaces(t *testing.T) {
+	prog := minic.MustParse(spinSrc)
+	cctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := Run(prog, Config{Entry: "spin", Args: []Value{IntVal(1)}, Ctx: cctx})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+}

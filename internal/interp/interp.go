@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -16,6 +17,23 @@ type RuntimeError struct {
 
 // Error implements the error interface.
 func (e *RuntimeError) Error() string { return fmt.Sprintf("runtime %s: %s", e.Pos, e.Msg) }
+
+// CancelError reports an execution aborted because Config.Ctx was
+// cancelled: a job cancellation or deadline in the serving layer, or a CLI
+// wall-clock bound. It wraps the context error, so callers can distinguish
+// context.Canceled from context.DeadlineExceeded with errors.Is.
+type CancelError struct {
+	Pos   minic.Pos
+	Cause error
+}
+
+// Error implements the error interface.
+func (e *CancelError) Error() string {
+	return fmt.Sprintf("interp %s: execution cancelled: %v", e.Pos, e.Cause)
+}
+
+// Unwrap exposes the context error.
+func (e *CancelError) Unwrap() error { return e.Cause }
 
 // Counters receives named counter increments describing a run's hot-path
 // totals (*telemetry.Recorder satisfies it). The sink must be safe for
@@ -41,6 +59,11 @@ type Config struct {
 	Args     []Value // arguments bound to the entry function's parameters
 	Watch    string  // function to watch for kernel analyses; defaults to Entry
 	MaxSteps int64   // step budget; defaults to 400M
+	// Ctx, when non-nil, aborts execution with a CancelError once the
+	// context is done. The check runs every cancelCheckInterval loop
+	// iterations / statements, so cancellation lands promptly even inside
+	// a program that would otherwise spin until the step budget.
+	Ctx context.Context
 	// Counters, when non-nil, receives the run's op/cycle totals
 	// (CounterRuns/CounterOps/CounterCycles) once execution finishes.
 	Counters Counters
@@ -83,6 +106,13 @@ type machine struct {
 	loopInfo map[int]loopInfo
 	output   []string
 
+	// Cancellation: done is Ctx.Done() (nil disables the check entirely);
+	// cancelTick spaces the channel poll so the hot path pays one counter
+	// increment per step() call, not a select.
+	ctx        context.Context
+	done       <-chan struct{}
+	cancelTick uint32
+
 	watch      string
 	watchDepth int
 	// paramOf maps buffers to the watched function's parameter names for
@@ -112,6 +142,13 @@ func Run(prog *minic.Program, cfg Config) (*Result, error) {
 		maxSteps: maxSteps,
 		watch:    watch,
 		loopInfo: buildLoopInfo(prog),
+	}
+	if cfg.Ctx != nil {
+		if err := cfg.Ctx.Err(); err != nil {
+			return nil, &CancelError{Pos: entry.NodePos(), Cause: err}
+		}
+		m.ctx = cfg.Ctx
+		m.done = cfg.Ctx.Done()
 	}
 	var ret Value
 	var err error
@@ -158,10 +195,27 @@ func (m *machine) errf(pos minic.Pos, format string, args ...any) error {
 	return &RuntimeError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
 }
 
+// cancelCheckInterval spaces cancellation polls: step() is called once per
+// statement / loop iteration (the fine-grained expression steps are inlined
+// by the compiled path and never reach here), so polling every 1024 calls
+// bounds the cancellation latency to microseconds while keeping the poll
+// off the hot path.
+const cancelCheckInterval = 1024
+
 func (m *machine) step(pos minic.Pos) error {
 	m.steps++
 	if m.steps > m.maxSteps {
 		return m.errf(pos, "step budget exceeded (%d)", m.maxSteps)
+	}
+	if m.done != nil {
+		m.cancelTick++
+		if m.cancelTick%cancelCheckInterval == 0 {
+			select {
+			case <-m.done:
+				return &CancelError{Pos: pos, Cause: m.ctx.Err()}
+			default:
+			}
+		}
 	}
 	return nil
 }

@@ -1,0 +1,52 @@
+package minic_test
+
+import (
+	"strings"
+	"testing"
+
+	"psaflow/internal/bench"
+	"psaflow/internal/minic"
+)
+
+// TestParseDepthLimit regression-tests the recursion guard: nesting beyond
+// the parser's limit must come back as a ParseError, not a fatal goroutine
+// stack overflow (which would kill a daemon parsing untrusted source).
+func TestParseDepthLimit(t *testing.T) {
+	cases := map[string]string{
+		"parens": "int f() { return " + strings.Repeat("(", 500000) + "1" + strings.Repeat(")", 500000) + "; }",
+		"unary":  "int f() { return " + strings.Repeat("!", 500000) + "1; }",
+		"blocks": "int f() { " + strings.Repeat("{", 500000) + strings.Repeat("}", 500000) + " }",
+		"casts":  "int f() { return " + strings.Repeat("(int)", 500000) + "1; }",
+	}
+	for name, src := range cases {
+		if _, err := minic.Parse(src); err == nil || !strings.Contains(err.Error(), "nesting too deep") {
+			t.Errorf("%s: want nesting-depth error, got %v", name, err)
+		}
+	}
+	// Reasonable nesting still parses.
+	ok := "int f() { return " + strings.Repeat("(", 500) + "1" + strings.Repeat(")", 500) + "; }"
+	if _, err := minic.Parse(ok); err != nil {
+		t.Errorf("500-deep parens should parse: %v", err)
+	}
+}
+
+// FuzzParse feeds arbitrary byte strings to the MiniC front end. Parse must
+// either return a program or an error — never panic — regardless of input:
+// the service layer hands it untrusted source straight off the wire.
+func FuzzParse(f *testing.F) {
+	for _, b := range bench.All() {
+		f.Add(b.Source)
+	}
+	f.Add("")
+	f.Add("int f() { return 0; }")
+	f.Add("void g(int *p) { for (int i = 0; i < 10; i++) p[i] = i; }")
+	f.Add("int h() { return ((((((1)))))); }")
+	f.Add("/* unterminated")
+	f.Add(`"unterminated string`)
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := minic.Parse(src)
+		if err == nil && prog == nil {
+			t.Fatal("Parse returned nil program and nil error")
+		}
+	})
+}

@@ -17,9 +17,28 @@ func (e *ParseError) Error() string { return fmt.Sprintf("parse %s: %s", e.Pos, 
 
 // Parser is a recursive-descent parser for MiniC.
 type Parser struct {
-	toks []Token
-	pos  int
+	toks  []Token
+	pos   int
+	depth int
 }
+
+// maxParseDepth bounds expression/statement nesting. Without it, input like
+// a megabyte of '(' drives the recursive descent deep enough to fatally
+// overflow the goroutine stack — unrecoverable in Go, so a single malicious
+// source would kill a process parsing untrusted input. Real programs nest a
+// few dozen levels; the limit is far above anything legitimate.
+const maxParseDepth = 10000
+
+// enter guards one recursion level; callers must pair it with leave.
+func (p *Parser) enter() error {
+	p.depth++
+	if p.depth > maxParseDepth {
+		return p.errorf("nesting too deep (more than %d levels)", maxParseDepth)
+	}
+	return nil
+}
+
+func (p *Parser) leave() { p.depth-- }
 
 // Parse lexes and parses src into a Program with node IDs assigned.
 func Parse(src string) (*Program, error) {
@@ -205,6 +224,10 @@ func (p *Parser) parseBlock() (*Block, error) {
 // attached to a following loop; pragmas not followed by a loop become
 // PragmaStmt nodes.
 func (p *Parser) parseStmt() (Stmt, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	if p.at(TokPragma) {
 		var pragmas []string
 		firstPos := p.cur().Pos
@@ -482,7 +505,13 @@ func (p *Parser) parseIf() (*IfStmt, error) {
 
 // Expression parsing: precedence climbing with assignment at the bottom.
 
-func (p *Parser) parseExpr() (Expr, error) { return p.parseAssign() }
+func (p *Parser) parseExpr() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
+	return p.parseAssign()
+}
 
 func isAssignOp(k TokKind) bool {
 	switch k {
@@ -567,6 +596,10 @@ func (p *Parser) parseMultiplicative() (Expr, error) {
 }
 
 func (p *Parser) parseUnary() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	switch p.cur().Kind {
 	case TokMinus, TokNot:
 		start := p.cur().Pos

@@ -1,0 +1,317 @@
+// Package service is the PSA-flow-as-a-service layer: an HTTP/JSON job
+// API over the flow engine. Clients submit MiniC source + workload + mode,
+// jobs land in a bounded FIFO queue, and a fixed worker pool executes them
+// against one process-wide profiled-run cache and telemetry recorder — the
+// serving counterpart of the paper's batch meta-programs, amortizing
+// analyses across many requests instead of one CLI invocation at a time.
+package service
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"psaflow/internal/bench"
+	"psaflow/internal/experiments"
+	"psaflow/internal/minic"
+	"psaflow/internal/tasks"
+	"psaflow/internal/telemetry"
+)
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+// Job lifecycle: Queued → Running → one of the terminal states.
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// JobSpec is the client-submitted description of one flow run.
+type JobSpec struct {
+	// Bench names the workload (one of the five evaluation benchmarks);
+	// it supplies the entry function, argument buffers, and eval scale.
+	Bench string `json:"bench"`
+	// Source optionally replaces the benchmark's bundled MiniC source. It
+	// must define the benchmark's entry function. Empty = bundled source.
+	Source string `json:"source,omitempty"`
+	// Mode is "informed" (default) or "uninformed" (paper §IV-B).
+	Mode string `json:"mode,omitempty"`
+	// Sharing enables the FPGA resource-sharing DSE variant.
+	Sharing bool `json:"sharing,omitempty"`
+	// AIThreshold / TransferBW override the PSA strategy's tunables
+	// (0 keeps tasks.DefaultStrategy).
+	AIThreshold float64 `json:"ai_threshold,omitempty"`
+	TransferBW  float64 `json:"transfer_bw,omitempty"`
+	// TimeoutMS bounds the job's run time once started (0 = server default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// flowOptions resolves the spec to engine options.
+func (sp *JobSpec) flowOptions() (tasks.FlowOptions, error) {
+	opts := tasks.FlowOptions{Strategy: tasks.DefaultStrategy, ResourceSharing: sp.Sharing}
+	switch sp.Mode {
+	case "", "informed":
+		opts.Mode = tasks.Informed
+	case "uninformed":
+		opts.Mode = tasks.Uninformed
+	default:
+		return opts, fmt.Errorf("unknown mode %q (want informed or uninformed)", sp.Mode)
+	}
+	if sp.AIThreshold > 0 {
+		opts.Strategy.AIThreshold = sp.AIThreshold
+	}
+	if sp.TransferBW > 0 {
+		opts.Strategy.TransferBW = sp.TransferBW
+	}
+	return opts, nil
+}
+
+// validate resolves and checks the spec, returning the benchmark and the
+// parsed custom program (nil when the bundled source is used). All
+// validation happens at submit time so malformed requests 400 immediately
+// instead of failing in a worker.
+func (sp *JobSpec) validate() (*bench.Benchmark, *minic.Program, error) {
+	b, err := bench.ByName(sp.Bench)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := sp.flowOptions(); err != nil {
+		return nil, nil, err
+	}
+	if sp.TimeoutMS < 0 {
+		return nil, nil, fmt.Errorf("timeout_ms must be >= 0")
+	}
+	var prog *minic.Program
+	if sp.Source != "" {
+		prog, err = minic.Parse(sp.Source)
+		if err != nil {
+			return nil, nil, fmt.Errorf("source: %w", err)
+		}
+		if prog.Func(b.Entry) == nil {
+			return nil, nil, fmt.Errorf("source does not define the %q workload entry %q", b.Name, b.Entry)
+		}
+	}
+	return b, prog, nil
+}
+
+// Job is one queued/executing flow run. Mutable fields are guarded by mu;
+// the immutable identity fields (ID, Spec, bench, prog, submitted) are set
+// before the job is shared.
+type Job struct {
+	ID   string
+	Spec JobSpec
+
+	bench     *bench.Benchmark
+	prog      *minic.Program // custom source, pre-parsed; nil = bundled
+	submitted time.Time
+
+	mu       sync.Mutex
+	state    JobState
+	errMsg   string
+	started  time.Time
+	finished time.Time
+	cancel   func() // cancels the running flow; nil before start
+	result   *JobResult
+}
+
+// JobStatus is the GET /v1/jobs/{id} view.
+type JobStatus struct {
+	ID          string   `json:"id"`
+	State       JobState `json:"state"`
+	Bench       string   `json:"bench"`
+	Mode        string   `json:"mode,omitempty"`
+	Error       string   `json:"error,omitempty"`
+	SubmittedAt string   `json:"submitted_at"`
+	StartedAt   string   `json:"started_at,omitempty"`
+	FinishedAt  string   `json:"finished_at,omitempty"`
+	QueueWaitMS float64  `json:"queue_wait_ms,omitempty"`
+	RunMS       float64  `json:"run_ms,omitempty"`
+}
+
+// DesignSummary is one generated design in a job result: the same
+// quantities the CLI prints and Table I measures, JSON-shaped.
+type DesignSummary struct {
+	Label      string   `json:"label"`
+	Target     string   `json:"target"`
+	Device     string   `json:"device,omitempty"`
+	Infeasible string   `json:"infeasible,omitempty"`
+	Speedup    float64  `json:"speedup,omitempty"`
+	KernelS    float64  `json:"kernel_s,omitempty"`
+	TransferS  float64  `json:"transfer_s,omitempty"`
+	OverheadS  float64  `json:"overhead_s,omitempty"`
+	Note       string   `json:"note,omitempty"`
+	NumThreads int      `json:"num_threads,omitempty"`
+	Blocksize  int      `json:"blocksize,omitempty"`
+	Unroll     int      `json:"unroll,omitempty"`
+	Pinned     bool     `json:"pinned,omitempty"`
+	ZeroCopy   bool     `json:"zero_copy,omitempty"`
+	LOC        int      `json:"loc,omitempty"`
+	AddedLOC   int      `json:"added_loc,omitempty"`
+	RefLOC     int      `json:"ref_loc,omitempty"`
+	Trace      []string `json:"trace,omitempty"`
+}
+
+// JobResult is the GET /v1/jobs/{id}/result payload, persisted as
+// <data-dir>/jobs/<id>.json on completion.
+type JobResult struct {
+	JobStatus
+	// AutoTarget is the target class of the best feasible design — the
+	// branch the flow effectively selected (Fig. 5's "Auto-Selected").
+	AutoTarget string          `json:"auto_target,omitempty"`
+	Designs    []DesignSummary `json:"designs,omitempty"`
+	// Telemetry carries the job-scoped recorder's spans and counters.
+	Telemetry *telemetry.Report `json:"telemetry,omitempty"`
+}
+
+func fmtTime(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
+}
+
+// Status snapshots the job's lifecycle view.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:          j.ID,
+		State:       j.state,
+		Bench:       j.Spec.Bench,
+		Mode:        j.Spec.Mode,
+		Error:       j.errMsg,
+		SubmittedAt: fmtTime(j.submitted),
+		StartedAt:   fmtTime(j.started),
+		FinishedAt:  fmtTime(j.finished),
+	}
+	if !j.started.IsZero() {
+		st.QueueWaitMS = float64(j.started.Sub(j.submitted)) / float64(time.Millisecond)
+		end := j.finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		st.RunMS = float64(end.Sub(j.started)) / float64(time.Millisecond)
+	}
+	return st
+}
+
+// State returns the current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Result returns the terminal result, or nil while the job is live.
+func (j *Job) Result() *JobResult {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// markRunning transitions Queued → Running; false means the job was
+// cancelled while queued and must not run.
+func (j *Job) markRunning(cancel func()) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	return true
+}
+
+// cancelQueued transitions Queued → Cancelled; false if the job already
+// started (the caller should cancel the running context instead).
+func (j *Job) cancelQueued() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateCancelled
+	j.errMsg = "cancelled before start"
+	j.finished = time.Now()
+	return true
+}
+
+// cancelRunning invokes the running flow's cancel function; false if the
+// job is not running.
+func (j *Job) cancelRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateRunning || j.cancel == nil {
+		return false
+	}
+	j.cancel()
+	return true
+}
+
+// finish moves the job to a terminal state with its result.
+func (j *Job) finish(state JobState, errMsg string, res *JobResult) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = state
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	j.result = res
+}
+
+// setResult attaches the built result (which embeds the terminal status).
+func (j *Job) setResult(res *JobResult) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.result = res
+}
+
+// buildResult assembles the persisted result from the evaluated designs.
+func buildResult(st JobStatus, results []experiments.DesignResult, rep *telemetry.Report) *JobResult {
+	out := &JobResult{JobStatus: st, Telemetry: rep}
+	bestSpeedup := 0.0
+	for _, r := range results {
+		d := r.Design
+		ds := DesignSummary{
+			Label:      d.Label(),
+			Target:     d.Target.String(),
+			Device:     d.Device,
+			Infeasible: d.Infeasible,
+			NumThreads: d.NumThreads,
+			Blocksize:  d.Blocksize,
+			Unroll:     d.UnrollFactor,
+			Pinned:     d.Pinned,
+			ZeroCopy:   d.ZeroCopy,
+			RefLOC:     d.RefLOC,
+		}
+		if !r.Infeasible {
+			ds.Speedup = r.Speedup
+			ds.KernelS = r.Breakdown.KernelTime
+			ds.TransferS = r.Breakdown.TransferTime
+			ds.OverheadS = r.Breakdown.Overhead
+			ds.Note = r.Breakdown.Note
+			if r.Speedup > bestSpeedup {
+				bestSpeedup = r.Speedup
+				out.AutoTarget = d.Target.String()
+			}
+		}
+		if d.Artifact != nil {
+			ds.LOC = d.Artifact.LOC
+			ds.AddedLOC = d.Artifact.AddedLOC
+		}
+		for _, ev := range d.Trace {
+			ds.Trace = append(ds.Trace, ev.String())
+		}
+		out.Designs = append(out.Designs, ds)
+	}
+	return out
+}

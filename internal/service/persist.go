@@ -1,0 +1,177 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"psaflow/internal/telemetry"
+)
+
+// Persistence layout under Config.DataDir:
+//
+//	jobs/<id>.json   one JobResult per finished job (terminal states only)
+//	queue.json       drain snapshot: specs of the jobs that were still
+//	                 queued at SIGTERM, re-enqueued on the next Start
+//
+// Both are written atomically (temp file + rename) so a crash mid-write
+// never leaves a half-readable file.
+
+// validJobID rejects path-traversal in client-supplied job IDs before they
+// reach the filesystem.
+func validJobID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// saveResult persists one finished job's result.
+func (s *Server) saveResult(id string, res *JobResult) error {
+	if s.cfg.DataDir == "" {
+		return nil
+	}
+	dir := filepath.Join(s.cfg.DataDir, "jobs")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(filepath.Join(dir, id+".json"), data)
+}
+
+// errNoResult distinguishes "never persisted" from real I/O failures.
+var errNoResult = errors.New("service: no persisted result")
+
+// loadResult reads a previously persisted result (possibly from an earlier
+// daemon run).
+func (s *Server) loadResult(id string) (*JobResult, error) {
+	if s.cfg.DataDir == "" || !validJobID(id) {
+		return nil, errNoResult
+	}
+	data, err := os.ReadFile(filepath.Join(s.cfg.DataDir, "jobs", id+".json"))
+	if err != nil {
+		return nil, errNoResult
+	}
+	var res JobResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, fmt.Errorf("service: corrupt result %s: %w", id, err)
+	}
+	return &res, nil
+}
+
+// snapshotEntry is one queued job in the drain snapshot.
+type snapshotEntry struct {
+	ID          string  `json:"id"`
+	Spec        JobSpec `json:"spec"`
+	SubmittedAt string  `json:"submitted_at"`
+}
+
+func (s *Server) snapshotPath() string { return filepath.Join(s.cfg.DataDir, "queue.json") }
+
+// saveSnapshot writes the drained queue to disk (removing any stale file
+// when the queue drained empty).
+func (s *Server) saveSnapshot(jobs []*Job) error {
+	if s.cfg.DataDir == "" {
+		return nil
+	}
+	if len(jobs) == 0 {
+		err := os.Remove(s.snapshotPath())
+		if err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		return nil
+	}
+	if err := os.MkdirAll(s.cfg.DataDir, 0o755); err != nil {
+		return err
+	}
+	entries := make([]snapshotEntry, 0, len(jobs))
+	for _, j := range jobs {
+		entries = append(entries, snapshotEntry{ID: j.ID, Spec: j.Spec, SubmittedAt: fmtTime(j.submitted)})
+	}
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(s.snapshotPath(), data)
+}
+
+// restoreSnapshot re-enqueues jobs snapshotted by a previous drain,
+// preserving their IDs and submit order, then removes the snapshot. Jobs
+// whose spec no longer validates (or that exceed the queue) are dropped
+// with a log line rather than wedging startup.
+func (s *Server) restoreSnapshot() (int, error) {
+	if s.cfg.DataDir == "" {
+		return 0, nil
+	}
+	data, err := os.ReadFile(s.snapshotPath())
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	var entries []snapshotEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return 0, fmt.Errorf("service: corrupt queue snapshot: %w", err)
+	}
+	restored := 0
+	for _, e := range entries {
+		b, prog, err := e.Spec.validate()
+		if err != nil {
+			s.logf("restore %s: dropped: %v", e.ID, err)
+			continue
+		}
+		submitted, err := time.Parse(time.RFC3339Nano, e.SubmittedAt)
+		if err != nil {
+			submitted = time.Now()
+		}
+		job := &Job{
+			ID:        e.ID,
+			Spec:      e.Spec,
+			bench:     b,
+			prog:      prog,
+			submitted: submitted,
+			state:     StateQueued,
+		}
+		if ok, _ := s.register(job); !ok {
+			s.logf("restore %s: dropped: queue full", e.ID)
+			continue
+		}
+		restored++
+	}
+	s.rec.Add(telemetry.CounterJobsRestored, int64(restored))
+	if err := os.Remove(s.snapshotPath()); err != nil {
+		return restored, err
+	}
+	return restored, nil
+}

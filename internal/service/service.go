@@ -1,0 +1,440 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"psaflow/internal/core"
+	"psaflow/internal/experiments"
+	"psaflow/internal/telemetry"
+)
+
+// Config sizes the daemon.
+type Config struct {
+	// Workers is the worker-pool size (the only goroutines that execute
+	// flows; submissions beyond it wait in the queue). Default 4.
+	Workers int
+	// QueueSize bounds the FIFO job queue; a full queue rejects new
+	// submissions with 429 (backpressure). Default 64.
+	QueueSize int
+	// DataDir persists per-job results and the drain snapshot. Empty
+	// disables persistence (tests, ephemeral runs).
+	DataDir string
+	// DefaultTimeout bounds a job's run time when the spec does not set
+	// timeout_ms; 0 means unbounded.
+	DefaultTimeout time.Duration
+	// Logf receives daemon progress lines; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// Server is the psaflowd core: job registry, bounded queue, worker pool,
+// and the HTTP API. One process-wide RunCache and telemetry recorder are
+// shared by all jobs, so identical programs submitted by different clients
+// execute once and every later job hits the cache.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	rec  *telemetry.Recorder // process-wide service recorder (/metrics)
+	runs *core.RunCache      // process-wide profiled-run cache
+
+	mu       sync.Mutex // guards jobs, queue close, leftovers
+	jobs     map[string]*Job
+	queue    chan *Job
+	draining atomic.Bool
+	drained  bool
+	leftover []*Job // queued jobs collected during drain, for the snapshot
+
+	wg     sync.WaitGroup
+	nextID atomic.Int64
+	idBase string
+
+	// runFlow executes one job's flow; tests substitute a controllable
+	// implementation. The default runs the real PSA-flow.
+	runFlow func(ctx context.Context, job *Job, rec *telemetry.Recorder) ([]experiments.DesignResult, error)
+}
+
+// New builds a Server (call Start to spawn the workers).
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 64
+	}
+	s := &Server{
+		cfg:    cfg,
+		rec:    telemetry.New(),
+		runs:   core.NewRunCache(),
+		jobs:   make(map[string]*Job),
+		queue:  make(chan *Job, cfg.QueueSize),
+		idBase: fmt.Sprintf("j%08x", uint32(time.Now().UnixNano())),
+	}
+	s.runFlow = func(ctx context.Context, job *Job, rec *telemetry.Recorder) ([]experiments.DesignResult, error) {
+		opts, err := job.Spec.flowOptions()
+		if err != nil {
+			return nil, err
+		}
+		return experiments.RunBenchmarkJob(ctx, job.bench, job.prog, opts, nil, rec, s.runs)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler exposes the HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Recorder exposes the process-wide service recorder (daemon logging).
+func (s *Server) Recorder() *telemetry.Recorder { return s.rec }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Start restores any drain snapshot and spawns the worker pool.
+func (s *Server) Start() error {
+	restored, err := s.restoreSnapshot()
+	if err != nil {
+		return err
+	}
+	if restored > 0 {
+		s.logf("restored %d queued job(s) from snapshot", restored)
+	}
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return nil
+}
+
+// Drain stops the queue for good: no new submissions are accepted, workers
+// finish their in-flight jobs, and the jobs still queued are snapshotted to
+// DataDir for the next start. It returns the number of snapshotted jobs.
+// Call after the HTTP listener has shut down.
+func (s *Server) Drain() (int, error) {
+	s.mu.Lock()
+	if s.drained {
+		s.mu.Unlock()
+		return 0, nil
+	}
+	s.drained = true
+	s.draining.Store(true)
+	close(s.queue)
+	s.mu.Unlock()
+
+	s.wg.Wait()
+
+	s.mu.Lock()
+	leftover := s.leftover
+	s.leftover = nil
+	s.mu.Unlock()
+	sort.Slice(leftover, func(i, j int) bool { return leftover[i].submitted.Before(leftover[j].submitted) })
+	if err := s.saveSnapshot(leftover); err != nil {
+		return 0, err
+	}
+	return len(leftover), nil
+}
+
+// worker executes queued jobs until the queue closes. During a drain it
+// routes still-queued jobs to the snapshot instead of running them.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.rec.Add(telemetry.CounterQueueDepth, -1)
+		if s.draining.Load() {
+			if job.State() == StateQueued {
+				s.mu.Lock()
+				s.leftover = append(s.leftover, job)
+				s.mu.Unlock()
+			}
+			continue
+		}
+		s.runJob(job)
+	}
+}
+
+// runJob executes one job's flow with its own cancellable context and a
+// job-scoped telemetry recorder, then persists the result and folds the
+// job's counters into the process-wide recorder.
+func (s *Server) runJob(job *Job) {
+	jctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	timeout := time.Duration(job.Spec.TimeoutMS) * time.Millisecond
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > 0 {
+		jctx, cancel = context.WithTimeout(jctx, timeout)
+		defer cancel()
+	}
+	if !job.markRunning(cancel) {
+		// Cancelled while queued: the cancel handler already recorded the
+		// terminal state and counter; nothing to run.
+		return
+	}
+	st := job.Status()
+	s.rec.Add(telemetry.CounterQueueWaitMillis, int64(st.QueueWaitMS))
+	s.logf("job %s: start bench=%s mode=%s (waited %.0fms)", job.ID, job.Spec.Bench, job.Spec.Mode, st.QueueWaitMS)
+
+	rec := telemetry.New()
+	results, err := s.runFlowSafe(jctx, job, rec)
+	rep := rec.Snapshot()
+	s.rec.MergeCounters(rep.Counters)
+
+	state, msg := StateDone, ""
+	counter := telemetry.CounterJobsCompleted
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled):
+		state, msg, counter = StateCancelled, err.Error(), telemetry.CounterJobsCancelled
+	case errors.Is(err, context.DeadlineExceeded):
+		state, msg, counter = StateFailed, err.Error(), telemetry.CounterJobsFailed
+	default:
+		state, msg, counter = StateFailed, err.Error(), telemetry.CounterJobsFailed
+	}
+	job.finish(state, msg, nil)
+	// The result embeds the terminal status, so build it after finish.
+	job.setResult(buildResult(job.Status(), results, rep))
+	s.finalizeJob(job, counter)
+}
+
+// runFlowSafe converts a panicking flow (untrusted source can reach
+// library corners) into a failed job instead of a dead daemon.
+func (s *Server) runFlowSafe(ctx context.Context, job *Job, rec *telemetry.Recorder) (results []experiments.DesignResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("flow panicked: %v", r)
+		}
+	}()
+	return s.runFlow(ctx, job, rec)
+}
+
+// finalizeJob records the terminal counter, persists the result, and logs.
+func (s *Server) finalizeJob(job *Job, counter string) {
+	s.rec.Add(counter, 1)
+	if res := job.Result(); res != nil {
+		if err := s.saveResult(job.ID, res); err != nil {
+			s.logf("job %s: persist result: %v", job.ID, err)
+		}
+	}
+	st := job.Status()
+	s.logf("job %s: %s (run %.0fms) %s", job.ID, st.State, st.RunMS, st.Error)
+}
+
+// lookup finds a live job by ID.
+func (s *Server) lookup(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// register inserts a new job and tries to enqueue it. The queue send and
+// the drain's close(queue) are serialized by s.mu, so a submission can
+// never hit a closed channel.
+func (s *Server) register(job *Job) (ok bool, draining bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining.Load() {
+		return false, true
+	}
+	select {
+	case s.queue <- job:
+		s.jobs[job.ID] = job
+		s.rec.Add(telemetry.CounterQueueDepth, 1)
+		s.rec.Add(telemetry.CounterJobsSubmitted, 1)
+		return true, false
+	default:
+		return false, false
+	}
+}
+
+func (s *Server) newID() string {
+	return fmt.Sprintf("%s-%06d", s.idBase, s.nextID.Add(1))
+}
+
+// --- HTTP handlers ---
+
+const maxRequestBody = 1 << 20 // untrusted MiniC source is capped at 1 MiB
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	b, prog, err := spec.validate()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid job: %v", err)
+		return
+	}
+	job := &Job{
+		ID:        s.newID(),
+		Spec:      spec,
+		bench:     b,
+		prog:      prog,
+		submitted: time.Now(),
+		state:     StateQueued,
+	}
+	ok, draining := s.register(job)
+	if draining {
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if !ok {
+		s.rec.Add(telemetry.CounterJobsRejected, 1)
+		writeErr(w, http.StatusTooManyRequests, "job queue is full (%d queued); retry later", s.cfg.QueueSize)
+		return
+	}
+	s.logf("job %s: queued bench=%s mode=%s", job.ID, spec.Bench, spec.Mode)
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if job := s.lookup(id); job != nil {
+		writeJSON(w, http.StatusOK, job.Status())
+		return
+	}
+	// A previous daemon run may have persisted the result.
+	if res, err := s.loadResult(id); err == nil {
+		writeJSON(w, http.StatusOK, res.JobStatus)
+		return
+	}
+	writeErr(w, http.StatusNotFound, "unknown job %q", id)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if job := s.lookup(id); job != nil {
+		if res := job.Result(); res != nil {
+			writeJSON(w, http.StatusOK, res)
+			return
+		}
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error": "job has not finished", "state": job.State(),
+		})
+		return
+	}
+	if res, err := s.loadResult(id); err == nil {
+		writeJSON(w, http.StatusOK, res)
+		return
+	}
+	writeErr(w, http.StatusNotFound, "unknown job %q", id)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job := s.lookup(id)
+	if job == nil {
+		writeErr(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	if job.cancelQueued() {
+		// The worker will skip it when dequeued; the terminal state and
+		// counter are recorded here so the cancel is immediately visible.
+		s.rec.Add(telemetry.CounterJobsCancelled, 1)
+		s.logf("job %s: cancelled while queued", id)
+		writeJSON(w, http.StatusOK, job.Status())
+		return
+	}
+	if job.cancelRunning() {
+		s.logf("job %s: cancellation requested", id)
+		writeJSON(w, http.StatusAccepted, job.Status())
+		return
+	}
+	writeJSON(w, http.StatusConflict, map[string]any{
+		"error": "job already finished", "state": job.State(),
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.draining.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":      status,
+		"workers":     s.cfg.Workers,
+		"queue_depth": s.rec.Counter(telemetry.CounterQueueDepth),
+		"queue_cap":   s.cfg.QueueSize,
+	})
+}
+
+// metricsResponse is the GET /metrics payload: live service gauges plus
+// the process-wide telemetry report (merged per-job counters; cross-job
+// run-cache hits show up under counters["runcache.hits"]).
+type metricsResponse struct {
+	Service   serviceMetrics    `json:"service"`
+	Telemetry *telemetry.Report `json:"telemetry"`
+}
+
+type serviceMetrics struct {
+	Workers       int            `json:"workers"`
+	QueueDepth    int64          `json:"queue_depth"`
+	QueueCap      int            `json:"queue_cap"`
+	JobsByState   map[string]int `json:"jobs_by_state"`
+	RunCacheHits  int64          `json:"runcache_hits"`
+	RunCacheMiss  int64          `json:"runcache_misses"`
+	RunCacheSize  int            `json:"runcache_entries"`
+	QueueWaitMSav float64        `json:"queue_wait_ms_avg"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	byState := map[string]int{}
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		byState[string(j.State())]++
+	}
+	s.mu.Unlock()
+	hits, misses := s.runs.Stats()
+	rep := s.rec.Snapshot()
+	started := rep.Counters[telemetry.CounterJobsCompleted] +
+		rep.Counters[telemetry.CounterJobsFailed]
+	waitAvg := 0.0
+	if started > 0 {
+		waitAvg = float64(rep.Counters[telemetry.CounterQueueWaitMillis]) / float64(started)
+	}
+	writeJSON(w, http.StatusOK, metricsResponse{
+		Service: serviceMetrics{
+			Workers:       s.cfg.Workers,
+			QueueDepth:    rep.Counters[telemetry.CounterQueueDepth],
+			QueueCap:      s.cfg.QueueSize,
+			JobsByState:   byState,
+			RunCacheHits:  hits,
+			RunCacheMiss:  misses,
+			RunCacheSize:  s.runs.Len(),
+			QueueWaitMSav: waitAvg,
+		},
+		Telemetry: rep,
+	})
+}

@@ -1,0 +1,460 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"psaflow/internal/experiments"
+	"psaflow/internal/telemetry"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func submit(t *testing.T, base string, spec JobSpec) (int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp.StatusCode, buf.Bytes()
+}
+
+func submitOK(t *testing.T, base string, spec JobSpec) JobStatus {
+	t.Helper()
+	code, body := submit(t, base, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: got %d, body %s", code, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.State != StateQueued {
+		t.Fatalf("submit: unexpected status %+v", st)
+	}
+	return st
+}
+
+func getJSON(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp.StatusCode, buf.Bytes()
+}
+
+func httpDelete(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp.StatusCode, buf.Bytes()
+}
+
+// waitState polls the status endpoint until the job reaches one of the
+// wanted states.
+func waitState(t *testing.T, base, id string, timeout time.Duration, want ...JobState) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		code, body := getJSON(t, base+"/v1/jobs/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("status %s: got %d, body %s", id, code, body)
+		}
+		var st JobStatus
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range want {
+			if st.State == w {
+				return st
+			}
+		}
+		if st.State.Terminal() {
+			t.Fatalf("job %s reached terminal state %s, wanted one of %v (error: %s)", id, st.State, want, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s after %v, wanted one of %v", id, st.State, timeout, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func fetchMetrics(t *testing.T, base string) metricsResponse {
+	t.Helper()
+	code, body := getJSON(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: got %d, body %s", code, body)
+	}
+	var m metricsResponse
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestJobLifecycle drives the full real-flow path over HTTP: submit, poll,
+// fetch the result, and read it back from disk through a fresh server.
+func TestJobLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, Config{Workers: 2, QueueSize: 8, DataDir: dir})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	base := ts.URL
+
+	st := submitOK(t, base, JobSpec{Bench: "adpredictor"})
+	fin := waitState(t, base, st.ID, 60*time.Second, StateDone)
+	if fin.RunMS <= 0 {
+		t.Errorf("finished job has RunMS=%v", fin.RunMS)
+	}
+
+	code, body := getJSON(t, base+"/v1/jobs/"+st.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("result: got %d, body %s", code, body)
+	}
+	var res JobResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Designs) == 0 {
+		t.Fatal("result has no designs")
+	}
+	if res.AutoTarget == "" {
+		t.Error("result has no auto-selected target")
+	}
+	if res.Telemetry == nil || len(res.Telemetry.Counters) == 0 {
+		t.Error("result has no telemetry")
+	}
+
+	if _, err := os.Stat(filepath.Join(dir, "jobs", st.ID+".json")); err != nil {
+		t.Fatalf("result not persisted: %v", err)
+	}
+
+	// A fresh server over the same data dir serves the old job from disk.
+	_, ts3 := newTestServer(t, Config{DataDir: dir})
+	if code, _ := getJSON(t, ts3.URL+"/v1/jobs/"+st.ID); code != http.StatusOK {
+		t.Errorf("restarted server: status from disk got %d", code)
+	}
+	if code, _ := getJSON(t, ts3.URL+"/v1/jobs/"+st.ID+"/result"); code != http.StatusOK {
+		t.Errorf("restarted server: result from disk got %d", code)
+	}
+
+	if code, _ := getJSON(t, base+"/v1/jobs/nosuchjob"); code != http.StatusNotFound {
+		t.Errorf("unknown job: got %d, want 404", code)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, spec := range []JobSpec{
+		{},                          // no bench
+		{Bench: "nosuch"},           // unknown bench
+		{Bench: "nbody", Mode: "x"}, // unknown mode
+		{Bench: "nbody", TimeoutMS: -1},
+		{Bench: "nbody", Source: "int f( {"},            // parse error
+		{Bench: "nbody", Source: "int unrelated() { }"}, // missing entry
+	} {
+		if code, body := submit(t, ts.URL, spec); code != http.StatusBadRequest {
+			t.Errorf("spec %+v: got %d (%s), want 400", spec, code, body)
+		}
+	}
+}
+
+// blockingHook substitutes runFlow with one that parks until released,
+// giving tests deterministic control over worker occupancy.
+type blockingHook struct {
+	started chan string
+	release chan struct{}
+}
+
+func installBlockingHook(s *Server) *blockingHook {
+	h := &blockingHook{started: make(chan string, 64), release: make(chan struct{})}
+	s.runFlow = func(ctx context.Context, job *Job, rec *telemetry.Recorder) ([]experiments.DesignResult, error) {
+		h.started <- job.ID
+		select {
+		case <-h.release:
+			return nil, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return h
+}
+
+func (h *blockingHook) waitStarted(t *testing.T) string {
+	t.Helper()
+	select {
+	case id := <-h.started:
+		return id
+	case <-time.After(10 * time.Second):
+		t.Fatal("no job started")
+		return ""
+	}
+}
+
+// TestBackpressure fills the one-worker, one-slot queue and checks the
+// overflow submission is rejected with 429 + a rejection counter.
+func TestBackpressure(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueSize: 1})
+	h := installBlockingHook(s)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	run := submitOK(t, ts.URL, JobSpec{Bench: "nbody"})
+	if got := h.waitStarted(t); got != run.ID {
+		t.Fatalf("worker started %s, want %s", got, run.ID)
+	}
+	// Worker occupied; this one holds the single queue slot.
+	queued := submitOK(t, ts.URL, JobSpec{Bench: "kmeans"})
+
+	code, body := submit(t, ts.URL, JobSpec{Bench: "bezier"})
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit: got %d (%s), want 429", code, body)
+	}
+	if n := s.rec.Counter(telemetry.CounterJobsRejected); n != 1 {
+		t.Errorf("rejected counter = %d, want 1", n)
+	}
+
+	// The running job's result endpoint reports 409 while live.
+	if code, _ := getJSON(t, ts.URL+"/v1/jobs/"+run.ID+"/result"); code != http.StatusConflict {
+		t.Errorf("live result: got %d, want 409", code)
+	}
+
+	close(h.release)
+	waitState(t, ts.URL, run.ID, 10*time.Second, StateDone)
+	waitState(t, ts.URL, queued.ID, 10*time.Second, StateDone)
+}
+
+// TestCancelQueued cancels a job before a worker picks it up.
+func TestCancelQueued(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueSize: 4})
+	h := installBlockingHook(s)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	run := submitOK(t, ts.URL, JobSpec{Bench: "nbody"})
+	h.waitStarted(t)
+	queued := submitOK(t, ts.URL, JobSpec{Bench: "nbody"})
+
+	code, _ := httpDelete(t, ts.URL+"/v1/jobs/"+queued.ID)
+	if code != http.StatusOK {
+		t.Fatalf("cancel queued: got %d, want 200", code)
+	}
+	st := waitState(t, ts.URL, queued.ID, 5*time.Second, StateCancelled)
+	if st.StartedAt != "" {
+		t.Errorf("cancelled-while-queued job has StartedAt %q", st.StartedAt)
+	}
+	close(h.release)
+	waitState(t, ts.URL, run.ID, 10*time.Second, StateDone)
+	// Cancelling a finished job conflicts.
+	if code, _ := httpDelete(t, ts.URL+"/v1/jobs/"+run.ID); code != http.StatusConflict {
+		t.Errorf("cancel finished: got %d, want 409", code)
+	}
+	if n := s.rec.Counter(telemetry.CounterJobsCancelled); n != 1 {
+		t.Errorf("cancelled counter = %d, want 1", n)
+	}
+}
+
+// spinNBody replaces the nbody source with an effectively unbounded loop:
+// cancellation, not completion, is the only way the flow ends promptly.
+const spinNBody = `
+void nbody_main(int n, int seed, double dt, double eps, double *pos, double *vel, double *acc) {
+    int i = 0;
+    while (i < 2000000000) {
+        pos[0] = pos[0] + dt;
+        i = i + 1;
+    }
+}
+`
+
+// TestCancelRunningFlow exercises the real cancellation path end to end:
+// an uninformed flow over a spinning custom source is stopped mid-branch by
+// DELETE, and the job lands in state=cancelled far sooner than the spin
+// could ever finish.
+func TestCancelRunningFlow(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, QueueSize: 4})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := submitOK(t, ts.URL, JobSpec{Bench: "nbody", Mode: "uninformed", Source: spinNBody})
+	waitState(t, ts.URL, st.ID, 15*time.Second, StateRunning)
+	// Give the flow a moment to get into the interpreter loop.
+	time.Sleep(50 * time.Millisecond)
+
+	start := time.Now()
+	code, body := httpDelete(t, ts.URL+"/v1/jobs/"+st.ID)
+	if code != http.StatusAccepted {
+		t.Fatalf("cancel running: got %d (%s), want 202", code, body)
+	}
+	fin := waitState(t, ts.URL, st.ID, 20*time.Second, StateCancelled)
+	if elapsed := time.Since(start); elapsed > 15*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	if !strings.Contains(fin.Error, "cancel") {
+		t.Errorf("cancelled job error = %q, want it to mention cancellation", fin.Error)
+	}
+}
+
+// TestJobDeadline checks per-job timeouts surface as a failed job.
+func TestJobDeadline(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueSize: 4})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	st := submitOK(t, ts.URL, JobSpec{Bench: "nbody", Mode: "uninformed", Source: spinNBody, TimeoutMS: 100})
+	fin := waitState(t, ts.URL, st.ID, 30*time.Second, StateFailed)
+	if !strings.Contains(fin.Error, "deadline") {
+		t.Errorf("deadline job error = %q, want deadline mention", fin.Error)
+	}
+	if n := s.rec.Counter(telemetry.CounterJobsFailed); n != 1 {
+		t.Errorf("failed counter = %d, want 1", n)
+	}
+}
+
+// TestDrainSnapshotRestore drains a server with queued jobs and verifies a
+// new server over the same data dir restores them (same IDs) and runs them.
+func TestDrainSnapshotRestore(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, Config{Workers: 1, QueueSize: 8, DataDir: dir})
+	h := installBlockingHook(s)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	run := submitOK(t, ts.URL, JobSpec{Bench: "nbody"})
+	h.waitStarted(t)
+	q1 := submitOK(t, ts.URL, JobSpec{Bench: "kmeans", Mode: "uninformed"})
+	q2 := submitOK(t, ts.URL, JobSpec{Bench: "bezier", TimeoutMS: 30000})
+
+	drainDone := make(chan int, 1)
+	go func() {
+		n, err := s.Drain()
+		if err != nil {
+			t.Errorf("drain: %v", err)
+		}
+		drainDone <- n
+	}()
+
+	// Draining: health flips to 503 and new submissions are refused.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if code, _ := getJSON(t, ts.URL+"/healthz"); code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("healthz never reported draining")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if code, _ := submit(t, ts.URL, JobSpec{Bench: "nbody"}); code != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: got %d, want 503", code)
+	}
+
+	close(h.release) // let the in-flight job finish
+	var snapshotted int
+	select {
+	case snapshotted = <-drainDone:
+	case <-time.After(15 * time.Second):
+		t.Fatal("drain did not finish")
+	}
+	if snapshotted != 2 {
+		t.Fatalf("snapshotted %d jobs, want 2", snapshotted)
+	}
+	// The in-flight job completed rather than being snapshotted.
+	if st := waitState(t, ts.URL, run.ID, time.Second, StateDone); st.Error != "" {
+		t.Errorf("in-flight job error: %s", st.Error)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "queue.json")); err != nil {
+		t.Fatalf("no queue snapshot: %v", err)
+	}
+
+	// Restart: a new server restores the queued jobs under their old IDs.
+	s2, ts2 := newTestServer(t, Config{Workers: 2, QueueSize: 8, DataDir: dir})
+	h2 := installBlockingHook(s2)
+	close(h2.release) // run-through hook: restored jobs finish immediately
+	if err := s2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if n := s2.rec.Counter(telemetry.CounterJobsRestored); n != 2 {
+		t.Errorf("restored counter = %d, want 2", n)
+	}
+	for _, id := range []string{q1.ID, q2.ID} {
+		waitState(t, ts2.URL, id, 10*time.Second, StateDone)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "queue.json")); !os.IsNotExist(err) {
+		t.Errorf("queue snapshot not removed after restore (err=%v)", err)
+	}
+	// Specs survived the roundtrip.
+	if job := s2.lookup(q1.ID); job == nil || job.Spec.Mode != "uninformed" {
+		t.Errorf("restored job %s lost its spec: %+v", q1.ID, job)
+	}
+
+	// Drain with an empty queue succeeds and leaves no snapshot.
+	if n, err := s2.Drain(); err != nil || n != 0 {
+		t.Errorf("second drain: n=%d err=%v", n, err)
+	}
+}
+
+// TestDrainIdempotent double-drains an idle server.
+func TestDrainIdempotent(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 1})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := s.Drain(); err != nil || n != 0 {
+		t.Fatalf("first drain: n=%d err=%v", n, err)
+	}
+	if n, err := s.Drain(); err != nil || n != 0 {
+		t.Fatalf("second drain: n=%d err=%v", n, err)
+	}
+}
+
+func TestRequestBodyLimit(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	big := fmt.Sprintf(`{"bench":"nbody","source":%q}`, strings.Repeat("x", maxRequestBody+1))
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized body: got %d, want 400", resp.StatusCode)
+	}
+}

@@ -104,6 +104,9 @@ func UnrollUntilOvermap(dev platform.FPGASpec) core.Task {
 			var best *hls.Report
 			bestUnroll := 0
 			for n := 1; n <= 1<<16; n *= 2 {
+				if err := ctx.Interrupted(); err != nil {
+					return err
+				}
 				ctx.Count(telemetry.DSECounter("unroll"), 1)
 				transform.RemoveLoopPragmas(loop, "unroll")
 				if err := transform.InsertLoopPragma(loop, fmt.Sprintf("unroll %d", n)); err != nil {

@@ -103,6 +103,9 @@ func shareLargestFixedLoops(ctx *core.Context, prog *minic.Program, kfn *minic.F
 	shared := 0
 	extra := 1.0
 	for _, c := range cands {
+		if err := ctx.Interrupted(); err != nil {
+			return shared, extra, err
+		}
 		if err := transform.InsertLoopPragma(c.loop, "unroll 1"); err != nil {
 			return shared, extra, err
 		}

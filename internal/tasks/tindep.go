@@ -6,6 +6,8 @@
 package tasks
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -51,6 +53,7 @@ func runWorkload(ctx *core.Context, d *core.Design, watch string) (*interp.Resul
 			Args:     ctx.Workload.Args(),
 			Watch:    watch,
 			Counters: counters,
+			Ctx:      ctx.Ctx,
 		})
 	}
 	if ctx.Runs == nil {
@@ -67,6 +70,21 @@ func runWorkload(ctx *core.Context, d *core.Design, watch string) (*interp.Resul
 		Watch:       w,
 	}
 	res, err, hit := ctx.Runs.Do(key, run)
+	// Cancellation hygiene for the shared cache: a run aborted by a context
+	// is evicted so it cannot poison other consumers, and if the abort came
+	// from a DIFFERENT job sharing the process-wide cache (our own context
+	// is still live), the run is retried here. One retry suffices in
+	// practice; a second concurrent cancellation just surfaces as an error
+	// the flow reports.
+	if err != nil && isCancel(err) {
+		ctx.Runs.Forget(key)
+		if ctx.Interrupted() == nil {
+			res, err, hit = ctx.Runs.Do(key, run)
+			if err != nil && isCancel(err) {
+				ctx.Runs.Forget(key)
+			}
+		}
+	}
 	if hit {
 		ctx.Count(telemetry.CounterRunCacheHits, 1)
 		if res != nil {
@@ -77,6 +95,11 @@ func runWorkload(ctx *core.Context, d *core.Design, watch string) (*interp.Resul
 		ctx.Count(telemetry.CounterRunCacheMisses, 1)
 	}
 	return res, err
+}
+
+// isCancel reports whether err is a context cancellation or deadline.
+func isCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // IdentifyHotspots is the paper's "Identify Hotspot Loops" dynamic

@@ -50,6 +50,20 @@ const (
 	CounterBudgetRevisions = "flow.budget_revisions"
 )
 
+// Service counters fed by the psaflowd job queue and worker pool. Lifecycle
+// counters are cumulative; CounterQueueDepth is maintained as a gauge
+// (+1 on enqueue, -1 on dequeue), so its current value is the live depth.
+const (
+	CounterJobsSubmitted   = "service.jobs_submitted"
+	CounterJobsCompleted   = "service.jobs_completed"
+	CounterJobsFailed      = "service.jobs_failed"
+	CounterJobsCancelled   = "service.jobs_cancelled"
+	CounterJobsRejected    = "service.jobs_rejected" // queue-full 429s
+	CounterJobsRestored    = "service.jobs_restored" // re-enqueued from a drain snapshot
+	CounterQueueDepth      = "service.queue_depth"
+	CounterQueueWaitMillis = "service.queue_wait_ms" // cumulative submit→start wait
+)
+
 // DSECounter returns the iteration-counter name for one named DSE loop,
 // e.g. DSECounter("blocksize") = "dse.blocksize.iterations".
 func DSECounter(name string) string { return "dse." + name + ".iterations" }
@@ -154,6 +168,22 @@ func (r *Recorder) Add(name string, delta int64) {
 	}
 	r.mu.Lock()
 	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// MergeCounters folds a counter map — typically the Counters of a finished
+// job's scoped recorder — into this recorder. The serving layer gives every
+// job its own recorder (so a job's result carries only its own spans) and
+// merges the counters into the process-wide recorder on completion, which
+// is what /metrics reports; cross-job run-cache hits become visible there.
+func (r *Recorder) MergeCounters(counters map[string]int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	for k, v := range counters {
+		r.counters[k] += v
+	}
 	r.mu.Unlock()
 }
 

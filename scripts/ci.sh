@@ -15,3 +15,6 @@ go test -race -run 'Equivalence' ./internal/interp/ ./internal/tasks/
 # Bench smoke: one shot of every harness benchmark, so a regression that
 # breaks a figure harness (not just a unit) fails CI.
 go test -run '^$' -bench . -benchtime=1x .
+# Daemon smoke: boot psaflowd, run jobs through the HTTP API, SIGTERM,
+# require a graceful drain.
+scripts/smoke_service.sh

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# psaflowd load test: boots the daemon, warms the shared run cache with one
+# job, then drives N identical concurrent jobs through the HTTP API and
+# records throughput / queue wait / run-cache sharing as
+# BENCH_<date>_service.json (same trajectory-file convention as bench.sh).
+#
+# Usage: scripts/loadtest.sh [jobs]      (default 32)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="${1:-32}"
+stamp="$(date +%Y-%m-%d)"
+out="BENCH_${stamp}_service.json"
+
+tmp="$(mktemp -d)"
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/psaflowd" ./cmd/psaflowd
+go build -o "$tmp/client" ./examples/service
+
+addr="127.0.0.1:$((20000 + RANDOM % 20000))"
+"$tmp/psaflowd" -addr "$addr" -workers 4 -queue 128 >"$tmp/log" 2>&1 &
+pid=$!
+
+# Warm: the first job pays the cache misses; retries cover startup.
+ok=""
+for _ in $(seq 1 25); do
+    if "$tmp/client" -addr "http://$addr" -bench adpredictor -wait 120s >/dev/null 2>&1; then
+        ok=1
+        break
+    fi
+    sleep 0.2
+done
+[ -n "$ok" ] || { echo "loadtest: warm-up job never completed"; cat "$tmp/log"; exit 1; }
+
+# Measured run: N concurrent identical jobs off the warm shared cache.
+"$tmp/client" -addr "http://$addr" -bench adpredictor -n "$jobs" -json -wait 300s \
+    >"$tmp/summary.json"
+
+kill -TERM "$pid"
+wait "$pid"
+pid=""
+
+awk -v date="$stamp" 'NR==1 { print "{"; printf "  \"date\": \"%s\",\n", date; next } { print }' \
+    "$tmp/summary.json" >"$out"
+
+echo "wrote $out"
+cat "$out"
