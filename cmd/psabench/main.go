@@ -8,18 +8,26 @@
 //
 //	psabench [-fig5] [-table1] [-fig6] [-ablate] [-json out.json]
 //	         [-metrics] [-metrics-json out.json] [-v]
+//	psabench -chaos [-faults seed=1,rate=0.2] [-chaos-runs 5]
+//	         [-chaos-mode informed] [-chaos-json out.json]
 //
-// With no selection flags, everything runs. -metrics prints a flow
-// telemetry report (per-task wall clock plus interp/DSE/HLS counters)
-// for the experiment runs; -metrics-json writes the same report as JSON.
+// With no selection flags, everything runs (the chaos sweep is opt-in).
+// -metrics prints a flow telemetry report (per-task wall clock plus
+// interp/DSE/HLS counters) for the experiment runs; -metrics-json writes
+// the same report as JSON. -chaos sweeps seeded fault injection over all
+// five benchmarks (see docs/FAULTS.md) and writes the completion/retry/
+// degradation report consumed by scripts/chaos.sh.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"psaflow/internal/experiments"
+	"psaflow/internal/faults"
+	"psaflow/internal/tasks"
 	"psaflow/internal/telemetry"
 )
 
@@ -31,10 +39,15 @@ func main() {
 	jsonOut := flag.String("json", "", "also write the selected results as JSON to this file")
 	metrics := flag.Bool("metrics", false, "print a flow telemetry report (timings + counters)")
 	metricsJSON := flag.String("metrics-json", "", "write the flow telemetry report as JSON to this file")
+	chaos := flag.Bool("chaos", false, "run the seeded fault-injection sweep over all benchmarks")
+	faultSpec := flag.String("faults", "seed=1,rate=0.2", "chaos fault spec; the seed is the sweep's starting seed")
+	chaosRuns := flag.Int("chaos-runs", 5, "number of consecutive seeds to sweep in -chaos")
+	chaosMode := flag.String("chaos-mode", "informed", "flow mode for -chaos: informed or uninformed")
+	chaosJSON := flag.String("chaos-json", "", "write the chaos report as JSON to this file (BENCH_<date>_chaos.json)")
 	verbose := flag.Bool("v", false, "log flow execution")
 	flag.Parse()
 
-	all := !*fig5 && !*table1 && !*fig6 && !*ablate
+	all := !*fig5 && !*table1 && !*fig6 && !*ablate && !*chaos
 	var logf func(string, ...any)
 	if *verbose {
 		logf = func(format string, args ...any) {
@@ -85,6 +98,48 @@ func main() {
 	if all || *fig6 {
 		fmt.Println("== Fig. 6: FPGA vs GPU cost trade-off ==")
 		fmt.Println(experiments.FormatFig6(experiments.RunFig6(fig5Rows)))
+	}
+
+	if *chaos {
+		inj, err := faults.ParseSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaos:", err)
+			os.Exit(2)
+		}
+		if inj == nil {
+			fmt.Fprintln(os.Stderr, "chaos: -faults must enable injection (rate > 0)")
+			os.Exit(2)
+		}
+		var mode tasks.Mode
+		switch *chaosMode {
+		case "informed":
+			mode = tasks.Informed
+		case "uninformed":
+			mode = tasks.Uninformed
+		default:
+			fmt.Fprintf(os.Stderr, "chaos: unknown mode %q\n", *chaosMode)
+			os.Exit(2)
+		}
+		fmt.Printf("== Chaos: %s mode, %s, %d seed(s) ==\n", *chaosMode, inj, *chaosRuns)
+		rep := experiments.RunChaos(mode, inj, *chaosRuns, faults.RetryPolicy{}, logf)
+		rep.Date = time.Now().UTC().Format("2006-01-02")
+		fmt.Println(experiments.FormatChaos(rep))
+		if *chaosJSON != "" {
+			data, err := rep.JSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "chaos-json:", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*chaosJSON, data, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "chaos-json:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *chaosJSON)
+		}
+		if mode == tasks.Informed && rep.CompletionRate < 1 {
+			fmt.Fprintf(os.Stderr, "chaos: informed completion rate %.0f%% < 100%%\n", rep.CompletionRate*100)
+			os.Exit(1)
+		}
 	}
 
 	var ablations []experiments.AblationRow

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	psaflow -bench nbody [-mode informed|uninformed] [-timeout 30s] [-trace]
+//	        [-faults seed=1,rate=0.1,kinds=hls,run] [-task-timeout 10s]
 //	        [-emit] [-metrics] [-metrics-json out.json] [-v]
 //	psaflow -list
 package main
@@ -19,6 +20,7 @@ import (
 	"psaflow/internal/bench"
 	"psaflow/internal/core"
 	"psaflow/internal/experiments"
+	"psaflow/internal/faults"
 	"psaflow/internal/tasks"
 	"psaflow/internal/telemetry"
 )
@@ -34,8 +36,16 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print a flow telemetry report (timings + counters)")
 	metricsJSON := flag.String("metrics-json", "", "write the flow telemetry report as JSON to this file")
 	timeout := flag.Duration("timeout", 0, "bound the flow's wall-clock time (0 = unbounded)")
+	faultSpec := flag.String("faults", "", `inject deterministic faults: "seed=1,rate=0.1,kinds=hls,run" ("" or "off" disables)`)
+	taskTimeout := flag.Duration("task-timeout", 0, "bound each flow task attempt; timed-out attempts are retried (0 = unbounded)")
 	verbose := flag.Bool("v", false, "log flow execution")
 	flag.Parse()
+
+	inj, err := faults.ParseSpec(*faultSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, b := range bench.All() {
@@ -77,9 +87,10 @@ func main() {
 		runCtx, cancel = context.WithTimeout(runCtx, *timeout)
 		defer cancel()
 	}
-	results, err := experiments.RunBenchmarkJob(runCtx, b, nil,
+	env := experiments.JobEnv{Faults: inj, TaskTimeout: *taskTimeout}
+	results, err := experiments.RunBenchmarkEnv(runCtx, b, nil,
 		tasks.FlowOptions{Mode: m, Strategy: tasks.DefaultStrategy, ResourceSharing: *sharing},
-		logf, rec, core.NewRunCache())
+		env, logf, rec, core.NewRunCache())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

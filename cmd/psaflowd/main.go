@@ -8,7 +8,7 @@
 // Usage:
 //
 //	psaflowd [-addr :8080] [-workers 4] [-queue 64] [-data-dir DIR]
-//	         [-timeout 5m] [-v]
+//	         [-timeout 5m] [-faults seed=1,rate=0.1,kinds=hls,run] [-v]
 //
 // Endpoints:
 //
@@ -32,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"psaflow/internal/faults"
 	"psaflow/internal/service"
 )
 
@@ -41,8 +42,14 @@ func main() {
 	queueSize := flag.Int("queue", 64, "job queue capacity (beyond it, submissions get 429)")
 	dataDir := flag.String("data-dir", "", "persist job results and the drain snapshot here (empty = no persistence)")
 	timeout := flag.Duration("timeout", 5*time.Minute, "default per-job run-time bound (0 = unbounded)")
+	faultSpec := flag.String("faults", "", `default fault-injection spec for jobs without their own ("" or "off" disables; kinds=io also targets persistence writes)`)
 	verbose := flag.Bool("v", false, "log job lifecycle events")
 	flag.Parse()
+
+	if _, err := faults.ParseSpec(*faultSpec); err != nil {
+		fmt.Fprintln(os.Stderr, "psaflowd:", err)
+		os.Exit(2)
+	}
 
 	logger := log.New(os.Stderr, "psaflowd: ", log.LstdFlags|log.Lmsgprefix)
 	var logf func(string, ...any)
@@ -55,6 +62,7 @@ func main() {
 		QueueSize:      *queueSize,
 		DataDir:        *dataDir,
 		DefaultTimeout: *timeout,
+		Faults:         *faultSpec,
 		Logf:           logf,
 	})
 	if err := s.Start(); err != nil {

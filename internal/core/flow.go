@@ -2,9 +2,12 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"psaflow/internal/faults"
 	"psaflow/internal/platform"
 	"psaflow/internal/telemetry"
 )
@@ -68,8 +71,107 @@ type Context struct {
 	// memoization; every dynamic task then re-executes the program. The
 	// cache is race-safe and shared as-is by parallel branch paths.
 	Runs *RunCache
+	// Faults injects deterministic synthetic failures at the instrumented
+	// tool call sites (partial compiles, profiled runs, device claims —
+	// see internal/faults and docs/FAULTS.md). Nil disables injection;
+	// zero-fault runs are bit-for-bit identical to a Context without the
+	// resilience fields set.
+	Faults *faults.Injector
+	// Retry tunes the engine's per-task retry loop (transient faults are
+	// retried in place with deterministic backoff). The zero value means
+	// faults.DefaultRetry; the policy's Budget caps total retries across
+	// the whole flow run.
+	Retry faults.RetryPolicy
+	// TaskTimeout bounds each task attempt; an attempt that exceeds it is
+	// classified as a transient faults.Timeout and retried. 0 disables.
+	TaskTimeout time.Duration
 
-	logMu sync.Mutex
+	// shared is the run-scoped mutable state (log serialization, retry
+	// budget) installed by Flow.Run before any parallel work starts and
+	// propagated by pointer through withCtx copies.
+	shared *sharedState
+}
+
+// sharedState is the per-flow-run state shared by every goroutine and
+// every per-attempt Context copy of one run.
+type sharedState struct {
+	mu          sync.Mutex
+	retryTokens int64
+	hasBudget   bool
+}
+
+// ensureShared installs the shared state. Idempotent; called from the
+// single-threaded Flow.Run entry before goroutines exist.
+func (c *Context) ensureShared() {
+	if c.shared != nil {
+		return
+	}
+	s := &sharedState{}
+	if b := c.Retry.WithDefaults().Budget; b > 0 {
+		s.hasBudget, s.retryTokens = true, int64(b)
+	}
+	c.shared = s
+}
+
+// takeRetryToken consumes one retry from the flow's shared budget and
+// reports whether one was available. Contexts never run through Flow.Run
+// (direct Task.Run in tests) have no budget and always grant.
+func (c *Context) takeRetryToken() bool {
+	s := c.shared
+	if s == nil || !s.hasBudget {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.retryTokens <= 0 {
+		return false
+	}
+	s.retryTokens--
+	return true
+}
+
+// resilient reports whether fault-recovery machinery is active for this
+// run. When false the engine takes exactly its historical code paths, so
+// fault-free runs stay bit-for-bit identical.
+func (c *Context) resilient() bool {
+	return c.Faults.Enabled() || c.TaskTimeout > 0
+}
+
+// withCtx returns a task-context copy with the cancellation context
+// replaced — the engine uses it to impose per-attempt timeouts without
+// disturbing sibling paths. Field-by-field (not a struct copy) so no
+// future lock-bearing field is ever copied by value.
+func (c *Context) withCtx(ctx context.Context) *Context {
+	return &Context{
+		Ctx:         ctx,
+		Workload:    c.Workload,
+		CPU:         c.CPU,
+		Budget:      c.Budget,
+		Cost:        c.Cost,
+		Logf:        c.Logf,
+		Parallel:    c.Parallel,
+		Telemetry:   c.Telemetry,
+		Runs:        c.Runs,
+		Faults:      c.Faults,
+		Retry:       c.Retry,
+		TaskTimeout: c.TaskTimeout,
+		shared:      c.shared,
+	}
+}
+
+// FailPoint consults the fault injector for one instrumented operation,
+// recording telemetry when a fault fires. Instrumented call sites invoke
+// it immediately before the simulated tool step (and before any cache
+// lookup, so failures never poison memoized results). Returns the
+// injected fault as an error, or nil to proceed.
+func (c *Context) FailPoint(kind faults.Kind, op string) error {
+	err := c.Faults.Fail(kind, op)
+	if err != nil {
+		c.Count(telemetry.CounterFaultsInjected, 1)
+		c.Count(telemetry.FaultCounter(string(kind)), 1)
+		c.logf("  fault injected: %v", err)
+	}
+	return err
 }
 
 // Interrupted returns the context's error once cancellation or a deadline
@@ -95,11 +197,14 @@ func (c *Context) Count(name string, delta int64) {
 }
 
 func (c *Context) logf(format string, args ...any) {
-	if c.Logf != nil {
-		c.logMu.Lock()
-		defer c.logMu.Unlock()
-		c.Logf(format, args...)
+	if c.Logf == nil {
+		return
 	}
+	if s := c.shared; s != nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	c.Logf(format, args...)
 }
 
 // Task is one codified design-flow task (a meta-program in the paper's
@@ -244,6 +349,7 @@ func (e *FlowError) Unwrap() error { return e.Err }
 // overmap) are still returned, marked via Design.Infeasible, so harnesses
 // can report them as the paper does ("n/a" bars).
 func (f *Flow) Run(ctx *Context, d *Design) ([]*Design, error) {
+	ctx.ensureShared()
 	span := ctx.Telemetry.StartSpan(nil, telemetry.KindFlow, f.Name)
 	defer span.End()
 	return f.run(ctx, d, span)
@@ -271,7 +377,7 @@ func (f *Flow) run(ctx *Context, d *Design, parent *telemetry.Span) ([]*Design, 
 				ctx.logf("  task %-32s (%s) on %s", n.Task.Name(), n.Task.Kind(), cur.Label())
 				span := ctx.Telemetry.StartSpan(parent, telemetry.KindTask, n.Task.Name())
 				span.SetDetail(cur.Label())
-				err := n.Task.Run(ctx, cur)
+				err := runTask(ctx, n.Task, cur, span)
 				span.End()
 				if err != nil {
 					return nil, &FlowError{Flow: f.Name, Task: n.Task.Name(), Err: err}
@@ -301,20 +407,94 @@ func (f *Flow) run(ctx *Context, d *Design, parent *telemetry.Span) ([]*Design, 
 	return designs, nil
 }
 
+// runTask executes one task with the engine's resilience wrapper: an
+// optional per-attempt timeout, plus retry-with-backoff for transient
+// faults bounded by the retry policy's MaxAttempts and the flow's shared
+// retry budget. With injection off and no timeout this reduces to exactly
+// one plain Task.Run call, so fault-free flows behave identically to the
+// pre-resilience engine.
+func runTask(ctx *Context, t Task, d *Design, span *telemetry.Span) error {
+	pol := ctx.Retry.WithDefaults()
+	for attempt := 1; ; attempt++ {
+		err := runTaskAttempt(ctx, t, d)
+		if err == nil || !faults.Transient(err) {
+			return err
+		}
+		if ctx.Interrupted() != nil {
+			return err
+		}
+		if attempt >= pol.MaxAttempts {
+			ctx.Count(telemetry.CounterRetryGiveups, 1)
+			span.Note(fmt.Sprintf("gave up after %d attempts: %v", attempt, err))
+			return fmt.Errorf("task %s: %d attempts exhausted: %w", t.Name(), attempt, err)
+		}
+		if !ctx.takeRetryToken() {
+			ctx.Count(telemetry.CounterRetryBudgetExhausted, 1)
+			span.Note(fmt.Sprintf("retry budget exhausted after attempt %d: %v", attempt, err))
+			return fmt.Errorf("task %s: flow retry budget exhausted: %w", t.Name(), err)
+		}
+		delay := pol.Delay(t.Name(), attempt)
+		ctx.Count(telemetry.CounterRetryAttempts, 1)
+		ctx.Count(telemetry.CounterRetryBackoffMillis, delay.Milliseconds())
+		span.Note(fmt.Sprintf("retry %d after %v (backoff %s)", attempt, err, delay))
+		ctx.logf("  retry %-31s attempt %d after %s (%v)", t.Name(), attempt+1, delay, err)
+		if faults.Sleep(ctx.Ctx, delay) != nil {
+			return err
+		}
+	}
+}
+
+// runTaskAttempt runs one attempt, imposing Context.TaskTimeout when set.
+// An attempt killed by its own deadline — while the flow's context is
+// still alive — is reclassified as a transient faults.Timeout so the
+// retry loop treats a hung tool invocation like a failed one.
+func runTaskAttempt(ctx *Context, t Task, d *Design) error {
+	if ctx.TaskTimeout <= 0 {
+		return t.Run(ctx, d)
+	}
+	base := ctx.Ctx
+	if base == nil {
+		base = context.Background()
+	}
+	tctx, cancel := context.WithTimeout(base, ctx.TaskTimeout)
+	defer cancel()
+	err := t.Run(ctx.withCtx(tctx), d)
+	if err != nil && errors.Is(err, context.DeadlineExceeded) &&
+		(ctx.Ctx == nil || ctx.Ctx.Err() == nil) {
+		ctx.Count(telemetry.CounterTaskTimeouts, 1)
+		return fmt.Errorf("task %s exceeded timeout %s: %w", t.Name(), ctx.TaskTimeout,
+			&faults.Fault{Kind: faults.Timeout, Op: t.Name(), N: 1, Transient: true})
+	}
+	return err
+}
+
 // runBranch executes one branch point on one design, including the budget
 // feedback loop: an initial selection plus at most MaxRevisions
 // re-selections, each revision excluding the paths that exceeded the
 // budget.
+//
+// Fault-degraded paths follow the graceful-degradation tier (docs/FAULTS.md):
+// a path whose sub-flow fails with a degradable error (a retry-exhausted or
+// non-transient fault) is not allowed to abort the flow. Its fork is marked
+// Infeasible and kept as a failure verdict; when the selection was a single
+// path (informed strategy) the path is additionally excluded and selection
+// re-runs, so the strategy falls back to its next-best target.
 func runBranch(ctx *Context, b Branch, d *Design, flowName string, parent *telemetry.Span) ([]*Design, error) {
 	maxRev := b.MaxRevisions
 	if maxRev <= 0 {
 		maxRev = 4
 	}
 	gated := b.Gated && ctx.Budget > 0 && ctx.Cost != nil
+	resilient := ctx.resilient()
 	excluded := map[int]bool{}
 	branchSpan := ctx.Telemetry.StartSpan(parent, telemetry.KindBranch, b.PointName)
 	defer branchSpan.End()
-	for rev := 0; ; rev++ {
+	// degraded accumulates the Infeasible failure verdicts of fault-degraded
+	// paths across fallback re-selections; they are returned alongside the
+	// surviving designs so harnesses see per-branch failure outcomes.
+	var degraded []*Design
+	rev, fallbacks := 0, 0
+	for {
 		if err := ctx.Interrupted(); err != nil {
 			return nil, &FlowError{Flow: flowName, Task: "branch:" + b.PointName, Err: err}
 		}
@@ -324,9 +504,10 @@ func runBranch(ctx *Context, b Branch, d *Design, flowName string, parent *telem
 		}
 		if len(idxs) == 0 {
 			// No viable path: the flow terminates without specializing
-			// (Fig. 3's "design-flow terminates" outcome).
+			// (Fig. 3's "design-flow terminates" outcome). Verdicts from
+			// earlier degraded paths are still reported.
 			d.Tracef("branch", b.PointName, "no path selected; design unmodified")
-			return []*Design{d}, nil
+			return append(degraded, d), nil
 		}
 		for _, i := range idxs {
 			if i < 0 || i >= len(b.Paths) {
@@ -336,16 +517,19 @@ func runBranch(ctx *Context, b Branch, d *Design, flowName string, parent *telem
 		}
 		perPath := make([][]*Design, len(idxs))
 		errs := make([]error, len(idxs))
+		forks := make([]*Design, len(idxs))
 		runPath := func(slot, i int) {
 			p := b.Paths[i]
 			fork := d
-			// Fork when several paths run, or when the budget gate may
-			// reject this path and re-select: revisions must restart from
-			// the unmodified design.
-			if len(idxs) > 1 || gated {
+			// Fork when several paths run, when the budget gate may reject
+			// this path and re-select, or when resilience is active: budget
+			// revisions and fault fallbacks must both restart from the
+			// unmodified design.
+			if len(idxs) > 1 || gated || resilient {
 				fork = d.Fork()
 				ctx.Count(telemetry.CounterDesignsForked, 1)
 			}
+			forks[slot] = fork
 			fork.Tracef("branch", b.PointName, "selected path %q (strategy %s)", p.Name, b.Select.Name())
 			ctx.logf("branch %s -> %s", b.PointName, p.Name)
 			pathSpan := ctx.Telemetry.StartSpan(branchSpan, telemetry.KindPath, b.PointName+"/"+p.Name)
@@ -370,9 +554,33 @@ func runBranch(ctx *Context, b Branch, d *Design, flowName string, parent *telem
 		}
 		var out []*Design
 		overBudget := true
-		for slot := range idxs {
-			if errs[slot] != nil {
-				return nil, errs[slot]
+		failedSlots := 0
+		var firstFail error
+		for slot, i := range idxs {
+			if err := errs[slot]; err != nil {
+				if !resilient || !faults.Degradable(err) {
+					// Programming/specification errors (or any failure with
+					// resilience off) still abort the flow.
+					return nil, err
+				}
+				// Graceful degradation: the failed fork becomes an
+				// Infeasible failure verdict instead of aborting the flow.
+				p := b.Paths[i]
+				fork := forks[slot]
+				fork.Infeasible = fmt.Sprintf("path %q failed: %v", p.Name, err)
+				fork.Tracef("branch", b.PointName, "degraded: %v", err)
+				ctx.Count(telemetry.CounterFaultDegradations, 1)
+				branchSpan.Note(fmt.Sprintf("path %q degraded: %v", p.Name, err))
+				ctx.logf("branch %s: path %q degraded (%v)", b.PointName, p.Name, err)
+				degraded = append(degraded, fork)
+				failedSlots++
+				if firstFail == nil {
+					firstFail = err
+				}
+				// Like any infeasible leaf, a failure verdict suppresses
+				// budget revision for this round.
+				overBudget = false
+				continue
 			}
 			out = append(out, perPath[slot]...)
 			for _, leaf := range perPath[slot] {
@@ -387,8 +595,30 @@ func runBranch(ctx *Context, b Branch, d *Design, flowName string, parent *telem
 				}
 			}
 		}
+		// A multi-select branch whose every path failed produced nothing to
+		// continue with: surface one degradable error so an enclosing branch
+		// (informed mode's target selection) can fall back in turn.
+		if failedSlots == len(idxs) && len(idxs) > 1 {
+			return nil, &FlowError{Flow: flowName, Task: "branch:" + b.PointName,
+				Err: fmt.Errorf("all %d selected paths failed: %w", len(idxs), firstFail)}
+		}
+		// Informed fallback: when the strategy picked a single path and it
+		// failed, exclude it and re-select so the next-best target runs.
+		// Bounded by the path count — each fallback permanently excludes one.
+		if failedSlots > 0 && len(idxs) == 1 {
+			if fallbacks >= len(b.Paths) {
+				return nil, &FlowError{Flow: flowName, Task: "branch:" + b.PointName,
+					Err: fmt.Errorf("fault fallback exceeded %d paths (selector re-selected a failed path)", len(b.Paths))}
+			}
+			fallbacks++
+			excluded[idxs[0]] = true
+			ctx.Count(telemetry.CounterFaultFallbacks, 1)
+			branchSpan.Note(fmt.Sprintf("fallback %d: re-selecting without path %q", fallbacks, b.Paths[idxs[0]].Name))
+			d.Tracef("branch", b.PointName, "fallback %d: path %q failed, re-selecting", fallbacks, b.Paths[idxs[0]].Name)
+			continue
+		}
 		if !gated || !overBudget {
-			return out, nil
+			return append(degraded, out...), nil
 		}
 		if rev == maxRev {
 			return nil, &FlowError{Flow: flowName, Task: "branch:" + b.PointName,
@@ -398,7 +628,8 @@ func runBranch(ctx *Context, b Branch, d *Design, flowName string, parent *telem
 		for _, i := range idxs {
 			excluded[i] = true
 		}
+		rev++
 		ctx.Count(telemetry.CounterBudgetRevisions, 1)
-		d.Tracef("branch", b.PointName, "revision %d: all selected paths over budget, re-selecting", rev+1)
+		d.Tracef("branch", b.PointName, "revision %d: all selected paths over budget, re-selecting", rev)
 	}
 }

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"psaflow/internal/faults"
+	"psaflow/internal/tasks"
+)
+
+var chaosTestRetry = faults.RetryPolicy{
+	MaxAttempts: 6,
+	BaseDelay:   50 * time.Microsecond,
+	MaxDelay:    500 * time.Microsecond,
+}
+
+// TestRunChaosInformedCompletes is the acceptance sweep in miniature:
+// every seeded informed run must complete with a feasible design, and
+// the whole report must replay bit-identically from the same base spec.
+func TestRunChaosInformedCompletes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full flow runs the interpreter; skipped in -short mode")
+	}
+	base := faults.New(1, 0.2)
+	rep := RunChaos(tasks.Informed, base, 2, chaosTestRetry, nil)
+	if rep.CompletionRate != 1 {
+		t.Fatalf("completion rate %.2f, want 1.0: %s", rep.CompletionRate, FormatChaos(rep))
+	}
+	if got := len(rep.Runs); got != 10 {
+		t.Fatalf("2 seeds x 5 benchmarks should be 10 runs, got %d", got)
+	}
+	if rep.TotalFaults == 0 {
+		t.Error("rate=0.2 sweep injected nothing; chaos is not wired through")
+	}
+	replay := RunChaos(tasks.Informed, base, 2, chaosTestRetry, nil)
+	if !reflect.DeepEqual(rep, replay) {
+		t.Errorf("chaos sweep is not deterministic:\nfirst:  %+v\nreplay: %+v", rep, replay)
+	}
+}

@@ -1,0 +1,326 @@
+// Package faults is the fault-injection and resilience layer for the
+// simulated toolchain substrates. The paper's PSA-flows exist because real
+// heterogeneous toolchains fail routinely — an HLS partial compile dies or
+// times out, a profiled run is flaky, an accelerator board is claimed by
+// another tenant — and a design-flow that aborts on the first tool error
+// cannot be automated. This package provides the two halves of surviving
+// that reality:
+//
+//   - Injector: a deterministic, seedable source of synthetic faults that
+//     the instrumented call sites (internal/tasks, internal/service) consult
+//     before each simulated tool invocation. Decisions are pure functions of
+//     (seed, kind, operation, occurrence index), so a chaos run replays
+//     bit-identically for a given seed, even when branch paths execute on
+//     concurrent goroutines.
+//   - RetryPolicy: deterministic exponential backoff with jitter and a
+//     per-flow retry budget, used by the flow engine (per-task retries) and
+//     the serving layer (transient I/O).
+//
+// Fault classification (Transient, Degradable) drives the engine's two
+// recovery tiers: transient faults are retried in place; non-transient (or
+// retry-exhausted) faults at a branch path degrade that path to an
+// Infeasible verdict and let the PSA strategy fall back to the next-best
+// branch instead of aborting the flow. A nil *Injector is fully functional
+// as "injection off": every method is nil-safe and returns the zero
+// decision, so production paths pay nothing.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Kind classifies an injectable (or classified) failure.
+type Kind string
+
+// Injectable fault kinds and their real-toolchain analogues (see
+// docs/FAULTS.md for the full model).
+const (
+	// HLS models a failed or timed-out oneAPI/dpcpp partial compile — the
+	// expensive tool step of the unroll-until-overmap DSE. Transient: HLS
+	// farm flakiness (license contention, OOM) clears on re-submission.
+	HLS Kind = "hls"
+	// Run models a flaky profiled run of the dynamic-analysis interpreter
+	// (the simulated stand-in for instrumented native execution).
+	// Transient: rerunning the workload usually succeeds.
+	Run Kind = "run"
+	// Device models an accelerator that is unavailable for the duration of
+	// the flow (board held by another tenant, PCIe enumeration failure).
+	// NOT transient: retrying the same device is pointless; the branch
+	// degrades and the strategy falls back to another target.
+	Device Kind = "device"
+	// IO models transient service-layer I/O errors (result persistence,
+	// snapshot writes). Transient.
+	IO Kind = "io"
+	// Timeout is not injectable through the Injector: the flow engine uses
+	// it to classify a task that exceeded Context.TaskTimeout. Transient —
+	// a timed-out tool invocation is retried like a failed one.
+	Timeout Kind = "timeout"
+)
+
+// Kinds lists the injectable kinds (Timeout is classification-only).
+func Kinds() []Kind { return []Kind{HLS, Run, Device, IO} }
+
+// transientByKind records which kinds are worth retrying in place.
+var transientByKind = map[Kind]bool{
+	HLS: true, Run: true, IO: true, Timeout: true, Device: false,
+}
+
+// Fault is one injected (or engine-classified) failure. It is carried as
+// an error through the flow so the engine can classify it anywhere in the
+// wrap chain via errors.As.
+type Fault struct {
+	Kind Kind
+	// Op names the failed operation, e.g. "run:gpu:nbody_hotspot" or an
+	// FPGA device name. It keys the injector's occurrence counters.
+	Op string
+	// N is the 1-based occurrence index of (Kind, Op) that fired.
+	N int64
+	// Transient reports whether retrying the operation may succeed.
+	Transient bool
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	verb := "failed"
+	if f.Kind == Timeout {
+		verb = "timed out"
+	} else if !f.Transient {
+		verb = "unavailable"
+	}
+	return fmt.Sprintf("injected fault: %s %q %s (occurrence %d)", f.Kind, f.Op, verb, f.N)
+}
+
+// AsFault extracts the innermost *Fault from err's wrap chain, or nil.
+func AsFault(err error) *Fault {
+	var f *Fault
+	if errors.As(err, &f) {
+		return f
+	}
+	return nil
+}
+
+// Transient reports whether err should be retried in place: its chain
+// carries a Fault whose kind is retryable.
+func Transient(err error) bool {
+	f := AsFault(err)
+	return f != nil && f.Transient
+}
+
+// Degradable reports whether err may gracefully degrade a branch path —
+// i.e. it is a (possibly retry-exhausted) fault rather than a programming
+// or specification error, which must still abort the flow.
+func Degradable(err error) bool { return AsFault(err) != nil }
+
+// Injector decides, deterministically, whether each instrumented operation
+// fails. Decisions hash (seed, kind, op, occurrence) — not a shared PRNG
+// stream — so concurrent branch paths drawing from the injector do not
+// perturb each other's outcomes: as long as each (kind, op) pair is
+// invoked a deterministic number of times (call sites scope op strings per
+// branch path to guarantee this), a seed fully determines every fault.
+type Injector struct {
+	seed  int64
+	rate  float64
+	kinds map[Kind]bool
+
+	mu     sync.Mutex
+	counts map[string]int64 // occurrence counter per kind|op
+	fired  map[Kind]int64   // injected faults per kind
+}
+
+// New returns an injector that fails each enabled operation with the given
+// probability. No kinds means all injectable kinds. rate is clamped to
+// [0, 1].
+func New(seed int64, rate float64, kinds ...Kind) *Injector {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	km := make(map[Kind]bool)
+	if len(kinds) == 0 {
+		kinds = Kinds()
+	}
+	for _, k := range kinds {
+		km[k] = true
+	}
+	return &Injector{
+		seed:   seed,
+		rate:   rate,
+		kinds:  km,
+		counts: make(map[string]int64),
+		fired:  make(map[Kind]int64),
+	}
+}
+
+// WithSeed returns a fresh injector with the same rate and kind set but
+// the given seed and zeroed occurrence counters — the chaos sweep's way
+// of replaying one fault profile across many seeds. Nil stays nil.
+func (in *Injector) WithSeed(seed int64) *Injector {
+	if in == nil {
+		return nil
+	}
+	kinds := make([]Kind, 0, len(in.kinds))
+	for k := range in.kinds {
+		kinds = append(kinds, k)
+	}
+	return New(seed, in.rate, kinds...)
+}
+
+// Enabled reports whether the injector can ever fire. Nil-safe.
+func (in *Injector) Enabled() bool { return in != nil && in.rate > 0 }
+
+// Seed returns the injector's seed (0 for nil).
+func (in *Injector) Seed() int64 {
+	if in == nil {
+		return 0
+	}
+	return in.seed
+}
+
+// Fail consults the injector for one operation: it returns a *Fault when
+// this occurrence of (kind, op) is selected for failure, nil otherwise.
+// Nil injector never fails.
+func (in *Injector) Fail(kind Kind, op string) error {
+	if in == nil || in.rate == 0 || !in.kinds[kind] {
+		return nil
+	}
+	key := string(kind) + "|" + op
+	in.mu.Lock()
+	in.counts[key]++
+	n := in.counts[key]
+	hit := unitHash(in.seed, key, n) < in.rate
+	if hit {
+		in.fired[kind]++
+	}
+	in.mu.Unlock()
+	if !hit {
+		return nil
+	}
+	return &Fault{Kind: kind, Op: op, N: n, Transient: transientByKind[kind]}
+}
+
+// Injected snapshots the per-kind counts of faults fired so far.
+func (in *Injector) Injected() map[Kind]int64 {
+	out := make(map[Kind]int64)
+	if in == nil {
+		return out
+	}
+	in.mu.Lock()
+	for k, v := range in.fired {
+		out[k] = v
+	}
+	in.mu.Unlock()
+	return out
+}
+
+// String renders the injector as a reproducible spec (the same syntax
+// ParseSpec accepts).
+func (in *Injector) String() string {
+	if in == nil {
+		return "off"
+	}
+	names := make([]string, 0, len(in.kinds))
+	for k := range in.kinds {
+		names = append(names, string(k))
+	}
+	sort.Strings(names)
+	return fmt.Sprintf("seed=%d,rate=%g,kinds=%s", in.seed, in.rate, strings.Join(names, ","))
+}
+
+// ParseSpec builds an injector from the CLI/service flag syntax:
+//
+//	seed=N,rate=0.1[,kinds=hls,run,device,io]
+//
+// kinds consumes every following bare token (commas double as the list
+// separator, so kinds must come last or each kind can be given as its own
+// kinds= entry). Omitted kinds enables all injectable kinds; omitted seed
+// defaults to 1. "off", "none", and "" yield a nil injector (injection
+// disabled). rate is required otherwise.
+func ParseSpec(spec string) (*Injector, error) {
+	spec = strings.TrimSpace(spec)
+	switch spec {
+	case "", "off", "none":
+		return nil, nil
+	}
+	var (
+		seed    int64 = 1
+		rate          = -1.0
+		kinds   []Kind
+		inKinds bool
+	)
+	valid := make(map[Kind]bool)
+	for _, k := range Kinds() {
+		valid[k] = true
+	}
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		key, val, hasEq := strings.Cut(tok, "=")
+		if !hasEq {
+			if !inKinds {
+				return nil, fmt.Errorf("faults: bare token %q (expected key=value; bare tokens only continue a kinds= list)", tok)
+			}
+			val = key
+			key = "kinds"
+		}
+		switch key {
+		case "seed":
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad seed %q", val)
+			}
+			seed, inKinds = v, false
+		case "rate":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil || v < 0 || v > 1 {
+				return nil, fmt.Errorf("faults: bad rate %q (want 0..1)", val)
+			}
+			rate, inKinds = v, false
+		case "kinds":
+			k := Kind(val)
+			if val == "all" {
+				kinds, inKinds = append(kinds, Kinds()...), true
+				continue
+			}
+			if !valid[k] {
+				return nil, fmt.Errorf("faults: unknown kind %q (want hls, run, device, io)", val)
+			}
+			kinds, inKinds = append(kinds, k), true
+		default:
+			return nil, fmt.Errorf("faults: unknown option %q", key)
+		}
+	}
+	if rate < 0 {
+		return nil, fmt.Errorf("faults: spec %q sets no rate", spec)
+	}
+	if rate == 0 {
+		return nil, nil
+	}
+	return New(seed, rate, kinds...), nil
+}
+
+// unitHash maps (seed, key, n) to a uniform float64 in [0, 1) via a
+// splitmix64-style avalanche over an FNV-1a digest of the key. Pure
+// function: the decision stream for one (kind, op) is fixed by the seed.
+func unitHash(seed int64, key string, n int64) float64 {
+	h := uint64(1469598103934665603) // FNV-1a offset basis
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	x := h ^ uint64(seed)*0x9e3779b97f4a7c15 ^ uint64(n)*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}

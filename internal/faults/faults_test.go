@@ -1,0 +1,370 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec    string
+		wantNil bool
+		wantErr bool
+		check   func(t *testing.T, in *Injector)
+	}{
+		{spec: "", wantNil: true},
+		{spec: "off", wantNil: true},
+		{spec: "none", wantNil: true},
+		{spec: "rate=0", wantNil: true},
+		{spec: "seed=7,rate=0.25", check: func(t *testing.T, in *Injector) {
+			if in.seed != 7 || in.rate != 0.25 {
+				t.Fatalf("got seed=%d rate=%g", in.seed, in.rate)
+			}
+			for _, k := range Kinds() {
+				if !in.kinds[k] {
+					t.Fatalf("kind %s not enabled by default", k)
+				}
+			}
+		}},
+		{spec: "seed=3,rate=0.1,kinds=hls,run", check: func(t *testing.T, in *Injector) {
+			if !in.kinds[HLS] || !in.kinds[Run] || in.kinds[Device] || in.kinds[IO] {
+				t.Fatalf("kinds = %v", in.kinds)
+			}
+		}},
+		{spec: "rate=0.5,kinds=all", check: func(t *testing.T, in *Injector) {
+			if len(in.kinds) != len(Kinds()) {
+				t.Fatalf("kinds = %v", in.kinds)
+			}
+			if in.seed != 1 {
+				t.Fatalf("default seed = %d, want 1", in.seed)
+			}
+		}},
+		{spec: "kinds=device,rate=0.3", check: func(t *testing.T, in *Injector) {
+			if !in.kinds[Device] || in.kinds[HLS] {
+				t.Fatalf("kinds = %v", in.kinds)
+			}
+		}},
+		{spec: "rate=1.5", wantErr: true},
+		{spec: "rate=-1", wantErr: true},
+		{spec: "seed=x,rate=0.1", wantErr: true},
+		{spec: "rate=0.1,kinds=bogus", wantErr: true},
+		{spec: "rate=0.1,wat=1", wantErr: true},
+		{spec: "hls,rate=0.1", wantErr: true}, // bare token outside a kinds list
+		{spec: "seed=1", wantErr: true},       // no rate
+	}
+	for _, c := range cases {
+		t.Run(c.spec, func(t *testing.T) {
+			in, err := ParseSpec(c.spec)
+			if c.wantErr {
+				if err == nil {
+					t.Fatalf("ParseSpec(%q) = %v, want error", c.spec, in)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseSpec(%q): %v", c.spec, err)
+			}
+			if c.wantNil != (in == nil) {
+				t.Fatalf("ParseSpec(%q) = %v, wantNil=%t", c.spec, in, c.wantNil)
+			}
+			if c.check != nil {
+				c.check(t, in)
+			}
+		})
+	}
+}
+
+func TestInjectorNilSafe(t *testing.T) {
+	var in *Injector
+	if in.Enabled() {
+		t.Fatal("nil injector enabled")
+	}
+	if err := in.Fail(Run, "x"); err != nil {
+		t.Fatalf("nil injector injected %v", err)
+	}
+	if got := in.Injected(); len(got) != 0 {
+		t.Fatalf("nil injector counts %v", got)
+	}
+	if in.String() != "off" {
+		t.Fatalf("nil injector String = %q", in.String())
+	}
+}
+
+func TestInjectorRateExtremes(t *testing.T) {
+	never := New(1, 0)
+	always := New(1, 1)
+	for i := 0; i < 100; i++ {
+		if err := never.Fail(Run, "op"); err != nil {
+			t.Fatalf("rate=0 injected at %d: %v", i, err)
+		}
+		if err := always.Fail(Run, "op"); err == nil {
+			t.Fatalf("rate=1 passed at %d", i)
+		}
+	}
+	if got := always.Injected()[Run]; got != 100 {
+		t.Fatalf("fired = %d, want 100", got)
+	}
+}
+
+// TestInjectorDeterministic asserts the core chaos property: a seed fixes
+// the exact decision sequence per (kind, op), independent of interleaving
+// with other operations or goroutines.
+func TestInjectorDeterministic(t *testing.T) {
+	draw := func(in *Injector, op string, n int) []bool {
+		out := make([]bool, n)
+		for i := range out {
+			out[i] = in.Fail(Run, op) != nil
+		}
+		return out
+	}
+	a := draw(New(42, 0.3), "op1", 200)
+	b := draw(New(42, 0.3), "op1", 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs between identical injectors", i)
+		}
+	}
+	hits := 0
+	for _, h := range a {
+		if h {
+			hits++
+		}
+	}
+	if hits < 30 || hits > 90 {
+		t.Fatalf("rate=0.3 fired %d/200 times; hash looks biased", hits)
+	}
+
+	// Interleaving other ops (as concurrent branch paths do) must not
+	// perturb op1's stream.
+	in := New(42, 0.3)
+	var c []bool
+	for i := 0; i < 200; i++ {
+		in.Fail(HLS, "other")
+		c = append(c, in.Fail(Run, "op1") != nil)
+		in.Fail(Device, "noise")
+	}
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("decision %d perturbed by interleaved ops", i)
+		}
+	}
+
+	// Different seeds must diverge.
+	d := draw(New(43, 0.3), "op1", 200)
+	same := 0
+	for i := range a {
+		if a[i] == d[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("seeds 42 and 43 produced identical decision streams")
+	}
+}
+
+func TestInjectorConcurrentTotalDeterministic(t *testing.T) {
+	// Concurrent callers on DISTINCT ops (how branch paths scope their op
+	// strings) reproduce the same per-op outcome multiset as serial calls.
+	run := func() map[string]int {
+		in := New(9, 0.4)
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		got := map[string]int{}
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				op := fmt.Sprintf("path%d", g)
+				n := 0
+				for i := 0; i < 50; i++ {
+					if in.Fail(Run, op) != nil {
+						n++
+					}
+				}
+				mu.Lock()
+				got[op] = n
+				mu.Unlock()
+			}(g)
+		}
+		wg.Wait()
+		return got
+	}
+	a, b := run(), run()
+	for op, n := range a {
+		if b[op] != n {
+			t.Fatalf("op %s fired %d then %d times", op, n, b[op])
+		}
+	}
+}
+
+func TestFaultClassification(t *testing.T) {
+	cases := []struct {
+		kind      Kind
+		transient bool
+	}{
+		{HLS, true}, {Run, true}, {IO, true}, {Timeout, true}, {Device, false},
+	}
+	for _, c := range cases {
+		f := &Fault{Kind: c.kind, Op: "x", N: 1, Transient: transientByKind[c.kind]}
+		wrapped := fmt.Errorf("task wrapper: %w", f)
+		if Transient(wrapped) != c.transient {
+			t.Errorf("Transient(%s) = %t, want %t", c.kind, Transient(wrapped), c.transient)
+		}
+		if !Degradable(wrapped) {
+			t.Errorf("Degradable(%s) = false, want true", c.kind)
+		}
+		if AsFault(wrapped).Kind != c.kind {
+			t.Errorf("AsFault lost the kind")
+		}
+	}
+	plain := errors.New("no kernel extracted")
+	if Transient(plain) || Degradable(plain) {
+		t.Fatal("plain errors must be neither transient nor degradable")
+	}
+}
+
+// TestBackoffScheduleDeterministic is the satellite table test: a fixed
+// seed yields a fixed backoff schedule, different seeds/ops diverge, and
+// the schedule respects base/cap/jitter bounds.
+func TestBackoffScheduleDeterministic(t *testing.T) {
+	pol := RetryPolicy{
+		MaxAttempts: 5,
+		BaseDelay:   4 * time.Millisecond,
+		MaxDelay:    40 * time.Millisecond,
+		Multiplier:  2,
+		Jitter:      0.5,
+		Seed:        11,
+	}
+	schedule := func(p RetryPolicy, op string) []time.Duration {
+		var out []time.Duration
+		for r := 1; r < p.MaxAttempts; r++ {
+			out = append(out, p.Delay(op, r))
+		}
+		return out
+	}
+	cases := []struct {
+		name string
+		pol  RetryPolicy
+		op   string
+	}{
+		{"base", pol, "taskA"},
+		{"other-op", pol, "taskB"},
+		{"other-seed", func() RetryPolicy { p := pol; p.Seed = 12; return p }(), "taskA"},
+		{"defaults", RetryPolicy{}, "taskA"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a := schedule(c.pol, c.op)
+			b := schedule(c.pol, c.op)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("retry %d: %v then %v — schedule not deterministic", i+1, a[i], b[i])
+				}
+			}
+			p := c.pol.WithDefaults()
+			for i, d := range a {
+				// Pre-cap envelope: base*mult^i scaled by [1-J, 1+J), then capped.
+				raw := float64(p.BaseDelay)
+				for j := 0; j < i; j++ {
+					raw *= p.Multiplier
+				}
+				lo := time.Duration(raw * (1 - p.Jitter))
+				hi := time.Duration(raw * (1 + p.Jitter))
+				if lo > p.MaxDelay {
+					lo = p.MaxDelay
+				}
+				if hi > p.MaxDelay {
+					hi = p.MaxDelay
+				}
+				if d < lo || d > hi {
+					t.Fatalf("retry %d delay %v outside [%v, %v]", i+1, d, lo, hi)
+				}
+			}
+		})
+	}
+	// Distinct ops must not share a jitter stream.
+	a, b := schedule(pol, "taskA"), schedule(pol, "taskB")
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("ops taskA and taskB drew identical jitter")
+	}
+}
+
+func TestRetryDo(t *testing.T) {
+	pol := RetryPolicy{MaxAttempts: 4, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond}
+
+	t.Run("succeeds-after-transients", func(t *testing.T) {
+		calls, retries := 0, 0
+		err := pol.Do(context.Background(), "op", func(int, time.Duration, error) { retries++ }, func() error {
+			calls++
+			if calls < 3 {
+				return &Fault{Kind: Run, Op: "op", N: int64(calls), Transient: true}
+			}
+			return nil
+		})
+		if err != nil || calls != 3 || retries != 2 {
+			t.Fatalf("err=%v calls=%d retries=%d", err, calls, retries)
+		}
+	})
+
+	t.Run("exhausts-attempts", func(t *testing.T) {
+		calls := 0
+		err := pol.Do(context.Background(), "op", nil, func() error {
+			calls++
+			return &Fault{Kind: Run, Op: "op", N: int64(calls), Transient: true}
+		})
+		if err == nil || calls != pol.MaxAttempts {
+			t.Fatalf("err=%v calls=%d want %d", err, calls, pol.MaxAttempts)
+		}
+		if !Degradable(err) {
+			t.Fatal("exhausted error lost its fault classification")
+		}
+	})
+
+	t.Run("non-transient-fails-fast", func(t *testing.T) {
+		calls := 0
+		err := pol.Do(context.Background(), "op", nil, func() error {
+			calls++
+			return &Fault{Kind: Device, Op: "op", N: 1}
+		})
+		if err == nil || calls != 1 {
+			t.Fatalf("err=%v calls=%d want 1", err, calls)
+		}
+	})
+
+	t.Run("cancelled-context-stops", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		calls := 0
+		err := pol.Do(ctx, "op", nil, func() error {
+			calls++
+			return &Fault{Kind: IO, Op: "op", N: 1, Transient: true}
+		})
+		if err == nil || calls != 1 {
+			t.Fatalf("err=%v calls=%d want 1", err, calls)
+		}
+	})
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	in, err := ParseSpec("seed=5,rate=0.2,kinds=hls,run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2, err := ParseSpec(in.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", in.String(), err)
+	}
+	if in2.seed != in.seed || in2.rate != in.rate || len(in2.kinds) != len(in.kinds) {
+		t.Fatalf("round trip lost config: %q vs %q", in.String(), in2.String())
+	}
+}

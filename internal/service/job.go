@@ -13,6 +13,7 @@ import (
 
 	"psaflow/internal/bench"
 	"psaflow/internal/experiments"
+	"psaflow/internal/faults"
 	"psaflow/internal/minic"
 	"psaflow/internal/tasks"
 	"psaflow/internal/telemetry"
@@ -53,6 +54,18 @@ type JobSpec struct {
 	TransferBW  float64 `json:"transfer_bw,omitempty"`
 	// TimeoutMS bounds the job's run time once started (0 = server default).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Faults enables deterministic fault injection for this job's flow: a
+	// spec in the faults.ParseSpec form ("seed=3,rate=0.1,kinds=hls,run").
+	// Empty inherits the server default (Config.Faults); "off" disables
+	// injection even when the server default enables it.
+	Faults string `json:"faults,omitempty"`
+	// RetryMaxAttempts / RetryBudget override the engine retry policy for
+	// this job (0 keeps the server default; RetryBudget -1 = unlimited).
+	RetryMaxAttempts int `json:"retry_max_attempts,omitempty"`
+	RetryBudget      int `json:"retry_budget,omitempty"`
+	// TaskTimeoutMS bounds each flow task attempt; a timed-out attempt is
+	// classified transient and retried (0 = no per-task bound).
+	TaskTimeoutMS int64 `json:"task_timeout_ms,omitempty"`
 }
 
 // flowOptions resolves the spec to engine options.
@@ -75,6 +88,30 @@ func (sp *JobSpec) flowOptions() (tasks.FlowOptions, error) {
 	return opts, nil
 }
 
+// flowEnv resolves the spec's resilience settings against the server
+// defaults. A fresh injector is built per call so every job — including
+// one restored from a drain snapshot — replays the same deterministic
+// fault schedule from occurrence zero.
+func (sp *JobSpec) flowEnv(defaultFaults string, defaultRetry faults.RetryPolicy) (experiments.JobEnv, error) {
+	spec := sp.Faults
+	if spec == "" {
+		spec = defaultFaults
+	}
+	inj, err := faults.ParseSpec(spec)
+	if err != nil {
+		return experiments.JobEnv{}, fmt.Errorf("faults: %w", err)
+	}
+	env := experiments.JobEnv{Faults: inj, Retry: defaultRetry}
+	if sp.RetryMaxAttempts > 0 {
+		env.Retry.MaxAttempts = sp.RetryMaxAttempts
+	}
+	if sp.RetryBudget != 0 {
+		env.Retry.Budget = sp.RetryBudget
+	}
+	env.TaskTimeout = time.Duration(sp.TaskTimeoutMS) * time.Millisecond
+	return env, nil
+}
+
 // validate resolves and checks the spec, returning the benchmark and the
 // parsed custom program (nil when the bundled source is used). All
 // validation happens at submit time so malformed requests 400 immediately
@@ -89,6 +126,18 @@ func (sp *JobSpec) validate() (*bench.Benchmark, *minic.Program, error) {
 	}
 	if sp.TimeoutMS < 0 {
 		return nil, nil, fmt.Errorf("timeout_ms must be >= 0")
+	}
+	if _, err := faults.ParseSpec(sp.Faults); err != nil {
+		return nil, nil, fmt.Errorf("faults: %w", err)
+	}
+	if sp.RetryMaxAttempts < 0 {
+		return nil, nil, fmt.Errorf("retry_max_attempts must be >= 0")
+	}
+	if sp.RetryBudget < -1 {
+		return nil, nil, fmt.Errorf("retry_budget must be >= -1 (-1 = unlimited)")
+	}
+	if sp.TaskTimeoutMS < 0 {
+		return nil, nil, fmt.Errorf("task_timeout_ms must be >= 0")
 	}
 	var prog *minic.Program
 	if sp.Source != "" {
@@ -168,6 +217,16 @@ type JobResult struct {
 	// branch the flow effectively selected (Fig. 5's "Auto-Selected").
 	AutoTarget string          `json:"auto_target,omitempty"`
 	Designs    []DesignSummary `json:"designs,omitempty"`
+	// FailureClass classifies a terminal failure for operators and retry
+	// logic: "fault" (a substrate fault exhausted the flow's recovery),
+	// "timeout" (job deadline), "cancelled", "panic", or "error". Empty
+	// for jobs that finished successfully.
+	FailureClass string `json:"failure_class,omitempty"`
+	// DegradedDesigns counts branch paths that failed and were scored
+	// infeasible instead of aborting the flow (the job-scoped
+	// fault.degradations counter) — nonzero means the result is valid but
+	// was produced with fewer live substrates than requested.
+	DegradedDesigns int64 `json:"degraded_designs,omitempty"`
 	// Telemetry carries the job-scoped recorder's spans and counters.
 	Telemetry *telemetry.Report `json:"telemetry,omitempty"`
 }
@@ -276,8 +335,11 @@ func (j *Job) setResult(res *JobResult) {
 }
 
 // buildResult assembles the persisted result from the evaluated designs.
-func buildResult(st JobStatus, results []experiments.DesignResult, rep *telemetry.Report) *JobResult {
-	out := &JobResult{JobStatus: st, Telemetry: rep}
+func buildResult(st JobStatus, failureClass string, results []experiments.DesignResult, rep *telemetry.Report) *JobResult {
+	out := &JobResult{JobStatus: st, FailureClass: failureClass, Telemetry: rep}
+	if rep != nil {
+		out.DegradedDesigns = rep.Counters[telemetry.CounterFaultDegradations]
+	}
 	bestSpeedup := 0.0
 	for _, r := range results {
 		d := r.Design

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"psaflow/internal/faults"
 	"psaflow/internal/telemetry"
 )
 
@@ -34,6 +36,27 @@ func validJobID(id string) bool {
 		}
 	}
 	return true
+}
+
+// persistIO runs one persistence write under the daemon's fault injector
+// and retry policy: injected transient I/O faults (Config.Faults with
+// kinds=io — the stand-in for a network-filesystem blip) are retried
+// with the same backoff the flow engine uses, and every injection and
+// retry lands in the service recorder so /metrics shows them.
+func (s *Server) persistIO(op string, fn func() error) error {
+	do := func() error {
+		if err := s.ioFaults.Fail(faults.IO, op); err != nil {
+			s.rec.Add(telemetry.CounterFaultsInjected, 1)
+			s.rec.Add(telemetry.FaultCounter(string(faults.IO)), 1)
+			return err
+		}
+		return fn()
+	}
+	return s.retry.Do(context.Background(), op, func(retry int, delay time.Duration, err error) {
+		s.rec.Add(telemetry.CounterRetryAttempts, 1)
+		s.rec.Add(telemetry.CounterRetryBackoffMillis, delay.Milliseconds())
+		s.logf("persist %s: retry %d after %v: %v", op, retry, delay, err)
+	}, do)
 }
 
 func writeFileAtomic(path string, data []byte) error {
@@ -66,7 +89,9 @@ func (s *Server) saveResult(id string, res *JobResult) error {
 	if err != nil {
 		return err
 	}
-	return writeFileAtomic(filepath.Join(dir, id+".json"), data)
+	return s.persistIO("persist:result:"+id, func() error {
+		return writeFileAtomic(filepath.Join(dir, id+".json"), data)
+	})
 }
 
 // errNoResult distinguishes "never persisted" from real I/O failures.
@@ -122,7 +147,9 @@ func (s *Server) saveSnapshot(jobs []*Job) error {
 	if err != nil {
 		return err
 	}
-	return writeFileAtomic(s.snapshotPath(), data)
+	return s.persistIO("persist:snapshot", func() error {
+		return writeFileAtomic(s.snapshotPath(), data)
+	})
 }
 
 // restoreSnapshot re-enqueues jobs snapshotted by a previous drain,

@@ -13,6 +13,7 @@ import (
 
 	"psaflow/internal/core"
 	"psaflow/internal/experiments"
+	"psaflow/internal/faults"
 	"psaflow/internal/telemetry"
 )
 
@@ -30,6 +31,14 @@ type Config struct {
 	// DefaultTimeout bounds a job's run time when the spec does not set
 	// timeout_ms; 0 means unbounded.
 	DefaultTimeout time.Duration
+	// Faults is the default fault-injection spec applied to jobs that do
+	// not carry their own ("" or "off" disables; see faults.ParseSpec).
+	// Specs with kinds=io also inject transient failures into the daemon's
+	// own persistence writes, which are retried with the Retry policy.
+	Faults string
+	// Retry is the default retry policy for job flows and persistence
+	// writes; zero fields take faults.DefaultRetry.
+	Retry faults.RetryPolicy
 	// Logf receives daemon progress lines; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -44,6 +53,13 @@ type Server struct {
 
 	rec  *telemetry.Recorder // process-wide service recorder (/metrics)
 	runs *core.RunCache      // process-wide profiled-run cache
+
+	// ioFaults injects transient failures into persistence writes when
+	// Config.Faults includes the io kind (nil otherwise). Long-lived on
+	// purpose: daemon-level I/O blips are a property of the deployment,
+	// not of one job, so the occurrence counter spans the process.
+	ioFaults *faults.Injector
+	retry    faults.RetryPolicy // resolved Config.Retry (WithDefaults applied)
 
 	mu       sync.Mutex // guards jobs, queue close, leftovers
 	jobs     map[string]*Job
@@ -76,13 +92,30 @@ func New(cfg Config) *Server {
 		jobs:   make(map[string]*Job),
 		queue:  make(chan *Job, cfg.QueueSize),
 		idBase: fmt.Sprintf("j%08x", uint32(time.Now().UnixNano())),
+		retry:  cfg.Retry.WithDefaults(),
+	}
+	ioInj, err := faults.ParseSpec(cfg.Faults)
+	if err != nil {
+		// An unparseable default spec would otherwise fail every job at
+		// run time; drop it loudly instead (the CLI validates its -faults
+		// flag before it reaches here, so this is belt-and-braces).
+		s.cfg.Faults = ""
+		if cfg.Logf != nil {
+			cfg.Logf("ignoring invalid default fault spec %q: %v", cfg.Faults, err)
+		}
+	} else {
+		s.ioFaults = ioInj
 	}
 	s.runFlow = func(ctx context.Context, job *Job, rec *telemetry.Recorder) ([]experiments.DesignResult, error) {
 		opts, err := job.Spec.flowOptions()
 		if err != nil {
 			return nil, err
 		}
-		return experiments.RunBenchmarkJob(ctx, job.bench, job.prog, opts, nil, rec, s.runs)
+		env, err := job.Spec.flowEnv(s.cfg.Faults, s.retry)
+		if err != nil {
+			return nil, err
+		}
+		return experiments.RunBenchmarkEnv(ctx, job.bench, job.prog, opts, env, nil, rec, s.runs)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -198,27 +231,44 @@ func (s *Server) runJob(job *Job) {
 
 	state, msg := StateDone, ""
 	counter := telemetry.CounterJobsCompleted
+	class := ""
 	switch {
 	case err == nil:
 	case errors.Is(err, context.Canceled):
-		state, msg, counter = StateCancelled, err.Error(), telemetry.CounterJobsCancelled
+		state, msg, counter, class = StateCancelled, err.Error(), telemetry.CounterJobsCancelled, FailureCancelled
 	case errors.Is(err, context.DeadlineExceeded):
-		state, msg, counter = StateFailed, err.Error(), telemetry.CounterJobsFailed
+		state, msg, counter, class = StateFailed, err.Error(), telemetry.CounterJobsFailed, FailureTimeout
+	case errors.Is(err, errFlowPanic):
+		state, msg, counter, class = StateFailed, err.Error(), telemetry.CounterJobsFailed, FailurePanic
+	case faults.AsFault(err) != nil:
+		state, msg, counter, class = StateFailed, err.Error(), telemetry.CounterJobsFailed, FailureFault
 	default:
-		state, msg, counter = StateFailed, err.Error(), telemetry.CounterJobsFailed
+		state, msg, counter, class = StateFailed, err.Error(), telemetry.CounterJobsFailed, FailureError
 	}
 	job.finish(state, msg, nil)
 	// The result embeds the terminal status, so build it after finish.
-	job.setResult(buildResult(job.Status(), results, rep))
+	job.setResult(buildResult(job.Status(), class, results, rep))
 	s.finalizeJob(job, counter)
 }
+
+// Failure classes reported in JobResult.FailureClass.
+const (
+	FailureFault     = "fault"     // a substrate fault exhausted the flow's recovery
+	FailureTimeout   = "timeout"   // the job-level deadline fired
+	FailureCancelled = "cancelled" // the client cancelled a running job
+	FailurePanic     = "panic"     // the flow panicked and was contained
+	FailureError     = "error"     // any other flow error
+)
+
+// errFlowPanic tags contained panics so runJob can classify them.
+var errFlowPanic = errors.New("flow panicked")
 
 // runFlowSafe converts a panicking flow (untrusted source can reach
 // library corners) into a failed job instead of a dead daemon.
 func (s *Server) runFlowSafe(ctx context.Context, job *Job, rec *telemetry.Recorder) (results []experiments.DesignResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("flow panicked: %v", r)
+			err = fmt.Errorf("%w: %v", errFlowPanic, r)
 		}
 	}()
 	return s.runFlow(ctx, job, rec)
@@ -407,6 +457,13 @@ type serviceMetrics struct {
 	RunCacheMiss  int64          `json:"runcache_misses"`
 	RunCacheSize  int            `json:"runcache_entries"`
 	QueueWaitMSav float64        `json:"queue_wait_ms_avg"`
+	// Headline resilience counters, folded in from every finished job's
+	// recorder plus the daemon's own persistence retries. The per-kind
+	// split lives in the telemetry report (fault.injected.<kind>).
+	FaultsInjected int64 `json:"faults_injected"`
+	RetryAttempts  int64 `json:"retry_attempts"`
+	Degradations   int64 `json:"fault_degradations"`
+	Fallbacks      int64 `json:"fault_fallbacks"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -434,6 +491,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			RunCacheMiss:  misses,
 			RunCacheSize:  s.runs.Len(),
 			QueueWaitMSav: waitAvg,
+
+			FaultsInjected: rep.Counters[telemetry.CounterFaultsInjected],
+			RetryAttempts:  rep.Counters[telemetry.CounterRetryAttempts],
+			Degradations:   rep.Counters[telemetry.CounterFaultDegradations],
+			Fallbacks:      rep.Counters[telemetry.CounterFaultFallbacks],
 		},
 		Telemetry: rep,
 	})

@@ -186,7 +186,7 @@ func TestSubmitValidation(t *testing.T) {
 		{Bench: "nosuch"},           // unknown bench
 		{Bench: "nbody", Mode: "x"}, // unknown mode
 		{Bench: "nbody", TimeoutMS: -1},
-		{Bench: "nbody", Source: "int f( {"},            // parse error
+		{Bench: "nbody", Source: "int f( {"}, // parse error
 		{Bench: "nbody", Source: "int unrelated() { }"}, // missing entry
 	} {
 		if code, body := submit(t, ts.URL, spec); code != http.StatusBadRequest {

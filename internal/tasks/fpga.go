@@ -5,6 +5,7 @@ import (
 
 	"psaflow/internal/analysis"
 	"psaflow/internal/core"
+	"psaflow/internal/faults"
 	"psaflow/internal/hls"
 	"psaflow/internal/perfmodel"
 	"psaflow/internal/platform"
@@ -90,6 +91,11 @@ func UnrollUntilOvermap(dev platform.FPGASpec) core.Task {
 		TaskName: fmt.Sprintf("%s Unroll Until Overmap DSE", dev.Name),
 		TaskKind: core.Optimisation, IsDyn: true,
 		Fn: func(ctx *core.Context, d *core.Design) error {
+			// Claiming the board is the DSE's first act; an unavailable
+			// device fails the path non-transiently so the branch degrades.
+			if err := ctx.FailPoint(faults.Device, dev.Name); err != nil {
+				return err
+			}
 			kfn := d.KernelFunc()
 			if kfn == nil {
 				return fmt.Errorf("no kernel extracted")
@@ -110,6 +116,13 @@ func UnrollUntilOvermap(dev platform.FPGASpec) core.Task {
 				ctx.Count(telemetry.DSECounter("unroll"), 1)
 				transform.RemoveLoopPragmas(loop, "unroll")
 				if err := transform.InsertLoopPragma(loop, fmt.Sprintf("unroll %d", n)); err != nil {
+					return err
+				}
+				// Each partial compile can fail like a real HLS farm
+				// submission (transient: the task is retried as a whole,
+				// which is safe — the loop re-installs pragmas from scratch).
+				if err := ctx.FailPoint(faults.HLS, dev.Name); err != nil {
+					transform.RemoveLoopPragmas(loop, "unroll")
 					return err
 				}
 				rep := hls.EstimateCounted(ctx.Telemetry, d.Prog, kfn, dev, d.Report.PipelinedTrips)

@@ -5,6 +5,7 @@ import (
 
 	"psaflow/internal/analysis"
 	"psaflow/internal/core"
+	"psaflow/internal/faults"
 	"psaflow/internal/minic"
 	"psaflow/internal/perfmodel"
 	"psaflow/internal/platform"
@@ -125,6 +126,12 @@ func BlocksizeDSE(dev platform.GPUSpec) core.Task {
 	return core.TaskFunc{
 		TaskName: fmt.Sprintf("%s Blocksize DSE", dev.Name), TaskKind: core.Optimisation, IsDyn: true,
 		Fn: func(ctx *core.Context, d *core.Design) error {
+			// Claiming the board is the per-device DSE's first act; an
+			// unavailable device fails the whole path (non-transient, so
+			// the branch degrades instead of retrying).
+			if err := ctx.FailPoint(faults.Device, dev.Name); err != nil {
+				return err
+			}
 			if kfn := d.KernelFunc(); kfn != nil {
 				d.Report.SpecialDP = analysis.HasDPSpecialCalls(kfn)
 				d.Report.HeavyFrac = analysis.HeavySpecialFraction(kfn)

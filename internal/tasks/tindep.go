@@ -13,6 +13,7 @@ import (
 
 	"psaflow/internal/analysis"
 	"psaflow/internal/core"
+	"psaflow/internal/faults"
 	"psaflow/internal/interp"
 	"psaflow/internal/minic"
 	"psaflow/internal/query"
@@ -42,6 +43,14 @@ const MaterializeUnrollLimit = 64
 func runWorkload(ctx *core.Context, d *core.Design, watch string) (*interp.Result, error) {
 	if ctx.Workload == nil {
 		return nil, fmt.Errorf("dynamic task requires a workload")
+	}
+	// Fault injection happens before the cache lookup so an injected
+	// failure can never poison a memoized result shared by other paths.
+	// The op is scoped by the design's target class: concurrent branch
+	// paths profile under distinct ops, keeping the per-op decision
+	// streams (and thus whole chaos runs) deterministic.
+	if err := ctx.FailPoint(faults.Run, "run:"+d.Target.String()+":"+watch); err != nil {
+		return nil, err
 	}
 	var counters interp.Counters
 	if ctx.Telemetry != nil {

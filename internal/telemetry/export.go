@@ -10,10 +10,13 @@ import (
 
 // SpanSnapshot is the exportable form of one span (JSON tree node).
 type SpanSnapshot struct {
-	Kind     string         `json:"kind"`
-	Name     string         `json:"name"`
-	Detail   string         `json:"detail,omitempty"`
-	Millis   float64        `json:"ms"`
+	Kind   string  `json:"kind"`
+	Name   string  `json:"name"`
+	Detail string  `json:"detail,omitempty"`
+	Millis float64 `json:"ms"`
+	// Notes carries the span's resilience annotations (retries, timeouts,
+	// branch degradations) in the order they were recorded.
+	Notes    []string       `json:"notes,omitempty"`
 	Children []SpanSnapshot `json:"children,omitempty"`
 }
 
@@ -67,6 +70,7 @@ func (r *Recorder) Snapshot() *Report {
 		st.Millis += out.Millis
 		s.mu.Lock()
 		children := append([]*Span(nil), s.children...)
+		out.Notes = append([]string(nil), s.notes...)
 		s.mu.Unlock()
 		for _, c := range children {
 			out.Children = append(out.Children, snap(c))

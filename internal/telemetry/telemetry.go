@@ -64,6 +64,36 @@ const (
 	CounterQueueWaitMillis = "service.queue_wait_ms" // cumulative submit→start wait
 )
 
+// Fault-injection and retry counters fed by the resilience layer (see
+// internal/faults and docs/FAULTS.md). All stay zero when injection is off.
+const (
+	// CounterFaultsInjected totals injected faults across all kinds; the
+	// per-kind split is FaultCounter(kind) = "fault.injected.<kind>".
+	CounterFaultsInjected = "fault.injected"
+	// CounterFaultDegradations counts branch paths degraded to an
+	// Infeasible verdict after a (retry-exhausted or non-transient) fault.
+	CounterFaultDegradations = "fault.degradations"
+	// CounterFaultFallbacks counts informed-strategy re-selections caused
+	// by a failed branch path (the graceful-degradation fallback loop).
+	CounterFaultFallbacks = "fault.fallbacks"
+	// CounterTaskTimeouts counts task attempts killed by
+	// core.Context.TaskTimeout.
+	CounterTaskTimeouts = "fault.task_timeouts"
+	// CounterRetryAttempts counts task re-executions after a transient
+	// failure; CounterRetryBackoffMillis totals the backoff slept.
+	CounterRetryAttempts      = "retry.attempts"
+	CounterRetryBackoffMillis = "retry.backoff_ms"
+	// CounterRetryGiveups counts tasks that exhausted MaxAttempts;
+	// CounterRetryBudgetExhausted counts retries denied by the per-flow
+	// retry budget.
+	CounterRetryGiveups         = "retry.giveups"
+	CounterRetryBudgetExhausted = "retry.budget_exhausted"
+)
+
+// FaultCounter returns the per-kind injected-fault counter name, e.g.
+// FaultCounter("hls") = "fault.injected.hls".
+func FaultCounter(kind string) string { return "fault.injected." + kind }
+
 // DSECounter returns the iteration-counter name for one named DSE loop,
 // e.g. DSECounter("blocksize") = "dse.blocksize.iterations".
 func DSECounter(name string) string { return "dse." + name + ".iterations" }
@@ -82,6 +112,7 @@ type Span struct {
 
 	mu       sync.Mutex
 	children []*Span
+	notes    []string
 	ended    bool
 }
 
@@ -128,6 +159,19 @@ func (s *Span) SetDetail(detail string) {
 		return
 	}
 	s.Detail = detail
+}
+
+// Note appends a free-form annotation to the span — the resilience layer
+// records retries, timeouts, and degradations this way, so a flow's
+// recovery history is visible in the span tree (-metrics-json). Safe from
+// any goroutine; no-op on a nil span.
+func (s *Span) Note(note string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.notes = append(s.notes, note)
+	s.mu.Unlock()
 }
 
 // End closes the span, fixing its duration. Ending twice keeps the first

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Chaos benchmark: sweep seeded fault injection over all five evaluation
+# benchmarks in informed mode and emit BENCH_<date>_chaos.json with
+# completion / retry / degradation counts. The run exits nonzero if any
+# seeded informed flow fails to deliver a feasible design (the
+# graceful-degradation acceptance bar — see docs/FAULTS.md).
+#
+# Knobs (environment):
+#   CHAOS_RATE   injection probability per instrumented op (default 0.2)
+#   CHAOS_SEEDS  number of consecutive seeds, starting at 1 (default 5)
+#   CHAOS_OUT    output path (default BENCH_$(date +%F)_chaos.json)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+RATE="${CHAOS_RATE:-0.2}"
+SEEDS="${CHAOS_SEEDS:-5}"
+OUT="${CHAOS_OUT:-BENCH_$(date +%F)_chaos.json}"
+
+go run ./cmd/psabench -chaos \
+    -faults "seed=1,rate=${RATE}" \
+    -chaos-runs "${SEEDS}" \
+    -chaos-json "${OUT}"

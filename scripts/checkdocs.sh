@@ -1,0 +1,62 @@
+#!/bin/sh
+# Docs gate: verify that every relative markdown link in the repo's docs
+# resolves to a real file, and that Go code fences in the docs are
+# gofmt-clean. Pure POSIX sh + the go toolchain — no extra dependencies.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- 1. Relative markdown links -------------------------------------------
+# Extract [text](target) links, drop external URLs and pure anchors, strip
+# #fragments, and check the target exists relative to the linking file.
+for doc in README.md ROADMAP.md PAPER.md CHANGES.md EXPERIMENTS.md docs/*.md; do
+    [ -f "$doc" ] || continue
+    dir=$(dirname "$doc")
+    links=$(grep -o '\[[^]]*\]([^)]*)' "$doc" | sed 's/.*](\([^)]*\))/\1/') || true
+    for link in $links; do
+        case "$link" in
+        http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        target="${link%%#*}"
+        [ -n "$target" ] || continue
+        if [ ! -e "$dir/$target" ]; then
+            echo "checkdocs: $doc: broken link -> $link" >&2
+            fail=1
+        fi
+    done
+done
+
+# --- 2. gofmt over ```go fences -------------------------------------------
+# Each fenced go block must survive gofmt unchanged. Fences marked
+# ```go-fragment are skipped (intentionally partial snippets).
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+for doc in README.md docs/*.md; do
+    [ -f "$doc" ] || continue
+    awk -v out="$tmpdir" -v doc="$doc" '
+        /^```go$/ { n++; f = out "/" n ".go"; inblock = 1; next }
+        /^```/    { inblock = 0 }
+        inblock   { print > f }
+    ' "$doc"
+    for snippet in "$tmpdir"/*.go; do
+        [ -f "$snippet" ] || continue
+        if ! gofmt "$snippet" >/dev/null 2>&1; then
+            echo "checkdocs: $doc: go fence does not parse (gofmt):" >&2
+            cat "$snippet" >&2
+            fail=1
+        elif [ -n "$(gofmt -l "$snippet")" ]; then
+            echo "checkdocs: $doc: go fence is not gofmt-formatted:" >&2
+            gofmt -d "$snippet" >&2
+            fail=1
+        fi
+        rm -f "$snippet"
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "checkdocs: FAILED" >&2
+    exit 1
+fi
+echo "checkdocs: ok"

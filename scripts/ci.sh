@@ -12,9 +12,18 @@ go test -race ./...
 # Compiled-vs-tree-walk and cached-vs-uncached equivalence under -race:
 # the singleflight run cache is shared by concurrent branch paths.
 go test -race -run 'Equivalence' ./internal/interp/ ./internal/tasks/
+# Chaos equivalence under -race: zero-fault runs must stay bit-for-bit
+# identical and seeded chaos runs must replay deterministically even with
+# parallel branch paths.
+go test -race -run 'Chaos|ZeroFault' ./internal/tasks/
 # Bench smoke: one shot of every harness benchmark, so a regression that
 # breaks a figure harness (not just a unit) fails CI.
 go test -run '^$' -bench . -benchtime=1x .
+# Docs gate: markdown links resolve, go code fences are gofmt-clean.
+scripts/checkdocs.sh
+# Chaos smoke (low seed count): every seeded informed flow must finish
+# with a feasible design; the full sweep is scripts/chaos.sh.
+CHAOS_SEEDS=2 CHAOS_OUT="$(mktemp -u)" scripts/chaos.sh
 # Daemon smoke: boot psaflowd, run jobs through the HTTP API, SIGTERM,
 # require a graceful drain.
 scripts/smoke_service.sh
