@@ -31,6 +31,14 @@ import (
 // five design speedups (the bars of Fig. 5) as custom metrics, plus the
 // interpreter-substrate metrics the perf trajectory tracks: profiled-run
 // cache hit rate and interpreter throughput (virtual ops per wall second).
+//
+// The cache-hit metric covers the benchmark's full Fig. 5 sweep — the
+// uninformed and informed flows sharing one profiled-run cache, exactly
+// as RunFig5 runs them — because a fresh per-flow cache yields a rate
+// that is a structural constant of the flow (the same for every
+// benchmark) instead of a property of the benchmark's sweep. The
+// informed leg runs with the timer stopped, so ns/op and interp-Mops/s
+// keep measuring the uninformed flow alone.
 func BenchmarkFig5(b *testing.B) {
 	for _, app := range bench.All() {
 		b.Run(app.Name, func(b *testing.B) {
@@ -38,15 +46,23 @@ func BenchmarkFig5(b *testing.B) {
 			var hits, misses, ops int64
 			for i := 0; i < b.N; i++ {
 				rec := telemetry.New()
+				runs := core.NewRunCache()
 				var err error
-				results, err = experiments.RunBenchmarkRecorded(app,
-					tasks.FlowOptions{Mode: tasks.Uninformed, Strategy: tasks.DefaultStrategy}, nil, rec)
+				results, err = experiments.RunBenchmarkShared(app,
+					tasks.FlowOptions{Mode: tasks.Uninformed, Strategy: tasks.DefaultStrategy}, nil, rec, runs)
 				if err != nil {
 					b.Fatal(err)
 				}
-				hits += rec.Counter(telemetry.CounterRunCacheHits)
-				misses += rec.Counter(telemetry.CounterRunCacheMisses)
 				ops += rec.Counter(telemetry.CounterInterpOps)
+				b.StopTimer()
+				if _, err := experiments.RunBenchmarkShared(app,
+					tasks.FlowOptions{Mode: tasks.Informed, Strategy: tasks.DefaultStrategy}, nil, nil, runs); err != nil {
+					b.Fatal(err)
+				}
+				h, m := runs.Stats()
+				hits += h
+				misses += m
+				b.StartTimer()
 			}
 			if hits+misses > 0 {
 				b.ReportMetric(100*float64(hits)/float64(hits+misses), "cache-hit%")
@@ -173,18 +189,26 @@ void k(int n, const float *a, float *b) {
 }
 
 // BenchmarkInterp measures the dynamic-analysis substrate: one profiled
-// execution of each benchmark application on the compiled fast path.
+// execution of each benchmark application on the default engine (the
+// register bytecode VM).
 func BenchmarkInterp(b *testing.B) {
-	benchmarkInterp(b, false)
+	benchmarkInterp(b, interp.Config{})
+}
+
+// BenchmarkInterpClosures runs the same executions on the slot-indexed
+// closure engine (the previous fast path), so the VM's gain over it stays
+// measured release to release.
+func BenchmarkInterpClosures(b *testing.B) {
+	benchmarkInterp(b, interp.Config{Closures: true})
 }
 
 // BenchmarkInterpTreeWalk runs the same executions on the reference
-// tree-walking evaluator, so the compiled path's gain stays measured.
+// tree-walking evaluator, so the compiled paths' gain stays measured.
 func BenchmarkInterpTreeWalk(b *testing.B) {
-	benchmarkInterp(b, true)
+	benchmarkInterp(b, interp.Config{TreeWalk: true})
 }
 
-func benchmarkInterp(b *testing.B, treeWalk bool) {
+func benchmarkInterp(b *testing.B, base interp.Config) {
 	for _, app := range bench.All() {
 		b.Run(app.Name, func(b *testing.B) {
 			prog := app.Parse()
@@ -192,7 +216,9 @@ func benchmarkInterp(b *testing.B, treeWalk bool) {
 			b.ReportAllocs()
 			var steps int64
 			for i := 0; i < b.N; i++ {
-				res, err := interp.Run(prog, interp.Config{Entry: w.Entry(), Args: w.Args(), TreeWalk: treeWalk})
+				cfg := base
+				cfg.Entry, cfg.Args = w.Entry(), w.Args()
+				res, err := interp.Run(prog, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}

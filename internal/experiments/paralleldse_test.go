@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"psaflow/internal/bench"
+	"psaflow/internal/core"
+	"psaflow/internal/faults"
+	"psaflow/internal/tasks"
+	"psaflow/internal/telemetry"
+)
+
+// The parallel-DSE determinism contract: running the flow with
+// Context.DSEWorkers > 1 must produce bit-for-bit the same designs,
+// provenance traces, and telemetry as the serial sweeps — only the
+// dse.parallel.* pool counters may differ. Run under -race this also
+// exercises the sweep pool's synchronization.
+
+// flowFingerprint renders everything observable about one flow run:
+// exported design JSON, the full provenance trace of every design, and
+// the telemetry counters (minus the pool's own accounting).
+func flowFingerprint(t *testing.T, results []DesignResult, rec *telemetry.Recorder) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, r := range results {
+		j, err := json.Marshal(designJSON(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb.Write(j)
+		sb.WriteByte('\n')
+		for _, ev := range r.Design.Trace {
+			sb.WriteString(ev.String())
+			sb.WriteByte('\n')
+		}
+		if r.Design.HLSReport != nil {
+			fmt.Fprintf(&sb, "hls: %+v\n", *r.Design.HLSReport)
+		}
+	}
+	snap := rec.Snapshot()
+	for _, name := range sortedCounterNames(snap.Counters) {
+		// The pool's own accounting differs by construction, and the
+		// compile-time counter is wall-clock nanoseconds — nondeterministic
+		// between any two runs, serial or not.
+		if strings.HasPrefix(name, "dse.parallel.") || name == "interp.compile.ns" {
+			continue
+		}
+		fmt.Fprintf(&sb, "counter %s=%d\n", name, snap.Counters[name])
+	}
+	return sb.String()
+}
+
+func sortedCounterNames(m map[string]int64) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}
+
+func runFingerprinted(t *testing.T, b *bench.Benchmark, mode tasks.Mode, env JobEnv) string {
+	t.Helper()
+	rec := telemetry.New()
+	results, err := RunBenchmarkEnv(context.Background(), b, nil,
+		tasks.FlowOptions{Mode: mode, Strategy: tasks.DefaultStrategy},
+		env, nil, rec, core.NewRunCache())
+	if err != nil {
+		t.Fatalf("%s: %v", b.Name, err)
+	}
+	return flowFingerprint(t, results, rec)
+}
+
+// TestParallelDSEDeterministic compares serial against pooled sweeps for
+// every benchmark in both flow modes.
+func TestParallelDSEDeterministic(t *testing.T) {
+	for _, b := range bench.All() {
+		for _, mode := range []tasks.Mode{tasks.Uninformed, tasks.Informed} {
+			serial := runFingerprinted(t, b, mode, JobEnv{})
+			parallel := runFingerprinted(t, b, mode, JobEnv{DSEWorkers: 8})
+			if serial != parallel {
+				t.Errorf("%s mode=%v: parallel DSE diverged from serial\n--- serial ---\n%s\n--- parallel ---\n%s",
+					b.Name, mode, serial, parallel)
+			}
+		}
+	}
+}
+
+// TestParallelDSEDeterministicUnderFaults repeats the comparison with
+// deterministic fault injection active: the serial consumption walk must
+// keep injector occurrence order identical, so the same faults fire at
+// the same points in both modes.
+func TestParallelDSEDeterministicUnderFaults(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		inj := faults.New(seed, 0.2, faults.HLS, faults.Device)
+		for _, b := range bench.All() {
+			serial := runFingerprinted(t, b, tasks.Uninformed, JobEnv{Faults: inj.WithSeed(seed)})
+			parallel := runFingerprinted(t, b, tasks.Uninformed, JobEnv{Faults: inj.WithSeed(seed), DSEWorkers: 6})
+			if serial != parallel {
+				t.Errorf("%s seed=%d: parallel DSE diverged from serial under faults\n--- serial ---\n%s\n--- parallel ---\n%s",
+					b.Name, seed, serial, parallel)
+			}
+		}
+	}
+}
+
+// TestParallelDSEPoolCountersFire asserts the pool actually ran: a
+// parallel flow must report sweeps and candidates, a serial one must not.
+func TestParallelDSEPoolCountersFire(t *testing.T) {
+	b, _ := bench.ByName("nbody")
+	rec := telemetry.New()
+	_, err := RunBenchmarkEnv(context.Background(), b, nil,
+		tasks.FlowOptions{Mode: tasks.Uninformed, Strategy: tasks.DefaultStrategy},
+		JobEnv{DSEWorkers: 4}, nil, rec, core.NewRunCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Counter(telemetry.CounterDSEParallelSweeps) == 0 {
+		t.Error("parallel run recorded no dse.parallel.sweeps")
+	}
+	if rec.Counter(telemetry.CounterDSEParallelCandidates) == 0 {
+		t.Error("parallel run recorded no dse.parallel.candidates")
+	}
+
+	rec = telemetry.New()
+	if _, err := RunBenchmarkEnv(context.Background(), b, nil,
+		tasks.FlowOptions{Mode: tasks.Uninformed, Strategy: tasks.DefaultStrategy},
+		JobEnv{}, nil, rec, core.NewRunCache()); err != nil {
+		t.Fatal(err)
+	}
+	if n := rec.Counter(telemetry.CounterDSEParallelSweeps); n != 0 {
+		t.Errorf("serial run recorded dse.parallel.sweeps=%d, want 0", n)
+	}
+}

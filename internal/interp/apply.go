@@ -2,6 +2,7 @@ package interp
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"psaflow/internal/minic"
 )
@@ -215,8 +216,8 @@ func (m *machine) callBuiltin(name string, bi builtin, args []Value, pos minic.P
 		return Value{}, m.errf(pos, "%s: %d args, want %d", name, len(args), bi.arity)
 	}
 	m.chargeFlop(bi.cost, bi.flops)
-	if bi.flops > 1 && m.watchDepth > 0 {
-		m.prof.WatchSpecialFlops += bi.flops
+	if bi.flops > 1 {
+		m.specialFlops += bi.flops
 	}
 	return bi.fn(args), nil
 }
@@ -273,14 +274,57 @@ func (m *machine) enterWatch(params []*minic.Param, args []Value) map[*Buffer]st
 	m.prof.Bindings = append(m.prof.Bindings, binding)
 	prev := m.paramOf
 	m.paramOf = pm
+	m.watchEpoch = nextWatchEpoch()
+	if m.watchDepth == 0 {
+		m.watchCycBase = m.prof.Cycles
+		m.watchFlopBase = m.prof.Flops
+		m.watchLoadBase = m.prof.LoadBytes
+		m.watchStoreBase = m.prof.StoreBytes
+		m.watchSpecialBase = m.specialFlops
+	}
 	m.watchDepth++
 	return prev
 }
 
-// exitWatch ends a watched activation.
+// exitWatch ends a watched activation. Leaving the outermost watched
+// call folds the totals accumulated during the activation into the
+// Watch* counters (nested watched calls are already covered by the
+// outermost delta, exactly as per-charge accounting would count them).
 func (m *machine) exitWatch(prev map[*Buffer]string) {
 	m.watchDepth--
 	m.paramOf = prev
+	m.watchEpoch = nextWatchEpoch()
+	if m.watchDepth == 0 {
+		m.prof.WatchCycles += m.prof.Cycles - m.watchCycBase
+		m.prof.WatchFlops += m.prof.Flops - m.watchFlopBase
+		m.prof.WatchLoadBytes += m.prof.LoadBytes - m.watchLoadBase
+		m.prof.WatchStoreBytes += m.prof.StoreBytes - m.watchStoreBase
+		m.prof.WatchSpecialFlops += m.specialFlops - m.watchSpecialBase
+	}
+}
+
+// watchEpochCounter hands out globally unique watch epochs so that a
+// Buffer's cached traffic pointer can never be mistaken for one resolved
+// under a different paramOf map (even across machines reusing a buffer).
+var watchEpochCounter atomic.Uint64
+
+func nextWatchEpoch() uint64 { return watchEpochCounter.Add(1) }
+
+// trafficOf returns the traffic accumulator for buf under the innermost
+// watched call, or nil if buf is not bound to a watched parameter. The
+// two map lookups (buffer→param name, name→accumulator) only run once
+// per buffer per watch epoch; element accesses in hot loops hit the
+// cache on the buffer itself.
+func (m *machine) trafficOf(buf *Buffer) *Traffic {
+	if buf.trafEpoch != m.watchEpoch {
+		buf.trafEpoch = m.watchEpoch
+		if pname, ok := m.paramOf[buf]; ok {
+			buf.traf = m.prof.ParamTraffic[pname]
+		} else {
+			buf.traf = nil
+		}
+	}
+	return buf.traf
 }
 
 // sprintParts renders captured printf arguments exactly as the tree-walk

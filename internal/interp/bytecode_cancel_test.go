@@ -1,0 +1,109 @@
+package interp
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"psaflow/internal/minic"
+)
+
+// Cancellation tests for the bytecode VM, mirroring cancel_test.go: the
+// dispatch loop folds its context poll into loop back-edges (opLoopBack)
+// and function entry, so a cancelled context must surface as a
+// CancelError anchored at the loop position, within a bounded number of
+// dispatched instructions of the cancellation becoming observable.
+
+// spinLoopPos returns the position of the spin benchmark's for loop —
+// the only back-edge, and therefore the only poll site the abort can
+// report from inside the loop.
+func spinLoopPos(t *testing.T, prog *minic.Program) minic.Pos {
+	t.Helper()
+	var pos minic.Pos
+	minic.Walk(prog, func(n minic.Node) bool {
+		if f, ok := n.(*minic.ForStmt); ok && pos.Line == 0 {
+			pos = f.NodePos()
+		}
+		return true
+	})
+	if pos.Line == 0 {
+		t.Fatal("spin source has no for loop")
+	}
+	return pos
+}
+
+// TestBytecodeCancelAtBackEdge cancels mid-run and checks the bytecode
+// engine aborts promptly with a CancelError positioned at the loop's
+// back-edge.
+func TestBytecodeCancelAtBackEdge(t *testing.T) {
+	prog := minic.MustParse(spinSrc)
+	loopPos := spinLoopPos(t, prog)
+	cctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := Run(prog, Config{Entry: "spin", Args: []Value{IntVal(1)}, Ctx: cctx})
+	elapsed := time.Since(start)
+	var ce *CancelError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CancelError, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled cause, got %v", ce.Cause)
+	}
+	if ce.Pos != loopPos {
+		t.Errorf("CancelError at %s, want the loop back-edge at %s", ce.Pos, loopPos)
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("cancellation took %v; expected prompt abort", elapsed)
+	}
+}
+
+// doneCtx passes the Run-entry Err() check exactly once and presents an
+// already-closed Done channel, making the first in-dispatch poll the
+// earliest possible abort point — deterministically, with no timing.
+type doneCtx struct {
+	context.Context
+	done chan struct{}
+	errs atomic.Int32
+}
+
+func newDoneCtx() *doneCtx {
+	d := &doneCtx{Context: context.Background(), done: make(chan struct{})}
+	close(d.done)
+	return d
+}
+
+func (d *doneCtx) Done() <-chan struct{} { return d.done }
+
+func (d *doneCtx) Err() error {
+	if d.errs.Add(1) == 1 {
+		return nil // let Run's entry check pass; the poll must catch it
+	}
+	return context.Canceled
+}
+
+// TestBytecodeCancelWithinBoundedInstructions proves the back-edge poll
+// bounds the overrun: with cancellation observable from the first
+// dispatched instruction, the VM must abort within cancelCheckInterval
+// back-edges. The step budget is sized so that failing to poll in that
+// window would surface as a step-budget error instead of a CancelError.
+func TestBytecodeCancelWithinBoundedInstructions(t *testing.T) {
+	prog := minic.MustParse(spinSrc)
+	loopPos := spinLoopPos(t, prog)
+	// The spin loop costs a handful of interpreter steps per iteration;
+	// 64 per back-edge is far beyond any lowering of it.
+	budget := int64(cancelCheckInterval * 64)
+	_, err := Run(prog, Config{Entry: "spin", Args: []Value{IntVal(1)}, Ctx: newDoneCtx(), MaxSteps: budget})
+	var ce *CancelError
+	if !errors.As(err, &ce) {
+		t.Fatalf("VM ran past %d steps without observing cancellation: %v", budget, err)
+	}
+	if ce.Pos != loopPos {
+		t.Errorf("CancelError at %s, want the loop back-edge at %s", ce.Pos, loopPos)
+	}
+}

@@ -143,9 +143,7 @@ func (m *machine) loadElem(buf *Buffer, i int64, pos minic.Pos) (Value, error) {
 	nbytes := buf.ElemBytes()
 	m.prof.LoadBytes += nbytes
 	if m.watchDepth > 0 {
-		m.prof.WatchLoadBytes += nbytes
-		if pname, ok := m.paramOf[buf]; ok {
-			t := m.prof.ParamTraffic[pname]
+		if t := m.trafficOf(buf); t != nil {
 			t.BytesIn += nbytes
 			t.ElemReads++
 		}
@@ -165,9 +163,7 @@ func (m *machine) storeElem(buf *Buffer, i int64, v Value, pos minic.Pos) error 
 	nbytes := buf.ElemBytes()
 	m.prof.StoreBytes += nbytes
 	if m.watchDepth > 0 {
-		m.prof.WatchStoreBytes += nbytes
-		if pname, ok := m.paramOf[buf]; ok {
-			t := m.prof.ParamTraffic[pname]
+		if t := m.trafficOf(buf); t != nil {
 			t.BytesOut += nbytes
 			t.ElemWrites++
 		}

@@ -48,9 +48,15 @@ const (
 	CounterOps    = "interp.ops"    // AST evaluation steps executed
 	CounterCycles = "interp.cycles" // virtual cycles charged (rounded)
 	// CounterCompileFuncs / CounterCompileNanos describe the compile pass
-	// that lowers the AST to slot-indexed closures before execution.
+	// that lowers the AST before execution (bytecode by default, or
+	// slot-indexed closures under Config.Closures).
 	CounterCompileFuncs = "interp.compile.funcs"
 	CounterCompileNanos = "interp.compile.ns"
+	// Bytecode engine counters: instructions dispatched, superinstruction
+	// (fused) dispatches, and defensive fallbacks to the closure engine.
+	CounterBCInstrs    = "interp.bytecode.instructions"
+	CounterBCFused     = "interp.bytecode.fused"
+	CounterBCFallbacks = "interp.bytecode.fallbacks"
 )
 
 // Config configures one execution.
@@ -68,10 +74,14 @@ type Config struct {
 	// (CounterRuns/CounterOps/CounterCycles) once execution finishes.
 	Counters Counters
 	// TreeWalk forces the legacy tree-walking evaluator instead of the
-	// compiled slot-frame fast path. The two are bit-for-bit equivalent
+	// bytecode fast path. All engines are bit-for-bit equivalent
 	// (profiles, outputs, errors); the walker remains as the semantic
 	// reference for differential testing.
 	TreeWalk bool
+	// Closures forces the slot-indexed closure engine (the previous fast
+	// path), kept as a second reference oracle for the three-way
+	// differential suite and for defensive fallback.
+	Closures bool
 }
 
 // Result is the outcome of one execution.
@@ -116,8 +126,33 @@ type machine struct {
 	watch      string
 	watchDepth int
 	// paramOf maps buffers to the watched function's parameter names for
-	// the innermost watched call.
-	paramOf map[*Buffer]string
+	// the innermost watched call. watchEpoch changes (to a globally
+	// unique value) whenever paramOf does, so buffers can cache their
+	// traffic accumulator between map swaps (machine.trafficOf).
+	paramOf    map[*Buffer]string
+	watchEpoch uint64
+	// Outermost-watch baselines: exitWatch folds the run-total deltas
+	// accumulated since the matching enterWatch into the Watch* profile
+	// counters, so charge/chargeFlop/loadElem/storeElem stay branch-free.
+	// specialFlops is the run-wide special-builtin FLOP total backing
+	// WatchSpecialFlops the same way Flops backs WatchFlops.
+	watchCycBase     float64
+	watchFlopBase    int64
+	watchLoadBase    int64
+	watchStoreBase   int64
+	watchSpecialBase int64
+	specialFlops     int64
+
+	// Bytecode engine telemetry: instructions dispatched and fused
+	// (superinstruction) dispatches this run.
+	bcInstrs int64
+	bcFused  int64
+	// framePool recycles bytecode frames (calls nest strictly LIFO);
+	// biArgs is the fused-builtin argument scratch (builtins are leaf
+	// calls, so one buffer per machine suffices and keeps the argument
+	// slice off the heap).
+	framePool []*bframe
+	biArgs    [2]Value
 }
 
 // Run executes cfg.Entry in prog and returns the result with its profile.
@@ -154,14 +189,33 @@ func Run(prog *minic.Program, cfg Config) (*Result, error) {
 	var err error
 	var compileNanos int64
 	var compiledFuncs int64
-	if cfg.TreeWalk {
+	var fallbacks int64
+	switch {
+	case cfg.TreeWalk:
 		ret, err = m.call(entry, cfg.Args, entry.NodePos())
-	} else {
+	case cfg.Closures:
 		compileStart := time.Now()
 		cp := compileProgram(prog)
 		compileNanos = time.Since(compileStart).Nanoseconds()
 		compiledFuncs = int64(len(cp.funcs))
 		ret, err = m.callCompiled(cp.funcs[cfg.Entry], cfg.Args, entry.NodePos())
+	default:
+		compileStart := time.Now()
+		bp := lowerBytecode(prog)
+		compileNanos = time.Since(compileStart).Nanoseconds()
+		if bp != nil {
+			compiledFuncs = int64(len(bp.funcs))
+			ret, err = m.callBytecode(bp.funcs[cfg.Entry], cfg.Args, entry.NodePos())
+		} else {
+			// Defensive fallback: a lowering panic degrades to the
+			// closure engine rather than aborting the flow. Counted so
+			// the CI bench-smoke gate can assert it never fires on the
+			// bundled benchmarks.
+			fallbacks = 1
+			cp := compileProgram(prog)
+			compiledFuncs = int64(len(cp.funcs))
+			ret, err = m.callCompiled(cp.funcs[cfg.Entry], cfg.Args, entry.NodePos())
+		}
 	}
 	if err != nil {
 		return nil, err
@@ -174,8 +228,27 @@ func Run(prog *minic.Program, cfg Config) (*Result, error) {
 			cfg.Counters.Add(CounterCompileFuncs, compiledFuncs)
 			cfg.Counters.Add(CounterCompileNanos, compileNanos)
 		}
+		if m.bcInstrs > 0 {
+			cfg.Counters.Add(CounterBCInstrs, m.bcInstrs)
+			cfg.Counters.Add(CounterBCFused, m.bcFused)
+		}
+		if fallbacks > 0 {
+			cfg.Counters.Add(CounterBCFallbacks, fallbacks)
+		}
 	}
 	return &Result{Ret: ret, Prof: m.prof, Steps: m.steps, Output: m.output}, nil
+}
+
+// lowerBytecode wraps compileBytecode with a panic guard: the lowering is
+// exercised by the differential fuzzer and never expected to fail, but a
+// defect must degrade to the closure oracle, not crash a flow.
+func lowerBytecode(prog *minic.Program) (bp *bprog) {
+	defer func() {
+		if recover() != nil {
+			bp = nil
+		}
+	}()
+	return compileBytecode(prog)
 }
 
 // buildLoopInfo precomputes enclosing function and nesting depth for every
@@ -220,19 +293,18 @@ func (m *machine) step(pos minic.Pos) error {
 	return nil
 }
 
+// charge and chargeFlop only bump the run-wide totals; the Watch*
+// counterparts are folded in as boundary deltas by exitWatch (the charges
+// issued while watchDepth > 0 are exactly the totals accumulated between
+// the outermost enterWatch and its exitWatch), which keeps the hot path
+// at a single read-modify-write per counter.
 func (m *machine) charge(c float64) {
 	m.prof.Cycles += c
-	if m.watchDepth > 0 {
-		m.prof.WatchCycles += c
-	}
 }
 
 func (m *machine) chargeFlop(c float64, n int64) {
-	m.charge(c)
+	m.prof.Cycles += c
 	m.prof.Flops += n
-	if m.watchDepth > 0 {
-		m.prof.WatchFlops += n
-	}
 }
 
 // frame is one function activation with nested scopes.

@@ -64,6 +64,12 @@ type Buffer struct {
 	Kind minic.BasicKind
 	F    []float64
 	I    []int64
+
+	// traf caches this buffer's traffic accumulator for the watch epoch
+	// it was last resolved in (see machine.trafficOf). Epochs are
+	// globally unique, so stale entries from earlier runs never collide.
+	traf      *Traffic
+	trafEpoch uint64
 }
 
 // NewFloatBuffer allocates a float/double buffer with the given contents.

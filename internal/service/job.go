@@ -66,6 +66,10 @@ type JobSpec struct {
 	// TaskTimeoutMS bounds each flow task attempt; a timed-out attempt is
 	// classified transient and retried (0 = no per-task bound).
 	TaskTimeoutMS int64 `json:"task_timeout_ms,omitempty"`
+	// DSEWorkers sizes the parallel candidate-sweep pool of the DSE tasks
+	// for this job (0 or 1 = serial sweeps; results are identical, only
+	// wall-clock and the dse.parallel.* counters change).
+	DSEWorkers int `json:"dse_workers,omitempty"`
 }
 
 // flowOptions resolves the spec to engine options.
@@ -109,6 +113,7 @@ func (sp *JobSpec) flowEnv(defaultFaults string, defaultRetry faults.RetryPolicy
 		env.Retry.Budget = sp.RetryBudget
 	}
 	env.TaskTimeout = time.Duration(sp.TaskTimeoutMS) * time.Millisecond
+	env.DSEWorkers = sp.DSEWorkers
 	return env, nil
 }
 

@@ -57,7 +57,7 @@ var NumThreadsDSE = core.TaskFunc{
 	Fn: func(ctx *core.Context, d *core.Design) error {
 		feat := d.Report.Features()
 		ctx.Count(telemetry.DSECounter("numthreads"), int64(ctx.CPU.Cores))
-		threads, t := perfmodel.BestThreads(ctx.CPU, feat)
+		threads, t := bestThreadsCtx(ctx, ctx.CPU, feat)
 		d.NumThreads = threads
 		d.Device = ctx.CPU.Name
 		d.Est = perfmodel.Breakdown{KernelTime: t, Total: t, Note: fmt.Sprintf("%d threads", threads)}

@@ -107,6 +107,15 @@ func UnrollUntilOvermap(dev platform.FPGASpec) core.Task {
 			}
 			loop := outer[0]
 
+			// Parallel mode (Context.DSEWorkers > 1) costs every candidate
+			// factor up front on the sweep pool — the estimator is a pure
+			// read of the shared AST — and the walk below consumes the
+			// table in doubling order. Serial mode estimates in the walk
+			// itself, installing the candidate pragma first. Either way
+			// the walk owns every fault point, telemetry count, and trace
+			// line, so both modes are bit-for-bit identical.
+			spec := speculateUnroll(ctx, d, dev)
+
 			var best *hls.Report
 			bestUnroll := 0
 			for n := 1; n <= 1<<16; n *= 2 {
@@ -114,9 +123,11 @@ func UnrollUntilOvermap(dev platform.FPGASpec) core.Task {
 					return err
 				}
 				ctx.Count(telemetry.DSECounter("unroll"), 1)
-				transform.RemoveLoopPragmas(loop, "unroll")
-				if err := transform.InsertLoopPragma(loop, fmt.Sprintf("unroll %d", n)); err != nil {
-					return err
+				if spec == nil {
+					transform.RemoveLoopPragmas(loop, "unroll")
+					if err := transform.InsertLoopPragma(loop, fmt.Sprintf("unroll %d", n)); err != nil {
+						return err
+					}
 				}
 				// Each partial compile can fail like a real HLS farm
 				// submission (transient: the task is retried as a whole,
@@ -125,7 +136,13 @@ func UnrollUntilOvermap(dev platform.FPGASpec) core.Task {
 					transform.RemoveLoopPragmas(loop, "unroll")
 					return err
 				}
-				rep := hls.EstimateCounted(ctx.Telemetry, d.Prog, kfn, dev, d.Report.PipelinedTrips)
+				var rep *hls.Report
+				if spec == nil {
+					rep = hls.EstimateCounted(ctx.Telemetry, d.Prog, kfn, dev, d.Report.PipelinedTrips)
+				} else {
+					ctx.Count(hls.CounterPartialCompiles, 1)
+					rep = spec[n]
+				}
 				d.Tracef("dse", "unroll", "n=%d LUT=%.1f%% DSP=%.1f%% fits=%t",
 					n, rep.LUTUtil*100, rep.DSPUtil*100, rep.Fits)
 				if !rep.Fits {

@@ -138,7 +138,7 @@ func BlocksizeDSE(dev platform.GPUSpec) core.Task {
 			}
 			feat := d.Report.Features()
 			ctx.Count(telemetry.DSECounter("blocksize"), int64(len(perfmodel.BlocksizeCandidates)))
-			bs, bd := perfmodel.BestBlocksize(dev, feat, d.Pinned)
+			bs, bd := bestBlocksizeCtx(ctx, dev, feat, d.Pinned)
 			if bs < 0 {
 				d.Infeasible = "no feasible blocksize"
 				return nil

@@ -1,0 +1,144 @@
+package tasks
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"psaflow/internal/core"
+	"psaflow/internal/hls"
+	"psaflow/internal/perfmodel"
+	"psaflow/internal/platform"
+	"psaflow/internal/telemetry"
+)
+
+// The bounded candidate-sweep pool behind the parallel DSE mode.
+//
+// The DSE tasks split candidate evaluation from candidate consumption:
+// evaluation (a device-model or HLS estimate per candidate) is a pure
+// function of immutable inputs and runs on the pool below, while the
+// consumption walk stays serial and in candidate order, so fault-injection
+// occurrence order, telemetry counters, trace lines, and the selected
+// design are bit-for-bit identical to Context.DSEWorkers <= 1 (the
+// historical serial sweeps). Determinism is enforced by construction:
+// workers write only results[i] for the indices they claim, and every
+// tie-break happens in the serial walk with the same strict comparison the
+// serial sweep uses.
+
+// dseWorkers returns the pool width a sweep of n candidates should use;
+// anything below 2 means "stay serial".
+func dseWorkers(ctx *core.Context, n int) int {
+	w := ctx.DSEWorkers
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// sweepParallel evaluates eval(i) for every i in [0, n) on a pool of w
+// goroutines pulling indices from a shared counter, and blocks until all
+// candidates are done. eval must be race-free against its siblings (the
+// DSE sweeps evaluate pure estimates into distinct result slots).
+func sweepParallel(ctx *core.Context, w, n int, eval func(i int)) {
+	ctx.Count(telemetry.CounterDSEParallelSweeps, 1)
+	ctx.Count(telemetry.CounterDSEParallelCandidates, int64(n))
+	ctx.Count(telemetry.CounterDSEParallelWorkers, int64(w))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				eval(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// bestBlocksizeCtx is perfmodel.BestBlocksize with the candidate
+// evaluations optionally spread over the DSE pool. The selection walk
+// mirrors BestBlocksize exactly (index order, strict <), so both modes
+// return the same blocksize and breakdown.
+func bestBlocksizeCtx(ctx *core.Context, dev platform.GPUSpec, feat perfmodel.KernelFeatures, pinned bool) (int, perfmodel.Breakdown) {
+	w := dseWorkers(ctx, len(perfmodel.BlocksizeCandidates))
+	if w < 2 {
+		return perfmodel.BestBlocksize(dev, feat, pinned)
+	}
+	results := make([]perfmodel.Breakdown, len(perfmodel.BlocksizeCandidates))
+	sweepParallel(ctx, w, len(results), func(i int) {
+		results[i] = perfmodel.GPUTime(dev, feat, perfmodel.BlocksizeCandidates[i], pinned)
+	})
+	best := -1
+	var bestBd perfmodel.Breakdown
+	bestBd.Total = math.Inf(1)
+	for i, bd := range results {
+		if bd.Total < bestBd.Total {
+			best = perfmodel.BlocksizeCandidates[i]
+			bestBd = bd
+		}
+	}
+	return best, bestBd
+}
+
+// bestThreadsCtx is perfmodel.BestThreads with the per-thread-count model
+// evaluations optionally parallelized; selection matches BestThreads
+// (ascending thread counts, strict <).
+func bestThreadsCtx(ctx *core.Context, cpu platform.CPUSpec, feat perfmodel.KernelFeatures) (int, float64) {
+	w := dseWorkers(ctx, cpu.Cores)
+	if w < 2 {
+		return perfmodel.BestThreads(cpu, feat)
+	}
+	results := make([]float64, cpu.Cores)
+	sweepParallel(ctx, w, len(results), func(i int) {
+		results[i] = perfmodel.OMPTime(cpu, feat, i+1)
+	})
+	best := 1
+	bestT := math.Inf(1)
+	for i, tt := range results {
+		if tt < bestT {
+			bestT = tt
+			best = i + 1
+		}
+	}
+	return best, bestT
+}
+
+// unrollCandidates lists the factors the unroll-until-overmap DSE may
+// visit: powers of two up to 1<<16, matching the serial doubling loop.
+func unrollCandidates() []int {
+	var out []int
+	for n := 1; n <= 1<<16; n *= 2 {
+		out = append(out, n)
+	}
+	return out
+}
+
+// speculateUnroll costs every candidate unroll factor concurrently over
+// the shared (read-only) program and returns the per-factor reports. The
+// serial consumption walk in UnrollUntilOvermap then replays fault points
+// and telemetry in iteration order against this table. Factors past the
+// first overmap are estimated speculatively and discarded — wasted work
+// the pool absorbs, never observable in the flow's outputs.
+func speculateUnroll(ctx *core.Context, d *core.Design, dev platform.FPGASpec) map[int]*hls.Report {
+	kfn := d.KernelFunc()
+	factors := unrollCandidates()
+	w := dseWorkers(ctx, len(factors))
+	if w < 2 || kfn == nil {
+		return nil
+	}
+	reports := make([]*hls.Report, len(factors))
+	sweepParallel(ctx, w, len(factors), func(i int) {
+		reports[i] = hls.EstimateUnroll(d.Prog, kfn, dev, d.Report.PipelinedTrips, factors[i])
+	})
+	out := make(map[int]*hls.Report, len(factors))
+	for i, n := range factors {
+		out[n] = reports[i]
+	}
+	return out
+}

@@ -12,6 +12,14 @@ go test -race ./...
 # Compiled-vs-tree-walk and cached-vs-uncached equivalence under -race:
 # the singleflight run cache is shared by concurrent branch paths.
 go test -race -run 'Equivalence' ./internal/interp/ ./internal/tasks/
+# Bench smoke for the bytecode VM: the three-way differential suite
+# (bytecode vs closures vs tree-walk) under -race, plus the no-fallback
+# gate — the VM must execute all five benchmarks natively, never via its
+# defensive closure fallback.
+go test -race -run 'ThreeWay|BytecodeNoFallback|BytecodeCancel' ./internal/interp/
+# Parallel DSE determinism under -race: pooled candidate evaluation must
+# stay bit-for-bit identical to the serial walk, faults included.
+go test -race -run 'ParallelDSE' ./internal/experiments/
 # Chaos equivalence under -race: zero-fault runs must stay bit-for-bit
 # identical and seeded chaos runs must replay deterministically even with
 # parallel branch paths.
