@@ -8,13 +8,15 @@
 // Usage:
 //
 //	psaflowd [-addr :8080] [-workers 4] [-queue 64] [-data-dir DIR]
-//	         [-timeout 5m] [-faults seed=1,rate=0.1,kinds=hls,run] [-v]
+//	         [-timeout 5m] [-faults seed=1,rate=0.1,kinds=hls,run]
+//	         [-event-ring 1024] [-event-watchers 1024] [-retain 1024] [-v]
 //
 // Endpoints:
 //
 //	POST   /v1/jobs             submit a job (202; 429 when the queue is full)
 //	GET    /v1/jobs/{id}        job status
 //	GET    /v1/jobs/{id}/result designs + telemetry (409 while running)
+//	GET    /v1/jobs/{id}/events live event stream, NDJSON or SSE (?from=N resumes)
 //	DELETE /v1/jobs/{id}        cancel (queued: 200; running: 202)
 //	GET    /healthz             liveness (503 while draining)
 //	GET    /metrics             service gauges + telemetry report
@@ -43,6 +45,9 @@ func main() {
 	dataDir := flag.String("data-dir", "", "persist job results and the drain snapshot here (empty = no persistence)")
 	timeout := flag.Duration("timeout", 5*time.Minute, "default per-job run-time bound (0 = unbounded)")
 	faultSpec := flag.String("faults", "", `default fault-injection spec for jobs without their own ("" or "off" disables; kinds=io also targets persistence writes)`)
+	eventRing := flag.Int("event-ring", 0, "per-job event ring size: the /events replay window (0 = default 1024)")
+	eventWatchers := flag.Int("event-watchers", 0, "max concurrent /events watchers per job, beyond it 429 (0 = default 1024)")
+	retainJobs := flag.Int("retain", 0, "terminal jobs kept in memory before eviction to disk-backed lookups (0 = default 1024, negative = never evict)")
 	verbose := flag.Bool("v", false, "log job lifecycle events")
 	flag.Parse()
 
@@ -63,7 +68,12 @@ func main() {
 		DataDir:        *dataDir,
 		DefaultTimeout: *timeout,
 		Faults:         *faultSpec,
-		Logf:           logf,
+
+		EventRingSize:     *eventRing,
+		MaxWatchersPerJob: *eventWatchers,
+		RetainJobs:        *retainJobs,
+
+		Logf: logf,
 	})
 	if err := s.Start(); err != nil {
 		logger.Fatalf("start: %v", err)

@@ -4,13 +4,20 @@
 // daemon's queue and shared run cache), and -json emits a machine-readable
 // summary that scripts/loadtest.sh and the CI smoke test consume.
 //
+// -watch follows the first job's live event stream (GET
+// /v1/jobs/{id}/events) and prints each event as it happens; -watchers N
+// attaches N concurrent streams round-robin across the submitted jobs and
+// reports time-to-first-event statistics — the latency a dashboard user
+// would feel — alongside the throughput numbers.
+//
 // Usage (against a running daemon):
 //
-//	go run ./examples/service -addr http://localhost:8080 -bench nbody
-//	go run ./examples/service -bench adpredictor -n 32 -json
+//	go run ./examples/service -addr http://localhost:8080 -bench nbody -watch
+//	go run ./examples/service -bench adpredictor -n 32 -watchers 256 -json
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -18,6 +25,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"sync"
 	"time"
 )
@@ -85,6 +93,59 @@ func submit(addr string, spec jobSpec) (string, error) {
 	return st.ID, nil
 }
 
+// event mirrors the daemon's NDJSON event frame.
+type event struct {
+	Seq    uint64  `json:"seq"`
+	Type   string  `json:"type"`
+	Name   string  `json:"name"`
+	Detail string  `json:"detail"`
+	DurMS  float64 `json:"dur_ms"`
+}
+
+// watchStats is one watcher's outcome: how long until the first event
+// frame arrived and how many events the stream carried to completion.
+type watchStats struct {
+	ttfe   time.Duration
+	events int
+	err    error
+}
+
+// watchJob attaches one event stream and drains it to EOF (the server
+// closes the stream at the job's terminal event). onEvent may be nil.
+func watchJob(addr, id string, onEvent func(event)) watchStats {
+	start := time.Now()
+	resp, err := http.Get(addr + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		return watchStats{err: err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return watchStats{err: fmt.Errorf("events %s: %d: %s", id, resp.StatusCode, body)}
+	}
+	var st watchStats
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue // heartbeat
+		}
+		if st.events == 0 {
+			st.ttfe = time.Since(start)
+		}
+		st.events++
+		if onEvent != nil {
+			var e event
+			if json.Unmarshal(line, &e) == nil {
+				onEvent(e)
+			}
+		}
+	}
+	st.err = sc.Err()
+	return st
+}
+
 func await(addr, id string, poll, wait time.Duration) (jobStatus, error) {
 	deadline := time.Now().Add(wait)
 	for {
@@ -112,6 +173,8 @@ func main() {
 	poll := flag.Duration("poll", 100*time.Millisecond, "status poll interval")
 	wait := flag.Duration("wait", 5*time.Minute, "per-job completion deadline")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable run summary")
+	watch := flag.Bool("watch", false, "print the first job's live event stream")
+	watchers := flag.Int("watchers", 0, "attach N concurrent event streams (round-robin over jobs) and report time-to-first-event")
 	flag.Parse()
 
 	spec := jobSpec{Bench: *benchName, Mode: *mode, TimeoutMS: *timeoutMS}
@@ -135,6 +198,35 @@ func main() {
 		}
 	}
 
+	// Watchers attach while the jobs are still queued or running, so the
+	// measured time-to-first-event is the ring replay latency a live
+	// dashboard would see, not a post-hoc read.
+	var watchWG sync.WaitGroup
+	watched := make([]watchStats, *watchers)
+	for i := 0; i < *watchers; i++ {
+		watchWG.Add(1)
+		go func(i int) {
+			defer watchWG.Done()
+			watched[i] = watchJob(*addr, ids[i%len(ids)], nil)
+		}(i)
+	}
+	if *watch {
+		watchWG.Add(1)
+		go func() {
+			defer watchWG.Done()
+			st := watchJob(*addr, ids[0], func(e event) {
+				fmt.Printf("  event %3d %-16s %-40s %s", e.Seq, e.Type, e.Name, e.Detail)
+				if e.DurMS > 0 {
+					fmt.Printf(" (%.1fms)", e.DurMS)
+				}
+				fmt.Println()
+			})
+			if st.err != nil {
+				fmt.Fprintf(os.Stderr, "watch %s: %v\n", ids[0], st.err)
+			}
+		}()
+	}
+
 	// Jobs run concurrently server-side; polling them in order just
 	// collects the results.
 	states := make([]jobStatus, *n)
@@ -147,6 +239,7 @@ func main() {
 		states[i] = st
 	}
 	wall := time.Since(start)
+	watchWG.Wait() // streams end at each job's terminal event
 
 	done := 0
 	var waitSum float64
@@ -155,6 +248,26 @@ func main() {
 			done++
 		}
 		waitSum += st.QueueWaitMS
+	}
+
+	// Fold the watcher fleet's outcomes into TTFE stats.
+	var ttfes []time.Duration
+	eventsStreamed := 0
+	for i, ws := range watched {
+		if ws.err != nil {
+			fmt.Fprintf(os.Stderr, "watcher %d: %v\n", i, ws.err)
+			os.Exit(1)
+		}
+		ttfes = append(ttfes, ws.ttfe)
+		eventsStreamed += ws.events
+	}
+	sort.Slice(ttfes, func(i, j int) bool { return ttfes[i] < ttfes[j] })
+	ttfeMS := func(q float64) float64 {
+		if len(ttfes) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(ttfes)-1))
+		return float64(ttfes[i]) / float64(time.Millisecond)
 	}
 
 	if *jsonOut {
@@ -170,6 +283,17 @@ func main() {
 			"runcache_hits":      m.Service.RunCacheHits,
 			"runcache_misses":    m.Service.RunCacheMisses,
 			"server_wait_ms_avg": m.Service.QueueWaitMSAvg,
+		}
+		if *watchers > 0 {
+			var sum time.Duration
+			for _, d := range ttfes {
+				sum += d
+			}
+			out["watchers"] = *watchers
+			out["events_streamed"] = eventsStreamed
+			out["ttfe_ms_avg"] = float64(sum) / float64(len(ttfes)) / float64(time.Millisecond)
+			out["ttfe_ms_p95"] = ttfeMS(0.95)
+			out["ttfe_ms_max"] = ttfeMS(1)
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -192,6 +316,10 @@ func main() {
 					fmt.Printf("  %-28s %-6s (infeasible)\n", d.Label, d.Target)
 				}
 			}
+		}
+		if *watchers > 0 {
+			fmt.Printf("%d watcher(s) streamed %d events; time-to-first-event p95 %.1fms max %.1fms\n",
+				*watchers, eventsStreamed, ttfeMS(0.95), ttfeMS(1))
 		}
 	}
 	if done != *n {

@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
+	"psaflow/internal/events"
 	"psaflow/internal/faults"
 	"psaflow/internal/platform"
 	"psaflow/internal/telemetry"
@@ -177,6 +179,7 @@ func (c *Context) FailPoint(kind faults.Kind, op string) error {
 	if err != nil {
 		c.Count(telemetry.CounterFaultsInjected, 1)
 		c.Count(telemetry.FaultCounter(string(kind)), 1)
+		c.Emit(events.TypeFaultInjected, op, err.Error())
 		c.logf("  fault injected: %v", err)
 	}
 	return err
@@ -202,6 +205,14 @@ func (c *Context) Interrupted() error {
 // Tasks use this to report DSE iterations and other per-run quantities.
 func (c *Context) Count(name string, delta int64) {
 	c.Telemetry.Add(name, delta)
+}
+
+// Emit publishes one typed live event (see internal/events) through the
+// recorder's event sink — branch decisions, DSE progress, faults, and
+// retries reach streaming clients this way. No-op without a recorder or
+// an attached sink, so batch runs pay only a nil check.
+func (c *Context) Emit(typ, name, detail string) {
+	c.Telemetry.Emit(typ, name, detail)
 }
 
 func (c *Context) logf(format string, args ...any) {
@@ -444,6 +455,7 @@ func runTask(ctx *Context, t Task, d *Design, span *telemetry.Span) error {
 		delay := pol.Delay(t.Name(), attempt)
 		ctx.Count(telemetry.CounterRetryAttempts, 1)
 		ctx.Count(telemetry.CounterRetryBackoffMillis, delay.Milliseconds())
+		ctx.Emit(events.TypeRetry, t.Name(), fmt.Sprintf("attempt %d failed (%v); retrying after %s", attempt, err, delay))
 		span.Note(fmt.Sprintf("retry %d after %v (backoff %s)", attempt, err, delay))
 		ctx.logf("  retry %-31s attempt %d after %s (%v)", t.Name(), attempt+1, delay, err)
 		if faults.Sleep(ctx.Ctx, delay) != nil {
@@ -474,6 +486,18 @@ func runTaskAttempt(ctx *Context, t Task, d *Design) error {
 			&faults.Fault{Kind: faults.Timeout, Op: t.Name(), N: 1, Transient: true})
 	}
 	return err
+}
+
+// pathNames renders the selected path names for the branch_decision event
+// ("" when nothing was selected).
+func pathNames(paths []Path, idxs []int) string {
+	var names []string
+	for _, i := range idxs {
+		if i >= 0 && i < len(paths) {
+			names = append(names, fmt.Sprintf("%q", paths[i].Name))
+		}
+	}
+	return strings.Join(names, ", ")
 }
 
 // runBranch executes one branch point on one design, including the budget
@@ -509,6 +533,10 @@ func runBranch(ctx *Context, b Branch, d *Design, flowName string, parent *telem
 		idxs, err := b.Select.Select(ctx, d, b.Paths, excluded)
 		if err != nil {
 			return nil, &FlowError{Flow: flowName, Task: "branch:" + b.PointName, Err: err}
+		}
+		if names := pathNames(b.Paths, idxs); names != "" {
+			ctx.Emit(events.TypeBranchDecision, b.PointName,
+				fmt.Sprintf("strategy %s selected %s", b.Select.Name(), names))
 		}
 		if len(idxs) == 0 {
 			// No viable path: the flow terminates without specializing
@@ -578,6 +606,7 @@ func runBranch(ctx *Context, b Branch, d *Design, flowName string, parent *telem
 				fork.Infeasible = fmt.Sprintf("path %q failed: %v", p.Name, err)
 				fork.Tracef("branch", b.PointName, "degraded: %v", err)
 				ctx.Count(telemetry.CounterFaultDegradations, 1)
+				ctx.Emit(events.TypeDegraded, b.PointName+"/"+p.Name, err.Error())
 				branchSpan.Note(fmt.Sprintf("path %q degraded: %v", p.Name, err))
 				ctx.logf("branch %s: path %q degraded (%v)", b.PointName, p.Name, err)
 				degraded = append(degraded, fork)

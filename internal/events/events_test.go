@@ -1,0 +1,293 @@
+package events
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fixedClock() func() time.Time {
+	base := time.Date(2024, 6, 1, 12, 0, 0, 0, time.UTC)
+	n := 0
+	return func() time.Time {
+		n++
+		return base.Add(time.Duration(n) * time.Millisecond)
+	}
+}
+
+func publishN(t *testing.T, b *Broker, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if !b.Publish(Event{Type: TypeNote, Name: fmt.Sprintf("e%d", i)}) {
+			t.Fatalf("publish %d rejected", i)
+		}
+	}
+}
+
+func drain(t *testing.T, s *Sub) ([]Event, bool) {
+	t.Helper()
+	var all []Event
+	for {
+		frames, done := s.Poll(3) // small batch to exercise repeated polls
+		for _, f := range frames {
+			all = append(all, f.Event)
+		}
+		if len(frames) == 0 {
+			return all, done
+		}
+		if done {
+			return all, true
+		}
+	}
+}
+
+func TestPublishStampsDenseSeqAndJob(t *testing.T) {
+	b := NewBroker("job-1", 8, 4)
+	b.now = fixedClock()
+	publishN(t, b, 3)
+	sub, ok := b.Subscribe(0)
+	if !ok {
+		t.Fatal("subscribe failed")
+	}
+	evs, done := drain(t, sub)
+	if done {
+		t.Fatal("stream reported done while broker open")
+	}
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	for i, e := range evs {
+		if e.Seq != uint64(i) {
+			t.Errorf("event %d: seq=%d", i, e.Seq)
+		}
+		if e.Job != "job-1" {
+			t.Errorf("event %d: job=%q", i, e.Job)
+		}
+		if e.TS == "" {
+			t.Errorf("event %d: no timestamp", i)
+		}
+	}
+}
+
+// A subscriber that arrives after events were published must see exactly
+// what a live subscriber saw: same events, same seqs, same marshalled
+// bytes (the stream endpoint's replay guarantee rides on this).
+func TestLateSubscriberReplayMatchesLive(t *testing.T) {
+	b := NewBroker("job-replay", 64, 4)
+	b.now = fixedClock()
+	live, _ := b.Subscribe(0)
+	var liveEvs []Event
+	var liveLines [][]byte
+	for i := 0; i < 10; i++ {
+		publishN(t, b, 1)
+		frames, _ := live.Poll(16)
+		for _, f := range frames {
+			liveEvs = append(liveEvs, f.Event)
+			liveLines = append(liveLines, f.Line)
+		}
+	}
+	b.Close()
+	if _, done := live.Poll(16); !done {
+		t.Fatal("live subscriber did not see close")
+	}
+
+	late, ok := b.Subscribe(0)
+	if !ok {
+		t.Fatal("subscribe after close failed")
+	}
+	lateEvs, done := drain(t, late)
+	if !done {
+		t.Fatal("late subscriber did not reach end of stream")
+	}
+	if !reflect.DeepEqual(liveEvs, lateEvs) {
+		t.Fatalf("replay diverged from live view:\nlive: %+v\nlate: %+v", liveEvs, lateEvs)
+	}
+	// The shared pre-marshalled lines make the wire-bytes guarantee exact.
+	lateSub, _ := b.Subscribe(0)
+	lateFrames, _ := lateSub.Poll(64)
+	for i, f := range lateFrames {
+		if !bytes.Equal(f.Line, liveLines[i]) {
+			t.Fatalf("frame %d wire bytes diverged: live %s late %s", i, liveLines[i], f.Line)
+		}
+		var decoded Event
+		if err := json.Unmarshal(f.Line, &decoded); err != nil || decoded != f.Event {
+			t.Fatalf("frame %d line does not decode to its event: %s (err %v)", i, f.Line, err)
+		}
+	}
+}
+
+func TestResumeFromSeq(t *testing.T) {
+	b := NewBroker("job-resume", 64, 4)
+	publishN(t, b, 10)
+	sub, _ := b.Subscribe(7)
+	evs, _ := drain(t, sub)
+	if len(evs) != 3 || evs[0].Seq != 7 {
+		t.Fatalf("resume from 7: got %d events starting at seq %d", len(evs), evs[0].Seq)
+	}
+	if sub.Dropped() != 0 {
+		t.Fatalf("resume inside ring counted %d drops", sub.Dropped())
+	}
+
+	// Resume past the tail clamps to the live edge rather than hanging.
+	b.Close()
+	past, _ := b.Subscribe(99)
+	frames, done := past.Poll(16)
+	if len(frames) != 0 || !done {
+		t.Fatalf("resume past tail: got %d events, done=%t", len(frames), done)
+	}
+}
+
+// A subscriber slower than the ring loses the oldest events and is told
+// exactly how many; delivery resumes in order at the oldest retained seq.
+func TestSlowSubscriberDropAccounting(t *testing.T) {
+	b := NewBroker("job-slow", 4, 4)
+	sub, _ := b.Subscribe(0)
+	publishN(t, b, 10) // ring holds seqs 6..9; sub missed 0..5
+	evs, _ := drain(t, sub)
+	if sub.Dropped() != 6 {
+		t.Fatalf("dropped=%d, want 6", sub.Dropped())
+	}
+	if len(evs) != 4 || evs[0].Seq != 6 || evs[3].Seq != 9 {
+		t.Fatalf("delivered wrong window: %+v", evs)
+	}
+	// Closing folds the sub's drops into the broker total.
+	if got := sub.Close(); got != 6 {
+		t.Fatalf("Close returned %d, want 6", got)
+	}
+	_, dropped, subs := b.Stats()
+	if dropped != 6 || subs != 0 {
+		t.Fatalf("Stats after close: dropped=%d subs=%d", dropped, subs)
+	}
+}
+
+func TestMaxSubscribers(t *testing.T) {
+	b := NewBroker("job-cap", 8, 2)
+	s1, ok1 := b.Subscribe(0)
+	_, ok2 := b.Subscribe(0)
+	if !ok1 || !ok2 {
+		t.Fatal("first two subscribes should succeed")
+	}
+	if _, ok := b.Subscribe(0); ok {
+		t.Fatal("third subscribe should be rejected at cap 2")
+	}
+	s1.Close()
+	if _, ok := b.Subscribe(0); !ok {
+		t.Fatal("subscribe after a slot freed should succeed")
+	}
+}
+
+func TestPublishAfterCloseRejected(t *testing.T) {
+	b := NewBroker("job-closed", 8, 4)
+	publishN(t, b, 2)
+	b.Close()
+	b.Close() // idempotent
+	if b.Publish(Event{Type: TypeNote}) {
+		t.Fatal("publish after close accepted")
+	}
+	published, _, _ := b.Stats()
+	if published != 2 {
+		t.Fatalf("published=%d, want 2", published)
+	}
+	// The ring survives close: a late subscriber still replays history.
+	sub, _ := b.Subscribe(0)
+	evs, done := drain(t, sub)
+	if len(evs) != 2 || !done {
+		t.Fatalf("post-close replay: %d events, done=%t", len(evs), done)
+	}
+}
+
+func TestSubCloseIdempotent(t *testing.T) {
+	b := NewBroker("job-subclose", 2, 4)
+	sub, _ := b.Subscribe(0)
+	publishN(t, b, 5) // 3 drops for an unread sub at cursor 0
+	sub.Poll(16)
+	if sub.Close() != 3 || sub.Close() != 3 {
+		t.Fatal("Close not idempotent")
+	}
+	_, dropped, _ := b.Stats()
+	if dropped != 3 {
+		t.Fatalf("double Close double-counted drops: %d", dropped)
+	}
+}
+
+// Concurrent publishers and pollers, meant for -race: every subscriber
+// must account for all events as delivered + dropped, in order.
+func TestConcurrentPublishSubscribe(t *testing.T) {
+	const (
+		publishers = 4
+		perPub     = 200
+		watchers   = 8
+	)
+	b := NewBroker("job-race", 32, watchers+1)
+
+	var wg sync.WaitGroup
+	results := make([]struct {
+		got     uint64
+		dropped uint64
+		ordered bool
+	}, watchers)
+	for w := 0; w < watchers; w++ {
+		sub, ok := b.Subscribe(0)
+		if !ok {
+			t.Fatalf("watcher %d: subscribe failed", w)
+		}
+		wg.Add(1)
+		go func(w int, sub *Sub) {
+			defer wg.Done()
+			ordered := true
+			var got uint64
+			last := -1
+			for {
+				evs, done := sub.Poll(16)
+				for _, e := range evs {
+					if int(e.Seq) <= last {
+						ordered = false
+					}
+					last = int(e.Seq)
+					got++
+				}
+				if done {
+					break
+				}
+				if len(evs) == 0 {
+					<-sub.Ready()
+				}
+			}
+			results[w].got = got
+			results[w].dropped = sub.Close()
+			results[w].ordered = ordered
+		}(w, sub)
+	}
+
+	var pubWG sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		pubWG.Add(1)
+		go func(p int) {
+			defer pubWG.Done()
+			for i := 0; i < perPub; i++ {
+				b.Publish(Event{Type: TypeDSEProgress, Name: fmt.Sprintf("p%d-%d", p, i)})
+			}
+		}(p)
+	}
+	pubWG.Wait()
+	b.Close()
+	wg.Wait()
+
+	const total = publishers * perPub
+	published, _, _ := b.Stats()
+	if published != total {
+		t.Fatalf("published=%d, want %d", published, total)
+	}
+	for w, r := range results {
+		if !r.ordered {
+			t.Errorf("watcher %d: out-of-order delivery", w)
+		}
+		if r.got+r.dropped != total {
+			t.Errorf("watcher %d: got %d + dropped %d != %d", w, r.got, r.dropped, total)
+		}
+	}
+}

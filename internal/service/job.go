@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"psaflow/internal/bench"
+	"psaflow/internal/events"
 	"psaflow/internal/experiments"
 	"psaflow/internal/faults"
 	"psaflow/internal/minic"
@@ -167,6 +168,10 @@ type Job struct {
 	bench     *bench.Benchmark
 	prog      *minic.Program // custom source, pre-parsed; nil = bundled
 	submitted time.Time
+	// events is the job's live stream broker, created by Server.register
+	// before the job is queued and closed when the job reaches a terminal
+	// state (late subscribers still replay the retained ring).
+	events *events.Broker
 
 	mu       sync.Mutex
 	state    JobState

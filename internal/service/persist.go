@@ -60,20 +60,44 @@ func (s *Server) persistIO(op string, fn func() error) error {
 }
 
 func writeFileAtomic(path string, data []byte) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
 	if err != nil {
 		return err
 	}
-	if _, err := tmp.Write(data); err != nil {
+	cleanup := func(err error) error {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	// Flush file contents before the rename: rename-before-fsync can leave
+	// an empty or truncated file under the final name after a crash.
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	// CreateTemp's 0600 would make results unreadable to other readers of
+	// the data dir (e.g. operators inspecting jobs/ directly).
+	if err := tmp.Chmod(0o644); err != nil {
+		return cleanup(err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	// Durably record the rename itself in the directory.
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // saveResult persists one finished job's result.

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"psaflow/internal/core"
+	"psaflow/internal/events"
 	"psaflow/internal/experiments"
 	"psaflow/internal/faults"
 	"psaflow/internal/telemetry"
@@ -39,9 +40,29 @@ type Config struct {
 	// Retry is the default retry policy for job flows and persistence
 	// writes; zero fields take faults.DefaultRetry.
 	Retry faults.RetryPolicy
+	// EventRingSize bounds each job's in-memory event ring (the replay
+	// window of GET /v1/jobs/{id}/events); watchers further behind lose
+	// events with drop accounting. Default 1024.
+	EventRingSize int
+	// MaxWatchersPerJob caps concurrent event-stream subscribers on one
+	// job; subscriptions beyond it get 429. Default 1024.
+	MaxWatchersPerJob int
+	// EventHeartbeat is the keep-alive cadence on idle event streams (a
+	// blank NDJSON line / SSE comment, so proxies don't kill the
+	// connection). Default 10s.
+	EventHeartbeat time.Duration
+	// RetainJobs caps terminal jobs kept in the in-memory registry; the
+	// oldest are evicted (with their event rings) beyond it. Status and
+	// result lookups for evicted jobs fall back to the persisted result
+	// when DataDir is set. Default 1024; negative disables eviction.
+	RetainJobs int
 	// Logf receives daemon progress lines; nil silences them.
 	Logf func(format string, args ...any)
 }
+
+// defaultRetainJobs is the terminal-job registry cap when Config.RetainJobs
+// is zero.
+const defaultRetainJobs = 1024
 
 // Server is the psaflowd core: job registry, bounded queue, worker pool,
 // and the HTTP API. One process-wide RunCache and telemetry recorder are
@@ -61,8 +82,9 @@ type Server struct {
 	ioFaults *faults.Injector
 	retry    faults.RetryPolicy // resolved Config.Retry (WithDefaults applied)
 
-	mu       sync.Mutex // guards jobs, queue close, leftovers
+	mu       sync.Mutex // guards jobs, retired, queue close, leftovers
 	jobs     map[string]*Job
+	retired  []string // terminal job IDs, oldest first, for registry eviction
 	queue    chan *Job
 	draining atomic.Bool
 	drained  bool
@@ -121,6 +143,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -177,6 +200,11 @@ func (s *Server) Drain() (int, error) {
 	s.leftover = nil
 	s.mu.Unlock()
 	sort.Slice(leftover, func(i, j int) bool { return leftover[i].submitted.Before(leftover[j].submitted) })
+	// Snapshotted jobs will resume in another process; end their event
+	// streams here so attached watchers see the stream close, not a hang.
+	for _, job := range leftover {
+		job.events.Close()
+	}
 	if err := s.saveSnapshot(leftover); err != nil {
 		return 0, err
 	}
@@ -221,10 +249,14 @@ func (s *Server) runJob(job *Job) {
 		return
 	}
 	st := job.Status()
+	s.rec.Add(telemetry.CounterJobsStarted, 1)
 	s.rec.Add(telemetry.CounterQueueWaitMillis, int64(st.QueueWaitMS))
+	s.publish(job, events.Event{Type: events.TypeStarted, Name: job.Spec.Bench,
+		Detail: fmt.Sprintf("waited %.0fms in queue", st.QueueWaitMS)})
 	s.logf("job %s: start bench=%s mode=%s (waited %.0fms)", job.ID, job.Spec.Bench, job.Spec.Mode, st.QueueWaitMS)
 
 	rec := telemetry.New()
+	rec.SetEventSink(&jobSink{s: s, job: job})
 	results, err := s.runFlowSafe(jctx, job, rec)
 	rep := rec.Snapshot()
 	s.rec.MergeCounters(rep.Counters)
@@ -274,15 +306,19 @@ func (s *Server) runFlowSafe(ctx context.Context, job *Job, rec *telemetry.Recor
 	return s.runFlow(ctx, job, rec)
 }
 
-// finalizeJob records the terminal counter, persists the result, and logs.
+// finalizeJob records the terminal counter, closes the event stream,
+// persists the result, and enrolls the job for registry eviction.
 func (s *Server) finalizeJob(job *Job, counter string) {
 	s.rec.Add(counter, 1)
+	st := job.Status()
+	s.publish(job, events.Event{Type: string(st.State), Detail: st.Error, DurMS: st.RunMS})
+	job.events.Close()
 	if res := job.Result(); res != nil {
 		if err := s.saveResult(job.ID, res); err != nil {
 			s.logf("job %s: persist result: %v", job.ID, err)
 		}
 	}
-	st := job.Status()
+	s.retireJob(job)
 	s.logf("job %s: %s (run %.0fms) %s", job.ID, st.State, st.RunMS, st.Error)
 }
 
@@ -302,14 +338,59 @@ func (s *Server) register(job *Job) (ok bool, draining bool) {
 	if s.draining.Load() {
 		return false, true
 	}
+	// The broker must exist — with the queued event already in its ring —
+	// before the queue send: a worker can dequeue the job and publish
+	// "started" the instant the send completes. (If the send then fails,
+	// the unregistered broker is simply garbage.)
+	job.events = events.NewBroker(job.ID, s.cfg.EventRingSize, s.cfg.MaxWatchersPerJob)
+	job.events.Publish(events.Event{Type: events.TypeQueued, Name: job.Spec.Bench, Detail: job.Spec.Mode})
 	select {
 	case s.queue <- job:
 		s.jobs[job.ID] = job
 		s.rec.Add(telemetry.CounterQueueDepth, 1)
 		s.rec.Add(telemetry.CounterJobsSubmitted, 1)
+		s.rec.Add(telemetry.CounterEventsPublished, 1)
 		return true, false
 	default:
 		return false, false
+	}
+}
+
+// publish appends one event to the job's stream and counts it.
+func (s *Server) publish(job *Job, e events.Event) {
+	if job.events.Publish(e) {
+		s.rec.Add(telemetry.CounterEventsPublished, 1)
+	}
+}
+
+// retireJob enrolls a terminal job in the eviction FIFO and evicts the
+// oldest terminal jobs beyond the retention cap — the registry (and the
+// event rings it pins) stays bounded on a long-lived daemon. Evicted
+// jobs' status/result lookups fall back to the persisted result.
+func (s *Server) retireJob(job *Job) {
+	if s.cfg.RetainJobs < 0 {
+		return
+	}
+	retain := s.cfg.RetainJobs
+	if retain == 0 {
+		retain = defaultRetainJobs
+	}
+	var evicted []string
+	s.mu.Lock()
+	s.retired = append(s.retired, job.ID)
+	for len(s.retired) > retain {
+		id := s.retired[0]
+		s.retired = s.retired[1:]
+		if j := s.jobs[id]; j != nil {
+			j.events.Close() // idempotent; tears the ring down with the entry
+			delete(s.jobs, id)
+			evicted = append(evicted, id)
+		}
+	}
+	s.mu.Unlock()
+	if len(evicted) > 0 {
+		s.rec.Add(telemetry.CounterJobsEvicted, int64(len(evicted)))
+		s.logf("evicted %d terminal job(s) from the registry (retain=%d)", len(evicted), retain)
 	}
 }
 
@@ -336,7 +417,11 @@ func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
 	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
-	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+	dec := json.NewDecoder(r.Body)
+	// A typoed field (time_out_ms) silently running with defaults is worse
+	// than a 400; the decoder's error names the offending field.
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
 		writeErr(w, http.StatusBadRequest, "invalid request body: %v", err)
 		return
 	}
@@ -411,6 +496,9 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		// The worker will skip it when dequeued; the terminal state and
 		// counter are recorded here so the cancel is immediately visible.
 		s.rec.Add(telemetry.CounterJobsCancelled, 1)
+		s.publish(job, events.Event{Type: events.TypeCancelled, Detail: "cancelled before start"})
+		job.events.Close()
+		s.retireJob(job)
 		s.logf("job %s: cancelled while queued", id)
 		writeJSON(w, http.StatusOK, job.Status())
 		return
@@ -453,10 +541,18 @@ type serviceMetrics struct {
 	QueueDepth    int64          `json:"queue_depth"`
 	QueueCap      int            `json:"queue_cap"`
 	JobsByState   map[string]int `json:"jobs_by_state"`
+	JobsStarted   int64          `json:"jobs_started"`
+	JobsEvicted   int64          `json:"jobs_evicted"`
 	RunCacheHits  int64          `json:"runcache_hits"`
 	RunCacheMiss  int64          `json:"runcache_misses"`
 	RunCacheSize  int            `json:"runcache_entries"`
 	QueueWaitMSav float64        `json:"queue_wait_ms_avg"`
+	// Live event-stream counters: events published across all job rings,
+	// events lost to ring eviction past slow watchers, and the current
+	// number of attached watchers (gauge).
+	EventsPublished int64 `json:"events_published"`
+	EventsDropped   int64 `json:"events_dropped"`
+	EventWatchers   int64 `json:"event_watchers"`
 	// Headline resilience counters, folded in from every finished job's
 	// recorder plus the daemon's own persistence retries. The per-kind
 	// split lives in the telemetry report (fault.injected.<kind>).
@@ -475,8 +571,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	hits, misses := s.runs.Stats()
 	rep := s.rec.Snapshot()
-	started := rep.Counters[telemetry.CounterJobsCompleted] +
-		rep.Counters[telemetry.CounterJobsFailed]
+	// Average over the jobs whose wait was actually recorded (every job a
+	// worker started), not the terminal-state counts: a running job that
+	// is later cancelled contributed to the numerator the moment it
+	// started, and dividing by completed+failed would skew the average.
+	started := rep.Counters[telemetry.CounterJobsStarted]
 	waitAvg := 0.0
 	if started > 0 {
 		waitAvg = float64(rep.Counters[telemetry.CounterQueueWaitMillis]) / float64(started)
@@ -487,10 +586,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			QueueDepth:    rep.Counters[telemetry.CounterQueueDepth],
 			QueueCap:      s.cfg.QueueSize,
 			JobsByState:   byState,
+			JobsStarted:   started,
+			JobsEvicted:   rep.Counters[telemetry.CounterJobsEvicted],
 			RunCacheHits:  hits,
 			RunCacheMiss:  misses,
 			RunCacheSize:  s.runs.Len(),
 			QueueWaitMSav: waitAvg,
+
+			EventsPublished: rep.Counters[telemetry.CounterEventsPublished],
+			EventsDropped:   rep.Counters[telemetry.CounterEventsDropped],
+			EventWatchers:   rep.Counters[telemetry.CounterEventWatchers],
 
 			FaultsInjected: rep.Counters[telemetry.CounterFaultsInjected],
 			RetryAttempts:  rep.Counters[telemetry.CounterRetryAttempts],

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"psaflow/internal/core"
+	"psaflow/internal/events"
 	"psaflow/internal/perfmodel"
 	"psaflow/internal/platform"
 	"psaflow/internal/query"
@@ -58,6 +59,8 @@ var NumThreadsDSE = core.TaskFunc{
 		feat := d.Report.Features()
 		ctx.Count(telemetry.DSECounter("numthreads"), int64(ctx.CPU.Cores))
 		threads, t := bestThreadsCtx(ctx, ctx.CPU, feat)
+		ctx.Emit(events.TypeDSEProgress, "numthreads",
+			fmt.Sprintf("swept %d thread counts on %s: best=%d (%.3gs)", ctx.CPU.Cores, ctx.CPU.Name, threads, t))
 		d.NumThreads = threads
 		d.Device = ctx.CPU.Name
 		d.Est = perfmodel.Breakdown{KernelTime: t, Total: t, Note: fmt.Sprintf("%d threads", threads)}

@@ -5,6 +5,7 @@ import (
 
 	"psaflow/internal/analysis"
 	"psaflow/internal/core"
+	"psaflow/internal/events"
 	"psaflow/internal/faults"
 	"psaflow/internal/minic"
 	"psaflow/internal/perfmodel"
@@ -140,9 +141,13 @@ func BlocksizeDSE(dev platform.GPUSpec) core.Task {
 			ctx.Count(telemetry.DSECounter("blocksize"), int64(len(perfmodel.BlocksizeCandidates)))
 			bs, bd := bestBlocksizeCtx(ctx, dev, feat, d.Pinned)
 			if bs < 0 {
+				ctx.Emit(events.TypeDSEProgress, "blocksize",
+					fmt.Sprintf("%s: no feasible blocksize among %d candidates", dev.Name, len(perfmodel.BlocksizeCandidates)))
 				d.Infeasible = "no feasible blocksize"
 				return nil
 			}
+			ctx.Emit(events.TypeDSEProgress, "blocksize",
+				fmt.Sprintf("%s: swept %d candidates, best=%d (%.3gs)", dev.Name, len(perfmodel.BlocksizeCandidates), bs, bd.Total))
 			d.Blocksize = bs
 			d.Device = dev.Name
 			d.Est = bd

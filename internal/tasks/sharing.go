@@ -6,6 +6,7 @@ import (
 
 	"psaflow/internal/analysis"
 	"psaflow/internal/core"
+	"psaflow/internal/events"
 	"psaflow/internal/hls"
 	"psaflow/internal/minic"
 	"psaflow/internal/perfmodel"
@@ -113,6 +114,8 @@ func shareLargestFixedLoops(ctx *core.Context, prog *minic.Program, kfn *minic.F
 		extra *= float64(c.trips)
 		ctx.Count(telemetry.DSECounter("sharing"), 1)
 		rep := hls.EstimateCounted(ctx.Telemetry, prog, kfn, dev, 0)
+		ctx.Emit(events.TypeDSEProgress, "sharing",
+			fmt.Sprintf("%s: %d loop(s) time-multiplexed, fits=%t", dev.Name, shared, rep.Fits))
 		if rep.Fits {
 			break
 		}

@@ -71,14 +71,29 @@ const (
 // counters are cumulative; CounterQueueDepth is maintained as a gauge
 // (+1 on enqueue, -1 on dequeue), so its current value is the live depth.
 const (
-	CounterJobsSubmitted   = "service.jobs_submitted"
+	CounterJobsSubmitted = "service.jobs_submitted"
+	// CounterJobsStarted counts jobs a worker actually began executing —
+	// the set whose queue wait was recorded, and therefore the denominator
+	// of queue_wait_ms_avg (terminal-state counts undercount it whenever a
+	// running job is cancelled).
+	CounterJobsStarted     = "service.jobs_started"
 	CounterJobsCompleted   = "service.jobs_completed"
 	CounterJobsFailed      = "service.jobs_failed"
 	CounterJobsCancelled   = "service.jobs_cancelled"
 	CounterJobsRejected    = "service.jobs_rejected" // queue-full 429s
 	CounterJobsRestored    = "service.jobs_restored" // re-enqueued from a drain snapshot
+	CounterJobsEvicted     = "service.jobs_evicted"  // terminal jobs evicted from the registry
 	CounterQueueDepth      = "service.queue_depth"
 	CounterQueueWaitMillis = "service.queue_wait_ms" // cumulative submit→start wait
+)
+
+// Event-stream counters fed by the psaflowd job-event broker and the
+// GET /v1/jobs/{id}/events handler. CounterEventWatchers is a gauge
+// (+1 on subscribe, -1 on stream end); the others are cumulative.
+const (
+	CounterEventsPublished = "service.events.published"
+	CounterEventsDropped   = "service.events.dropped" // ring evictions past slow watchers
+	CounterEventWatchers   = "service.events.watchers"
 )
 
 // Fault-injection and retry counters fed by the resilience layer (see
@@ -133,6 +148,20 @@ type Span struct {
 	ended    bool
 }
 
+// EventSink receives live execution signals from a Recorder as they
+// happen: span opens/closes, span notes, and typed events emitted by the
+// engine (branch decisions, DSE progress, faults, retries). The serving
+// layer implements it over a per-job event broker so clients can stream a
+// flow's progress; a recorder without a sink pays one nil check per
+// signal. Implementations must be safe for concurrent use — parallel
+// branch paths signal concurrently.
+type EventSink interface {
+	SpanStart(kind, name string)
+	SpanEnd(kind, name, detail string, dur time.Duration)
+	SpanNote(kind, name, note string)
+	Event(typ, name, detail string)
+}
+
 // Recorder accumulates spans and counters for one flow run (or a whole
 // experiment sweep). The zero value is not usable; call New. A nil
 // receiver disables recording at zero cost.
@@ -140,6 +169,7 @@ type Recorder struct {
 	now func() time.Time // injectable clock for tests
 
 	mu       sync.Mutex
+	sink     EventSink
 	roots    []*Span
 	counters map[string]int64
 }
@@ -147,6 +177,39 @@ type Recorder struct {
 // New returns an empty recorder.
 func New() *Recorder {
 	return &Recorder{now: time.Now, counters: make(map[string]int64)}
+}
+
+// SetEventSink attaches a live event sink; nil detaches. Call before the
+// recorder is handed to a flow run (the serving layer attaches the job's
+// stream broker between creating the recorder and starting the flow).
+// No-op on a nil recorder.
+func (r *Recorder) SetEventSink(s EventSink) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.sink = s
+	r.mu.Unlock()
+}
+
+// eventSink returns the attached sink (nil when none or nil recorder).
+func (r *Recorder) eventSink() EventSink {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sink
+}
+
+// Emit publishes one typed event to the attached sink — the engine's
+// channel for signals that are not spans (branch decisions, DSE sweep
+// progress, injected faults, retries). No-op without a recorder or sink,
+// so event emission costs nothing when nobody is streaming.
+func (r *Recorder) Emit(typ, name, detail string) {
+	if s := r.eventSink(); s != nil {
+		s.Event(typ, name, detail)
+	}
 }
 
 // StartSpan opens a span under parent (nil parent = new root span) and
@@ -161,11 +224,14 @@ func (r *Recorder) StartSpan(parent *Span, kind, name string) *Span {
 		parent.mu.Lock()
 		parent.children = append(parent.children, s)
 		parent.mu.Unlock()
-		return s
+	} else {
+		r.mu.Lock()
+		r.roots = append(r.roots, s)
+		r.mu.Unlock()
 	}
-	r.mu.Lock()
-	r.roots = append(r.roots, s)
-	r.mu.Unlock()
+	if sink := r.eventSink(); sink != nil {
+		sink.SpanStart(kind, name)
+	}
 	return s
 }
 
@@ -189,6 +255,9 @@ func (s *Span) Note(note string) {
 	s.mu.Lock()
 	s.notes = append(s.notes, note)
 	s.mu.Unlock()
+	if sink := s.rec.eventSink(); sink != nil {
+		sink.SpanNote(s.Kind, s.Name, note)
+	}
 }
 
 // End closes the span, fixing its duration. Ending twice keeps the first
@@ -198,12 +267,17 @@ func (s *Span) End() {
 		return
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.ended {
+		s.mu.Unlock()
 		return
 	}
 	s.ended = true
 	s.dur = s.rec.now().Sub(s.start)
+	dur := s.dur
+	s.mu.Unlock()
+	if sink := s.rec.eventSink(); sink != nil {
+		sink.SpanEnd(s.Kind, s.Name, s.Detail, dur)
+	}
 }
 
 // Duration returns the span's wall-clock time (elapsed-so-far if the span

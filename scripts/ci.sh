@@ -32,6 +32,12 @@ scripts/checkdocs.sh
 # Chaos smoke (low seed count): every seeded informed flow must finish
 # with a feasible design; the full sweep is scripts/chaos.sh.
 CHAOS_SEEDS=2 CHAOS_OUT="$(mktemp -u)" scripts/chaos.sh
+# Event-streaming focus under -race: the per-job ring broker and the
+# NDJSON/SSE handlers serve concurrent watchers off shared cursors.
+go test -race -run 'Event|Stream|Watch' ./internal/events/ ./internal/service/
 # Daemon smoke: boot psaflowd, run jobs through the HTTP API, SIGTERM,
 # require a graceful drain.
 scripts/smoke_service.sh
+# Streaming smoke under load: 4 jobs watched by 256 concurrent event
+# streams; fails if time-to-first-event p95 breaches 100ms.
+LOADTEST_OUT="$(mktemp -u)" scripts/loadtest.sh 4 256

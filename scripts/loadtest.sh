@@ -1,16 +1,22 @@
 #!/usr/bin/env bash
 # psaflowd load test: boots the daemon, warms the shared run cache with one
-# job, then drives N identical concurrent jobs through the HTTP API and
-# records throughput / queue wait / run-cache sharing as
+# job, then drives N identical concurrent jobs through the HTTP API — each
+# watched by a fleet of live event-stream subscribers — and records
+# throughput / queue wait / run-cache sharing / time-to-first-event as
 # BENCH_<date>_service.json (same trajectory-file convention as bench.sh).
 #
-# Usage: scripts/loadtest.sh [jobs]      (default 32)
+# Usage: scripts/loadtest.sh [jobs] [watchers]   (defaults 32, 256)
+# Env:   LOADTEST_OUT overrides the output path (CI points it at a tmpfile);
+#        LOADTEST_TTFE_MS overrides the time-to-first-event p95 budget
+#        (default 100ms — watcher attach competes with flow compute, so
+#        large job counts on small machines may need more headroom).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs="${1:-32}"
+watchers="${2:-256}"
 stamp="$(date +%Y-%m-%d)"
-out="BENCH_${stamp}_service.json"
+out="${LOADTEST_OUT:-BENCH_${stamp}_service.json}"
 
 tmp="$(mktemp -d)"
 pid=""
@@ -38,9 +44,10 @@ for _ in $(seq 1 25); do
 done
 [ -n "$ok" ] || { echo "loadtest: warm-up job never completed"; cat "$tmp/log"; exit 1; }
 
-# Measured run: N concurrent identical jobs off the warm shared cache.
-"$tmp/client" -addr "http://$addr" -bench adpredictor -n "$jobs" -json -wait 300s \
-    >"$tmp/summary.json"
+# Measured run: N concurrent identical jobs off the warm shared cache,
+# with the watcher fleet attached round-robin across the job streams.
+"$tmp/client" -addr "http://$addr" -bench adpredictor -n "$jobs" -watchers "$watchers" \
+    -json -wait 300s >"$tmp/summary.json"
 
 kill -TERM "$pid"
 wait "$pid"
@@ -49,5 +56,14 @@ pid=""
 awk -v date="$stamp" 'NR==1 { print "{"; printf "  \"date\": \"%s\",\n", date; next } { print }' \
     "$tmp/summary.json" >"$out"
 
-echo "wrote $out"
+# Gate: a watcher must see its first event promptly (ring replay means the
+# queued event is always available the moment the stream attaches).
+budget="${LOADTEST_TTFE_MS:-100}"
+p95="$(awk -F'[:,]' '/"ttfe_ms_p95"/ { gsub(/[[:space:]]/, "", $2); print $2 }' "$out")"
+awk -v p95="$p95" -v budget="$budget" 'BEGIN { exit !(p95+0 < budget+0) }' || {
+    echo "loadtest: time-to-first-event p95 ${p95}ms breaches the ${budget}ms budget"
+    exit 1
+}
+
+echo "wrote $out (ttfe p95 ${p95}ms across $watchers watchers)"
 cat "$out"
