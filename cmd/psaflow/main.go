@@ -39,6 +39,7 @@ func main() {
 	faultSpec := flag.String("faults", "", `inject deterministic faults: "seed=1,rate=0.1,kinds=hls,run" ("" or "off" disables)`)
 	taskTimeout := flag.Duration("task-timeout", 0, "bound each flow task attempt; timed-out attempts are retried (0 = unbounded)")
 	dseWorkers := flag.Int("dse-workers", 0, "evaluate DSE candidates on a worker pool of this size (0 or 1 = serial; results are identical)")
+	quickenThreshold := flag.Int("quicken-threshold", 0, "interpreter hot-counter trip for profile-guided opcode specialization (0 = default, negative disables; results are identical)")
 	verbose := flag.Bool("v", false, "log flow execution")
 	flag.Parse()
 
@@ -88,7 +89,7 @@ func main() {
 		runCtx, cancel = context.WithTimeout(runCtx, *timeout)
 		defer cancel()
 	}
-	env := experiments.JobEnv{Faults: inj, TaskTimeout: *taskTimeout, DSEWorkers: *dseWorkers}
+	env := experiments.JobEnv{Faults: inj, TaskTimeout: *taskTimeout, DSEWorkers: *dseWorkers, QuickenThreshold: *quickenThreshold}
 	results, err := experiments.RunBenchmarkEnv(runCtx, b, nil,
 		tasks.FlowOptions{Mode: m, Strategy: tasks.DefaultStrategy, ResourceSharing: *sharing},
 		env, logf, rec, core.NewRunCache())

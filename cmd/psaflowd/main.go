@@ -9,7 +9,8 @@
 //
 //	psaflowd [-addr :8080] [-workers 4] [-queue 64] [-data-dir DIR]
 //	         [-timeout 5m] [-faults seed=1,rate=0.1,kinds=hls,run]
-//	         [-event-ring 1024] [-event-watchers 1024] [-retain 1024] [-v]
+//	         [-event-ring 1024] [-event-watchers 1024] [-retain 1024]
+//	         [-batch=true] [-quicken-threshold 0] [-v]
 //
 // Endpoints:
 //
@@ -48,6 +49,8 @@ func main() {
 	eventRing := flag.Int("event-ring", 0, "per-job event ring size: the /events replay window (0 = default 1024)")
 	eventWatchers := flag.Int("event-watchers", 0, "max concurrent /events watchers per job, beyond it 429 (0 = default 1024)")
 	retainJobs := flag.Int("retain", 0, "terminal jobs kept in memory before eviction to disk-backed lookups (0 = default 1024, negative = never evict)")
+	batch := flag.Bool("batch", true, "batch queued jobs with identical program+spec behind one flow execution (followers receive copied results)")
+	quickenThreshold := flag.Int("quicken-threshold", 0, "interpreter hot-counter trip for profile-guided opcode specialization (0 = default, negative disables)")
 	verbose := flag.Bool("v", false, "log job lifecycle events")
 	flag.Parse()
 
@@ -72,6 +75,9 @@ func main() {
 		EventRingSize:     *eventRing,
 		MaxWatchersPerJob: *eventWatchers,
 		RetainJobs:        *retainJobs,
+
+		Batch:            *batch,
+		QuickenThreshold: *quickenThreshold,
 
 		Logf: logf,
 	})

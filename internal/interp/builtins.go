@@ -11,33 +11,39 @@ type builtin struct {
 	arity int
 	cost  float64
 	flops int64
+	// Scalar forms for the quickener (quicken.go): the underlying float
+	// function without the []Value wrapper, nil for the int intrinsics.
+	// rnd marks single-precision results (FloatVal rounding).
+	s1  func(float64) float64
+	s2  func(float64, float64) float64
+	rnd bool
 }
 
 func d1(f func(float64) float64, cost float64, flops int64) builtin {
 	return builtin{
 		fn:    func(a []Value) Value { return DoubleVal(f(a[0].AsFloat())) },
-		arity: 1, cost: cost, flops: flops,
+		arity: 1, cost: cost, flops: flops, s1: f,
 	}
 }
 
 func f1(f func(float64) float64, cost float64, flops int64) builtin {
 	return builtin{
 		fn:    func(a []Value) Value { return FloatVal(f(a[0].AsFloat())) },
-		arity: 1, cost: cost, flops: flops,
+		arity: 1, cost: cost, flops: flops, s1: f, rnd: true,
 	}
 }
 
 func d2(f func(float64, float64) float64, cost float64, flops int64) builtin {
 	return builtin{
 		fn:    func(a []Value) Value { return DoubleVal(f(a[0].AsFloat(), a[1].AsFloat())) },
-		arity: 2, cost: cost, flops: flops,
+		arity: 2, cost: cost, flops: flops, s2: f,
 	}
 }
 
 func f2(f func(float64, float64) float64, cost float64, flops int64) builtin {
 	return builtin{
 		fn:    func(a []Value) Value { return FloatVal(f(a[0].AsFloat(), a[1].AsFloat())) },
-		arity: 2, cost: cost, flops: flops,
+		arity: 2, cost: cost, flops: flops, s2: f, rnd: true,
 	}
 }
 

@@ -65,7 +65,32 @@ const (
 	opReturn      // fr.ret = coerce(fetch(a), typ); unwind loops; halt
 	opReturnVoid  // unwind loops; halt
 	opErrMsg      // return preformatted RuntimeError{pos, name}
+
+	// Quickened (type-specialized) opcodes, rewritten in place from their
+	// generic forms by the runtime quickener (quicken.go) once an
+	// instruction turns hot. Every opcode from opQFirst on carries a baked
+	// operand/accounting plan in binstr.q and deoptimizes back to its gop
+	// on any guard miss. FF = both operands float kinds, II = both int.
+	opQBinFF     // dst = a ⊗ b                     (from opBinary)
+	opQBinII     //
+	opQCmpBrFF   // !cmp(a, b) -> pc = jmp          (from opCmpBranch)
+	opQCmpBrII   //
+	opQBinDeclFF // regs[reg] = coerce(a ⊗ b)       (from opBinDeclVar)
+	opQBinDeclII //
+	opQAccFF     // regs[reg] op= a ⊗ b             (from opBinAssignVar)
+	opQAccII     //
+	opQStoreF    // tgt[...] op= a                  (from opStoreIdx)
+	opQStoreI    //
+	opQDeclF     // regs[reg] = coerce(a)           (from opDeclVar)
+	opQDeclI     //
+	opQLoad      // dst = tgt[...]                  (from opLoadIdx)
+	opQMath1     // dst = mathfn(a)                 (from opBuiltin, scalar float intrinsics)
+	opQMath2     // dst = mathfn(a, b)
 )
+
+// opQFirst marks the start of the quickened opcode range: an instruction
+// with in.op >= opQFirst holds a baked plan and a saved generic opcode.
+const opQFirst = opQBinFF
 
 // Operand fetch modes. The fused modes reproduce exactly the accounting
 // the corresponding standalone closure (compile.go) would perform.
@@ -76,6 +101,67 @@ const (
 	omConst              // step at pos + literal value
 	omIdx                // step at pos + resolveTgt + loadElem (indexed read)
 )
+
+// FusePat identifies one superinstruction fusion pattern. Every fused
+// instruction carries the pattern that produced it, so the dispatch loop
+// can attribute superinstruction dispatches per pattern (DispatchTrace)
+// and the lowering can be driven by a mined FusionPolicy instead of the
+// fixed always-everything list.
+type FusePat uint8
+
+// The fusion patterns. Any subset lowers to a bit-for-bit equivalent
+// program: a disabled pattern simply takes the general materialization
+// path, whose accounting the closure oracle already defines.
+const (
+	FuseNone       FusePat = iota
+	FuseBinary             // fused opBinary (inline operand fetches)
+	FuseCmpBranch          // compare-and-branch loop heads (opCmpBranch)
+	FuseBinDecl            // declare-with-binary-initializer (opBinDeclVar)
+	FuseBinAssign          // load-binop-store / FMA accumulate (opBinAssignVar)
+	FuseIdxOperand         // indexed loads fused as operands (omIdx)
+	FuseStoreIdx           // fused indexed stores (opStoreIdx)
+	FuseIncIdx             // fused indexed ++/-- (opIncIdx)
+	FuseBuiltin            // builtins with inline-fetched arguments
+	NumFusePats
+)
+
+// String names the pattern (telemetry and trace dumps).
+func (p FusePat) String() string {
+	switch p {
+	case FuseBinary:
+		return "binary"
+	case FuseCmpBranch:
+		return "cmp-branch"
+	case FuseBinDecl:
+		return "bin-decl"
+	case FuseBinAssign:
+		return "bin-assign"
+	case FuseIdxOperand:
+		return "idx-operand"
+	case FuseStoreIdx:
+		return "store-idx"
+	case FuseIncIdx:
+		return "inc-idx"
+	case FuseBuiltin:
+		return "builtin"
+	}
+	return "none"
+}
+
+// FusionPolicy selects which fusion patterns the lowering applies, one bit
+// per FusePat. The zero policy disables all fusion; AllFusion is the
+// cold-start policy (every pattern enabled, dispatch trace decides what a
+// warm lowering keeps — see MineFusion).
+type FusionPolicy uint16
+
+// AllFusion enables every fusion pattern.
+const AllFusion FusionPolicy = (1<<NumFusePats - 1) &^ 1
+
+// Has reports whether pattern p is enabled.
+func (fp FusionPolicy) Has(p FusePat) bool { return fp&(1<<p) != 0 }
+
+// With returns fp with pattern p enabled.
+func (fp FusionPolicy) With(p FusePat) FusionPolicy { return fp | 1<<p }
 
 // bopnd is one fused operand.
 type bopnd struct {
@@ -114,27 +200,35 @@ type btarget struct {
 // that the enclosing constructs charge before this instruction's own work
 // (a fused `b[i] += x` carries the expression-statement and assignment
 // steps here), preserving the exact budget-exceeded error positions.
+//
+// The leading fields form the dispatch-hot header (opcode, fusion pattern,
+// quickening state, registers, batched step count); positions, types, and
+// names used only on cold paths trail them.
 type binstr struct {
-	op    opcode
-	fused bool // superinstruction: counts toward interp.bytecode.fused
-	pre   []minic.Pos
-	pos   minic.Pos
-	pos2  minic.Pos // secondary position (binop inside opBinAssignVar, LHS of assignments)
-	pos3  minic.Pos // tertiary position (LHS of opBinAssignVar)
-	tok   minic.TokKind
-	tok2  minic.TokKind // binop for opBinAssignVar
-	dst   int32         // result register; -1 discards
-	reg   int32         // variable register / args base register
-	n     int32         // arg count; ++/-- delta
-	jmp   int32         // branch target
-	lid   int           // loop node ID for opLoopEnter
-	nsteps int32        // static step count: len(pre) + own step + operand steps
-	a, b  bopnd
-	tgt   *btarget
-	typ   minic.Type
-	name  string // variable/function/builtin name or preformatted error text
-	fn    *bfunc
-	bi    builtin
+	op     opcode
+	fuse   FusePat // superinstruction pattern; FuseNone when not fused
+	gop    opcode  // generic opcode a quickened instruction deopts back to
+	dst    int32   // result register; -1 discards
+	reg    int32   // variable register / args base register
+	n      int32   // arg count; ++/-- delta
+	jmp    int32   // branch target
+	nsteps int32   // static step count: len(pre) + own step + operand steps
+	hot    int32   // per-instruction execution counter driving quickening
+	tok    minic.TokKind
+	tok2   minic.TokKind // binop for opBinAssignVar
+	a, b   bopnd
+	q      *qinfo // quickened form; nil until the hot counter trips
+
+	pre  []minic.Pos
+	pos  minic.Pos
+	pos2 minic.Pos // secondary position (binop inside opBinAssignVar, LHS of assignments)
+	pos3 minic.Pos // tertiary position (LHS of opBinAssignVar)
+	lid  int       // loop node ID for opLoopEnter
+	tgt  *btarget
+	typ  minic.Type
+	name string // variable/function/builtin name or preformatted error text
+	fn   *bfunc
+	bi   builtin
 }
 
 // bfunc is one lowered function.
@@ -159,6 +253,7 @@ const tempBit = int32(1) << 28
 // region rewritten above the variables once their count is known.
 type bcompiler struct {
 	prog   *minic.Program
+	policy FusionPolicy
 	funcs  map[string]*bfunc
 	scopes []map[string]int32
 	nvars  int32
@@ -175,12 +270,14 @@ type bloopCtx struct {
 	conts  []int32
 }
 
-// compileBytecode lowers every function of prog. Like compileProgram it
-// never fails: constructs the tree-walker would only reject at runtime
-// lower to opErrMsg instructions producing the identical error, so
-// unexecuted dead code stays legal.
-func compileBytecode(prog *minic.Program) *bprog {
-	c := &bcompiler{prog: prog, funcs: make(map[string]*bfunc, len(prog.Funcs))}
+// compileBytecode lowers every function of prog under the given fusion
+// policy. Like compileProgram it never fails: constructs the tree-walker
+// would only reject at runtime lower to opErrMsg instructions producing
+// the identical error, so unexecuted dead code stays legal. Any policy
+// lowers to a bit-for-bit equivalent program — a disabled pattern takes
+// the general materialization path.
+func compileBytecode(prog *minic.Program, policy FusionPolicy) *bprog {
+	c := &bcompiler{prog: prog, policy: policy, funcs: make(map[string]*bfunc, len(prog.Funcs))}
 	for _, f := range prog.Funcs {
 		if _, exists := c.funcs[f.Name]; !exists { // first declaration wins, as in Program.Func
 			c.funcs[f.Name] = &bfunc{decl: f}
@@ -372,6 +469,9 @@ func (c *bcompiler) fuseOperand(e minic.Expr) (bopnd, bool) {
 	if o, ok := c.fuseSimple(e); ok {
 		return o, true
 	}
+	if !c.policy.Has(FuseIdxOperand) {
+		return bopnd{}, false
+	}
 	ix, ok := e.(*minic.IndexExpr)
 	if !ok {
 		return bopnd{}, false
@@ -533,12 +633,13 @@ func (c *bcompiler) compileDecl(d *minic.DeclStmt, pre []minic.Pos) {
 	if d.Init != nil {
 		// Superinstruction: a declaration initialized by a fusible binary
 		// (`float dx = p[j] - p[i]`) evaluates and declares in one dispatch.
-		if b, bok := d.Init.(*minic.BinaryExpr); bok && b.Op != minic.TokAndAnd && b.Op != minic.TokOrOr {
+		if b, bok := d.Init.(*minic.BinaryExpr); bok && c.policy.Has(FuseBinDecl) &&
+			b.Op != minic.TokAndAnd && b.Op != minic.TokOrOr {
 			l, lok := c.fuseOperand(b.L)
 			r, rok := c.fuseOperand(b.R)
 			if lok && rok {
 				reg := c.declare(d.Name)
-				c.emit(binstr{op: opBinDeclVar, fused: true, pre: withPos(pre, pos), pos: pos,
+				c.emit(binstr{op: opBinDeclVar, fuse: FuseBinDecl, pre: withPos(pre, pos), pos: pos,
 					pos2: b.NodePos(), tok2: b.Op, reg: reg, a: l, b: r, name: d.Name, typ: d.Type})
 				return
 			}
@@ -583,11 +684,12 @@ func (c *bcompiler) compileIf(v *minic.IfStmt, pre []minic.Pos) {
 // index of the branching instruction. Fused binary conditions become a
 // single compare-and-branch superinstruction.
 func (c *bcompiler) compileCond(cond minic.Expr, pre []minic.Pos) int32 {
-	if b, ok := cond.(*minic.BinaryExpr); ok && b.Op != minic.TokAndAnd && b.Op != minic.TokOrOr {
+	if b, ok := cond.(*minic.BinaryExpr); ok && c.policy.Has(FuseCmpBranch) &&
+		b.Op != minic.TokAndAnd && b.Op != minic.TokOrOr {
 		l, lok := c.fuseOperand(b.L)
 		r, rok := c.fuseOperand(b.R)
 		if lok && rok {
-			return c.emit(binstr{op: opCmpBranch, fused: true, pre: pre, pos: b.NodePos(),
+			return c.emit(binstr{op: opCmpBranch, fuse: FuseCmpBranch, pre: pre, pos: b.NodePos(),
 				tok: b.Op, a: l, b: r})
 		}
 	}
@@ -697,7 +799,7 @@ func (c *bcompiler) compileExprTo(e minic.Expr, dst int32, pre []minic.Pos) {
 		c.compileIncDecTo(v, dst, pre)
 	case *minic.IndexExpr:
 		if o, ok := c.fuseOperand(e); ok {
-			c.emit(binstr{op: opEval, fused: true, pre: pre, dst: dst, a: o})
+			c.emit(binstr{op: opEval, fuse: FuseIdxOperand, pre: pre, dst: dst, a: o})
 			return
 		}
 		tgt, ntemps := c.materializeTarget(v, withPos(pre, pos))
@@ -754,10 +856,14 @@ func (c *bcompiler) compileBinaryTo(b *minic.BinaryExpr, dst int32, pre []minic.
 	// The fused binary: operands resolve exactly as the closure operand()
 	// does, with indexed loads additionally flattened. The binary's own
 	// step rides in the instruction's pre list.
-	l, lok := c.fuseOperand(b.L)
-	r, rok := c.fuseOperand(b.R)
+	var l, r bopnd
+	var lok, rok bool
+	if c.policy.Has(FuseBinary) {
+		l, lok = c.fuseOperand(b.L)
+		r, rok = c.fuseOperand(b.R)
+	}
 	if lok && rok {
-		c.emit(binstr{op: opBinary, fused: true, pre: withPos(pre, pos), pos: pos,
+		c.emit(binstr{op: opBinary, fuse: FuseBinary, pre: withPos(pre, pos), pos: pos,
 			tok: b.Op, dst: dst, a: l, b: r})
 		return
 	}
@@ -777,8 +883,11 @@ func (c *bcompiler) compileBinaryTo(b *minic.BinaryExpr, dst int32, pre []minic.
 		c.compileExprTo(b.R, t2, nil)
 		r = bopnd{mode: omPlain, ref: t2}
 	}
-	c.emit(binstr{op: opBinary, pos: pos, tok: b.Op, dst: dst, a: l, b: r,
-		fused: r.mode != omPlain})
+	in := binstr{op: opBinary, pos: pos, tok: b.Op, dst: dst, a: l, b: r}
+	if r.mode != omPlain {
+		in.fuse = FuseBinary
+	}
+	c.emit(in)
 	c.tempFree(ntemps)
 }
 
@@ -857,11 +966,12 @@ func (c *bcompiler) compileAssignTo(a *minic.AssignExpr, dst int32, pre []minic.
 		// Superinstruction: x op= simple⊕simple executes the RHS binary,
 		// the compound combine, and the store in one dispatch (the FMA
 		// pattern `acc += a * b` lands here).
-		if b, bok := a.RHS.(*minic.BinaryExpr); bok && b.Op != minic.TokAndAnd && b.Op != minic.TokOrOr {
+		if b, bok := a.RHS.(*minic.BinaryExpr); bok && c.policy.Has(FuseBinAssign) &&
+			b.Op != minic.TokAndAnd && b.Op != minic.TokOrOr {
 			l, lok := c.fuseOperand(b.L)
 			r, rok := c.fuseOperand(b.R)
 			if lok && rok {
-				c.emit(binstr{op: opBinAssignVar, fused: true, pre: withPos(pre, pos),
+				c.emit(binstr{op: opBinAssignVar, fuse: FuseBinAssign, pre: withPos(pre, pos),
 					pos: pos, pos2: b.NodePos(), pos3: lpos, tok: a.Op, tok2: b.Op,
 					dst: dst, reg: reg, a: l, b: r, name: lhs.Name})
 				return
@@ -869,7 +979,10 @@ func (c *bcompiler) compileAssignTo(a *minic.AssignExpr, dst int32, pre []minic.
 		}
 		rhs, ntemps, fused := c.operandOrTemp(a.RHS, withPos(pre, pos))
 		in := binstr{op: opAssignVar, pos: pos, pos2: lpos, tok: a.Op, dst: dst,
-			reg: reg, a: rhs, fused: fused && rhs.mode == omIdx}
+			reg: reg, a: rhs}
+		if fused && rhs.mode == omIdx {
+			in.fuse = FuseIdxOperand
+		}
 		if fused {
 			in.pre = withPos(pre, pos)
 		}
@@ -879,18 +992,20 @@ func (c *bcompiler) compileAssignTo(a *minic.AssignExpr, dst int32, pre []minic.
 		lpos := lhs.NodePos()
 		// RHS evaluates before the target resolves, as in compileAssign.
 		carry := withPos(pre, pos)
-		if tgt, ok := c.fuseTarget(lhs); ok {
-			if rhs, rok := c.fuseOperand(a.RHS); rok {
-				c.emit(binstr{op: opStoreIdx, fused: true, pre: carry, pos: pos, pos2: lpos,
-					tok: a.Op, dst: dst, a: rhs, tgt: tgt})
+		if c.policy.Has(FuseStoreIdx) {
+			if tgt, ok := c.fuseTarget(lhs); ok {
+				if rhs, rok := c.fuseOperand(a.RHS); rok {
+					c.emit(binstr{op: opStoreIdx, fuse: FuseStoreIdx, pre: carry, pos: pos, pos2: lpos,
+						tok: a.Op, dst: dst, a: rhs, tgt: tgt})
+					return
+				}
+				t := c.tempAlloc()
+				c.compileExprTo(a.RHS, t, carry)
+				c.emit(binstr{op: opStoreIdx, fuse: FuseStoreIdx, pos: pos, pos2: lpos,
+					tok: a.Op, dst: dst, a: bopnd{mode: omPlain, ref: t}, tgt: tgt})
+				c.tempFree(1)
 				return
 			}
-			t := c.tempAlloc()
-			c.compileExprTo(a.RHS, t, carry)
-			c.emit(binstr{op: opStoreIdx, fused: true, pos: pos, pos2: lpos,
-				tok: a.Op, dst: dst, a: bopnd{mode: omPlain, ref: t}, tgt: tgt})
-			c.tempFree(1)
-			return
 		}
 		// Complex target: the RHS (fusible or not) materializes first so
 		// its accounting precedes the target's instructions.
@@ -927,10 +1042,12 @@ func (c *bcompiler) compileIncDecTo(x *minic.IncDecExpr, dst int32, pre []minic.
 		c.emit(binstr{op: opIncVar, pre: withPos(pre, pos), pos: tpos, dst: dst, reg: reg, n: delta})
 	case *minic.IndexExpr:
 		tpos := t.NodePos()
-		if tgt, ok := c.fuseTarget(t); ok {
-			c.emit(binstr{op: opIncIdx, fused: true, pre: withPos(pre, pos), pos: tpos,
-				dst: dst, n: delta, tgt: tgt})
-			return
+		if c.policy.Has(FuseIncIdx) {
+			if tgt, ok := c.fuseTarget(t); ok {
+				c.emit(binstr{op: opIncIdx, fuse: FuseIncIdx, pre: withPos(pre, pos), pos: tpos,
+					dst: dst, n: delta, tgt: tgt})
+				return
+			}
 		}
 		tgt, ntemps := c.materializeTarget(t, withPos(pre, pos))
 		c.emit(binstr{op: opIncIdx, pos: tpos, dst: dst, n: delta, tgt: tgt})
@@ -965,7 +1082,7 @@ func (c *bcompiler) compileCallTo(call *minic.CallExpr, dst int32, pre []minic.P
 	if bi, ok := builtins[call.Fun]; ok {
 		// Fused builtin: up to two simple arguments fetch inside the
 		// dispatch (sqrt(r2), fmax(a, b[i]) ...).
-		if len(call.Args) <= 2 {
+		if len(call.Args) <= 2 && c.policy.Has(FuseBuiltin) {
 			ops := make([]bopnd, len(call.Args))
 			allFused := true
 			for i, a := range call.Args {
@@ -977,7 +1094,7 @@ func (c *bcompiler) compileCallTo(call *minic.CallExpr, dst int32, pre []minic.P
 				ops[i] = o
 			}
 			if allFused {
-				in := binstr{op: opBuiltin, fused: true, pre: withPos(pre, pos), pos: pos,
+				in := binstr{op: opBuiltin, fuse: FuseBuiltin, pre: withPos(pre, pos), pos: pos,
 					dst: dst, n: int32(len(ops)), bi: bi, name: call.Fun}
 				if len(ops) > 0 {
 					in.a = ops[0]

@@ -1,6 +1,9 @@
 package interp
 
 import (
+	"math"
+	"sync"
+
 	"psaflow/internal/minic"
 )
 
@@ -91,29 +94,29 @@ func (m *machine) callBytecode(bf *bfunc, args []Value, pos minic.Pos) (Value, e
 	return ret, nil
 }
 
-// newFrame takes a frame from the pool or allocates one. Pooled register
-// contents need no zeroing: the lowering only emits register reads for
-// resolved, already-declared variables and for temporaries the same
-// expression wrote, so no program — including fuzzer-generated ones — can
-// observe a stale register. The return slot is reset because void calls
-// never write it.
+// frameArena recycles bytecode frames across machines (every Run builds a
+// fresh machine, so a per-machine pool re-pays the frame and register
+// allocations on each run — DSE sweeps and batched jobs do thousands).
+// Pooled register contents need no zeroing: the lowering only emits
+// register reads for resolved, already-declared variables and for
+// temporaries the same expression wrote, so no program — including
+// fuzzer-generated ones — can observe a stale register. The return slot
+// is reset because void calls never write it.
+var frameArena = sync.Pool{New: func() any { return new(bframe) }}
+
 func (m *machine) newFrame(nregs int) *bframe {
-	if n := len(m.framePool); n > 0 {
-		fr := m.framePool[n-1]
-		m.framePool = m.framePool[:n-1]
-		if cap(fr.regs) >= nregs {
-			fr.regs = fr.regs[:nregs]
-		} else {
-			fr.regs = make([]Value, nregs)
-		}
-		fr.ret = Value{}
-		return fr
+	fr := frameArena.Get().(*bframe)
+	if cap(fr.regs) >= nregs {
+		fr.regs = fr.regs[:nregs]
+	} else {
+		fr.regs = make([]Value, nregs)
 	}
-	return &bframe{regs: make([]Value, nregs)}
+	fr.ret = Value{}
+	return fr
 }
 
 func (m *machine) freeFrame(fr *bframe) {
-	m.framePool = append(m.framePool, fr)
+	frameArena.Put(fr)
 }
 
 // execBytecode runs the dispatch loop and then attributes any still-open
@@ -163,12 +166,20 @@ func (m *machine) dispatch(bf *bfunc, fr *bframe) error {
 	steps := m.steps
 	var cyc float64
 	var flops, intops, nInstr, nFused int64
+	// Per-pattern dispatch counts feed superinstruction mining; the local
+	// array keeps the tracing-off fast path to a single flag test.
+	tr := m.trace != nil
+	var fhits [NumFusePats]int64
+	var qhits int64
 	for pc < len(code) {
 		in := &code[pc]
 		pc++
 		nInstr++
-		if in.fused {
+		if in.fuse != 0 {
 			nFused++
+			if tr {
+				fhits[in.fuse]++
+			}
 		}
 		// Batched budget check for every fine-grained step this instruction
 		// performs; a crossing inside the instruction replays precisely.
@@ -176,6 +187,13 @@ func (m *machine) dispatch(bf *bfunc, fr *bframe) error {
 			steps += int64(in.nsteps)
 			if steps > m.maxSteps {
 				m.steps = steps - int64(in.nsteps)
+				if in.op >= opQFirst {
+					// execPrecise replays generic opcodes only; the precise
+					// path reproduces the budget error exactly either way.
+					in.op = in.gop
+					in.hot = 0
+					in.q = nil
+				}
 				return m.execPrecise(fr, in)
 			}
 		}
@@ -245,6 +263,11 @@ func (m *machine) dispatch(bf *bfunc, fr *bframe) error {
 			// The superinstruction family: fetch two fused operands,
 			// combine, then consume (store to a register, compare-and-
 			// branch, compound-assign, or declare-with-initializer).
+			if in.hot++; in.hot == m.quickenAt && m.quickenAt > 0 {
+				if m.quicken(in, fr) {
+					goto redo // re-dispatch under the quickened opcode
+				}
+			}
 			tok := in.tok
 			bpos := in.pos
 			if in.op == opBinAssignVar || in.op == opBinDeclVar {
@@ -531,6 +554,11 @@ func (m *machine) dispatch(bf *bfunc, fr *bframe) error {
 			}
 
 		case opDeclVar:
+			if in.hot++; in.hot == m.quickenAt && m.quickenAt > 0 {
+				if m.quicken(in, fr) {
+					goto redo // re-dispatch under the quickened opcode
+				}
+			}
 			init, err := m.operandNB(fr, &in.a) // omNone yields the zero Value
 			if err != nil {
 				return err
@@ -619,6 +647,11 @@ func (m *machine) dispatch(bf *bfunc, fr *bframe) error {
 			}
 
 		case opStoreIdx:
+			if in.hot++; in.hot == m.quickenAt && m.quickenAt > 0 {
+				if m.quicken(in, fr) {
+					goto redo // re-dispatch under the quickened opcode
+				}
+			}
 			var rhs Value
 			switch in.a.mode {
 			case omPlain:
@@ -694,6 +727,11 @@ func (m *machine) dispatch(bf *bfunc, fr *bframe) error {
 			}
 
 		case opLoadIdx:
+			if in.hot++; in.hot == m.quickenAt && m.quickenAt > 0 {
+				if m.quicken(in, fr) {
+					goto redo // re-dispatch under the quickened opcode
+				}
+			}
 			buf, i, err := m.resolveTgtNB(fr, in.tgt)
 			if err != nil {
 				return err
@@ -777,8 +815,13 @@ func (m *machine) dispatch(bf *bfunc, fr *bframe) error {
 			}
 
 		case opBuiltin:
+			if in.hot++; in.hot == m.quickenAt && m.quickenAt > 0 {
+				if m.quicken(in, fr) {
+					goto redo // re-dispatch under the quickened opcode
+				}
+			}
 			var args []Value
-			if in.fused {
+			if in.fuse != 0 {
 				nargs := int(in.n)
 				if nargs > 0 {
 					switch in.a.mode {
@@ -855,18 +898,657 @@ func (m *machine) dispatch(bf *bfunc, fr *bframe) error {
 				return m.errf(in.pos, "return: %v", err)
 			}
 			fr.ret = coerced
-			m.dflush(steps, cyc, flops, intops, nInstr, nFused)
+			m.dflush(steps, cyc, flops, intops, nInstr, nFused, qhits, &fhits)
 			return nil
 
 		case opReturnVoid:
-			m.dflush(steps, cyc, flops, intops, nInstr, nFused)
+			m.dflush(steps, cyc, flops, intops, nInstr, nFused, qhits, &fhits)
 			return nil
 
 		case opErrMsg:
 			return &RuntimeError{Pos: in.pos, Msg: in.name}
+
+		// --- Quickened opcodes (quicken.go) -------------------------------
+		// Every arm follows the same discipline: fetch operands through
+		// pure guarded plans (register and constant plans inline; indexed
+		// plans through qresolve), goto deopt on any miss, and only then
+		// commit the precomputed accounting and the result. A deopt
+		// re-executes the instruction generically, so slow paths, runtime
+		// errors, and their accounting stay bit-for-bit identical to
+		// generic dispatch. Arms sharing an operand shape share one case,
+		// so the fetch code exists once per shape.
+
+		case opQBinFF, opQCmpBrFF, opQBinDeclFF, opQAccFF, opQMath2:
+			q := in.q
+			var af, bf2 float64
+			var ab, bb *Buffer
+			if q.a.plan == qoReg {
+				v := &regs[q.a.ref]
+				if v.K != q.a.kind {
+					goto deopt
+				}
+				af = v.F
+			} else if q.a.plan == qoConst {
+				af = q.a.f
+			} else {
+				b, i, ok := qresolve(regs, &q.a)
+				if !ok {
+					goto deopt
+				}
+				af = b.F[i]
+				if q.a.round {
+					af = qrnd(af)
+				}
+				ab = b
+			}
+			if q.b.plan == qoReg {
+				v := &regs[q.b.ref]
+				if v.K != q.b.kind {
+					goto deopt
+				}
+				bf2 = v.F
+			} else if q.b.plan == qoConst {
+				bf2 = q.b.f
+			} else {
+				b, i, ok := qresolve(regs, &q.b)
+				if !ok {
+					goto deopt
+				}
+				bf2 = b.F[i]
+				if q.b.round {
+					bf2 = qrnd(bf2)
+				}
+				bb = b
+			}
+			switch in.op {
+			case opQBinFF:
+				var r float64
+				switch q.op {
+				case qAdd:
+					r = af + bf2
+				case qSub:
+					r = af - bf2
+				default:
+					r = af * bf2
+				}
+				if q.rk == KFloat {
+					r = qrnd(r)
+				}
+				cyc += q.cyc
+				flops += q.flops
+				intops += q.intops
+				m.prof.LoadBytes += q.lbytes
+				if m.watchDepth > 0 {
+					if ab != nil {
+						m.qtrafIn(ab, q.a.ebytes)
+					}
+					if bb != nil {
+						m.qtrafIn(bb, q.b.ebytes)
+					}
+				}
+				qhits++
+				if in.dst >= 0 {
+					regs[in.dst] = Value{K: q.rk, F: r}
+				}
+			case opQCmpBrFF:
+				cyc += q.cyc
+				flops += q.flops
+				intops += q.intops
+				m.prof.LoadBytes += q.lbytes
+				if m.watchDepth > 0 {
+					if ab != nil {
+						m.qtrafIn(ab, q.a.ebytes)
+					}
+					if bb != nil {
+						m.qtrafIn(bb, q.b.ebytes)
+					}
+				}
+				qhits++
+				if !cmpFloat(q.cmp, af, bf2) {
+					pc = int(in.jmp)
+				}
+			case opQBinDeclFF:
+				var r float64
+				switch q.op {
+				case qAdd:
+					r = af + bf2
+				case qSub:
+					r = af - bf2
+				default:
+					r = af * bf2
+				}
+				if q.rk == KFloat {
+					r = qrnd(r)
+				}
+				cyc += q.cyc
+				flops += q.flops
+				intops += q.intops
+				m.prof.LoadBytes += q.lbytes
+				if m.watchDepth > 0 {
+					if ab != nil {
+						m.qtrafIn(ab, q.a.ebytes)
+					}
+					if bb != nil {
+						m.qtrafIn(bb, q.b.ebytes)
+					}
+				}
+				qhits++
+				switch q.cellK { // the baked declared-type coercion
+				case KFloat:
+					regs[in.reg] = Value{K: KFloat, F: qrnd(r)}
+				case KDouble:
+					regs[in.reg] = Value{K: KDouble, F: r}
+				default: // KInt: AsInt truncates toward zero
+					regs[in.reg] = Value{K: KInt, I: int64(math.Trunc(r))}
+				}
+			case opQAccFF:
+				cell := &regs[in.reg]
+				if cell.K != q.cellK {
+					goto deopt
+				}
+				var v float64
+				switch q.op {
+				case qAdd:
+					v = af + bf2
+				case qSub:
+					v = af - bf2
+				default:
+					v = af * bf2
+				}
+				if q.rk == KFloat {
+					v = qrnd(v)
+				}
+				res := v
+				if q.acc {
+					switch q.cop {
+					case qAdd:
+						res = cell.F + v
+					case qSub:
+						res = cell.F - v
+					default:
+						res = cell.F * v
+					}
+				}
+				cyc += q.cyc
+				flops += q.flops
+				intops += q.intops
+				m.prof.LoadBytes += q.lbytes
+				if m.watchDepth > 0 {
+					if ab != nil {
+						m.qtrafIn(ab, q.a.ebytes)
+					}
+					if bb != nil {
+						m.qtrafIn(bb, q.b.ebytes)
+					}
+				}
+				qhits++
+				// The cell's kind wins at store time (storeScalarCell), so
+				// the promoted intermediate rounds identically to the
+				// generic path.
+				if q.cellK == KFloat {
+					*cell = Value{K: KFloat, F: qrnd(res)}
+				} else {
+					*cell = Value{K: KDouble, F: res}
+				}
+				if in.dst >= 0 {
+					regs[in.dst] = *cell
+				}
+			default: // opQMath2
+				r := q.mfn2(af, bf2)
+				cyc += q.cyc
+				flops += q.flops
+				intops += q.intops
+				m.prof.LoadBytes += q.lbytes
+				m.specialFlops += q.sflops
+				if m.watchDepth > 0 {
+					if ab != nil {
+						m.qtrafIn(ab, q.a.ebytes)
+					}
+					if bb != nil {
+						m.qtrafIn(bb, q.b.ebytes)
+					}
+				}
+				qhits++
+				if in.dst >= 0 {
+					if q.rk == KFloat {
+						regs[in.dst] = Value{K: KFloat, F: qrnd(r)}
+					} else {
+						regs[in.dst] = Value{K: KDouble, F: r}
+					}
+				}
+			}
+
+		case opQBinII, opQCmpBrII, opQBinDeclII, opQAccII:
+			q := in.q
+			var ai, bi int64
+			var ab, bb *Buffer
+			if q.a.plan == qoReg {
+				v := &regs[q.a.ref]
+				if v.K != KInt {
+					goto deopt
+				}
+				ai = v.I
+			} else if q.a.plan == qoConst {
+				ai = q.a.i
+			} else {
+				b, i, ok := qresolve(regs, &q.a)
+				if !ok {
+					goto deopt
+				}
+				ai = b.I[i]
+				ab = b
+			}
+			if q.b.plan == qoReg {
+				v := &regs[q.b.ref]
+				if v.K != KInt {
+					goto deopt
+				}
+				bi = v.I
+			} else if q.b.plan == qoConst {
+				bi = q.b.i
+			} else {
+				b, i, ok := qresolve(regs, &q.b)
+				if !ok {
+					goto deopt
+				}
+				bi = b.I[i]
+				bb = b
+			}
+			switch in.op {
+			case opQBinII:
+				var r int64
+				switch q.op {
+				case qAdd:
+					r = ai + bi
+				case qSub:
+					r = ai - bi
+				default:
+					r = ai * bi
+				}
+				cyc += q.cyc
+				flops += q.flops
+				intops += q.intops
+				m.prof.LoadBytes += q.lbytes
+				if m.watchDepth > 0 {
+					if ab != nil {
+						m.qtrafIn(ab, q.a.ebytes)
+					}
+					if bb != nil {
+						m.qtrafIn(bb, q.b.ebytes)
+					}
+				}
+				qhits++
+				if in.dst >= 0 {
+					regs[in.dst] = Value{K: KInt, I: r}
+				}
+			case opQCmpBrII:
+				cyc += q.cyc
+				flops += q.flops
+				intops += q.intops
+				m.prof.LoadBytes += q.lbytes
+				if m.watchDepth > 0 {
+					if ab != nil {
+						m.qtrafIn(ab, q.a.ebytes)
+					}
+					if bb != nil {
+						m.qtrafIn(bb, q.b.ebytes)
+					}
+				}
+				qhits++
+				if !cmpFloat(q.cmp, float64(ai), float64(bi)) {
+					pc = int(in.jmp)
+				}
+			case opQBinDeclII:
+				var r int64
+				switch q.op {
+				case qAdd:
+					r = ai + bi
+				case qSub:
+					r = ai - bi
+				default:
+					r = ai * bi
+				}
+				cyc += q.cyc
+				flops += q.flops
+				intops += q.intops
+				m.prof.LoadBytes += q.lbytes
+				if m.watchDepth > 0 {
+					if ab != nil {
+						m.qtrafIn(ab, q.a.ebytes)
+					}
+					if bb != nil {
+						m.qtrafIn(bb, q.b.ebytes)
+					}
+				}
+				qhits++
+				switch q.cellK {
+				case KInt:
+					regs[in.reg] = Value{K: KInt, I: r}
+				case KFloat:
+					regs[in.reg] = Value{K: KFloat, F: qrnd(float64(r))}
+				default:
+					regs[in.reg] = Value{K: KDouble, F: float64(r)}
+				}
+			default: // opQAccII
+				cell := &regs[in.reg]
+				if cell.K != KInt {
+					goto deopt
+				}
+				var v int64
+				switch q.op {
+				case qAdd:
+					v = ai + bi
+				case qSub:
+					v = ai - bi
+				default:
+					v = ai * bi
+				}
+				res := v
+				if q.acc {
+					// applyCompound combines through float64, as the
+					// shared helper does.
+					switch q.cop {
+					case qAdd:
+						res = int64(float64(cell.I) + float64(v))
+					case qSub:
+						res = int64(float64(cell.I) - float64(v))
+					default:
+						res = int64(float64(cell.I) * float64(v))
+					}
+				}
+				cyc += q.cyc
+				flops += q.flops
+				intops += q.intops
+				m.prof.LoadBytes += q.lbytes
+				if m.watchDepth > 0 {
+					if ab != nil {
+						m.qtrafIn(ab, q.a.ebytes)
+					}
+					if bb != nil {
+						m.qtrafIn(bb, q.b.ebytes)
+					}
+				}
+				qhits++
+				*cell = Value{K: KInt, I: res}
+				if in.dst >= 0 {
+					regs[in.dst] = *cell
+				}
+			}
+
+		case opQDeclF, opQMath1:
+			q := in.q
+			var af float64
+			var ab *Buffer
+			if q.a.plan == qoReg {
+				v := &regs[q.a.ref]
+				if v.K != q.a.kind {
+					goto deopt
+				}
+				af = v.F
+			} else if q.a.plan == qoConst {
+				af = q.a.f
+			} else {
+				b, i, ok := qresolve(regs, &q.a)
+				if !ok {
+					goto deopt
+				}
+				af = b.F[i]
+				if q.a.round {
+					af = qrnd(af)
+				}
+				ab = b
+			}
+			if in.op == opQDeclF {
+				cyc += q.cyc
+				intops += q.intops
+				m.prof.LoadBytes += q.lbytes
+				if m.watchDepth > 0 && ab != nil {
+					m.qtrafIn(ab, q.a.ebytes)
+				}
+				qhits++
+				switch q.cellK { // the baked declared-type coercion
+				case KFloat:
+					regs[in.reg] = Value{K: KFloat, F: qrnd(af)}
+				case KDouble:
+					regs[in.reg] = Value{K: KDouble, F: af}
+				default: // KInt: AsInt truncates toward zero
+					regs[in.reg] = Value{K: KInt, I: int64(math.Trunc(af))}
+				}
+			} else { // opQMath1
+				r := q.mfn1(af)
+				cyc += q.cyc
+				flops += q.flops
+				intops += q.intops
+				m.prof.LoadBytes += q.lbytes
+				m.specialFlops += q.sflops
+				if m.watchDepth > 0 && ab != nil {
+					m.qtrafIn(ab, q.a.ebytes)
+				}
+				qhits++
+				if in.dst >= 0 {
+					if q.rk == KFloat {
+						regs[in.dst] = Value{K: KFloat, F: qrnd(r)}
+					} else {
+						regs[in.dst] = Value{K: KDouble, F: r}
+					}
+				}
+			}
+
+		case opQDeclI:
+			q := in.q
+			var ai int64
+			var ab *Buffer
+			if q.a.plan == qoReg {
+				v := &regs[q.a.ref]
+				if v.K != KInt {
+					goto deopt
+				}
+				ai = v.I
+			} else if q.a.plan == qoConst {
+				ai = q.a.i
+			} else {
+				b, i, ok := qresolve(regs, &q.a)
+				if !ok {
+					goto deopt
+				}
+				ai = b.I[i]
+				ab = b
+			}
+			cyc += q.cyc
+			intops += q.intops
+			m.prof.LoadBytes += q.lbytes
+			if m.watchDepth > 0 && ab != nil {
+				m.qtrafIn(ab, q.a.ebytes)
+			}
+			qhits++
+			switch q.cellK {
+			case KInt:
+				regs[in.reg] = Value{K: KInt, I: ai}
+			case KFloat:
+				regs[in.reg] = Value{K: KFloat, F: qrnd(float64(ai))}
+			default:
+				regs[in.reg] = Value{K: KDouble, F: float64(ai)}
+			}
+
+		case opQLoad:
+			q := in.q
+			sbuf, si, sok := qresolve(regs, &q.tgt)
+			if !sok {
+				goto deopt
+			}
+			cyc += q.cyc
+			intops += q.intops
+			m.prof.LoadBytes += q.lbytes
+			if m.watchDepth > 0 {
+				m.qtrafIn(sbuf, q.tgt.ebytes)
+			}
+			qhits++
+			if in.dst >= 0 {
+				switch q.rk {
+				case KInt:
+					regs[in.dst] = Value{K: KInt, I: sbuf.I[si]}
+				case KFloat:
+					regs[in.dst] = Value{K: KFloat, F: qrnd(sbuf.F[si])}
+				default:
+					regs[in.dst] = Value{K: KDouble, F: sbuf.F[si]}
+				}
+			}
+
+		case opQStoreF:
+			q := in.q
+			var rf float64
+			var rb *Buffer
+			if q.a.plan == qoReg {
+				v := &regs[q.a.ref]
+				if v.K != q.a.kind {
+					goto deopt
+				}
+				rf = v.F
+			} else if q.a.plan == qoConst {
+				rf = q.a.f
+			} else {
+				b, i, ok := qresolve(regs, &q.a)
+				if !ok {
+					goto deopt
+				}
+				rf = b.F[i]
+				if q.a.round {
+					rf = qrnd(rf)
+				}
+				rb = b
+			}
+			sbuf, si, sok := qresolve(regs, &q.tgt)
+			if !sok {
+				goto deopt
+			}
+			res := rf
+			if q.acc {
+				old := sbuf.F[si]
+				if q.tgt.round {
+					old = qrnd(old) // loadElem rounds Float elements
+				}
+				switch q.cop {
+				case qAdd:
+					res = old + rf
+				case qSub:
+					res = old - rf
+				default:
+					res = old * rf
+				}
+			}
+			if q.rk == KFloat {
+				res = qrnd(res)
+			}
+			cyc += q.cyc
+			flops += q.flops
+			intops += q.intops
+			m.prof.LoadBytes += q.lbytes
+			m.prof.StoreBytes += q.sbytes
+			if m.watchDepth > 0 {
+				if rb != nil {
+					m.qtrafIn(rb, q.a.ebytes)
+				}
+				if q.acc {
+					m.qtrafIn(sbuf, q.tgt.ebytes)
+				}
+				m.qtrafOut(sbuf, q.tgt.ebytes)
+			}
+			qhits++
+			if q.tgt.round {
+				sbuf.F[si] = qrnd(res)
+			} else {
+				sbuf.F[si] = res
+			}
+			if in.dst >= 0 {
+				regs[in.dst] = Value{K: q.rk, F: res}
+			}
+
+		case opQStoreI:
+			q := in.q
+			var ri int64
+			var rb *Buffer
+			if q.a.plan == qoReg {
+				v := &regs[q.a.ref]
+				if v.K != KInt {
+					goto deopt
+				}
+				ri = v.I
+			} else if q.a.plan == qoConst {
+				ri = q.a.i
+			} else {
+				b, i, ok := qresolve(regs, &q.a)
+				if !ok {
+					goto deopt
+				}
+				ri = b.I[i]
+				rb = b
+			}
+			sbuf, si, sok := qresolve(regs, &q.tgt)
+			if !sok {
+				goto deopt
+			}
+			res := ri
+			if q.acc {
+				old := sbuf.I[si]
+				// applyCompound combines through float64, as the shared
+				// helper does.
+				switch q.cop {
+				case qAdd:
+					res = int64(float64(old) + float64(ri))
+				case qSub:
+					res = int64(float64(old) - float64(ri))
+				default:
+					res = int64(float64(old) * float64(ri))
+				}
+			}
+			cyc += q.cyc
+			flops += q.flops
+			intops += q.intops
+			m.prof.LoadBytes += q.lbytes
+			m.prof.StoreBytes += q.sbytes
+			if m.watchDepth > 0 {
+				if rb != nil {
+					m.qtrafIn(rb, q.a.ebytes)
+				}
+				if q.acc {
+					m.qtrafIn(sbuf, q.tgt.ebytes)
+				}
+				m.qtrafOut(sbuf, q.tgt.ebytes)
+			}
+			qhits++
+			sbuf.I[si] = res
+			if in.dst >= 0 {
+				regs[in.dst] = Value{K: KInt, I: res}
+			}
 		}
+		continue
+
+	deopt:
+		// A quickened guard missed: restore the generic opcode, pin the
+		// instruction generic, and re-execute it under generic dispatch —
+		// which reproduces the slow-path result, any runtime error, and
+		// the exact generic accounting.
+		in.op = in.gop
+		in.hot = math.MinInt32
+		in.q = nil
+		m.qDeopts++
+	redo:
+		// Roll this dispatch's entry accounting back before re-dispatching
+		// the instruction (also the landing point after a successful
+		// quickening rewrite).
+		nInstr--
+		if in.fuse != 0 {
+			nFused--
+			if tr {
+				fhits[in.fuse]--
+			}
+		}
+		if in.nsteps > 0 {
+			steps -= int64(in.nsteps)
+		}
+		pc--
 	}
-	m.dflush(steps, cyc, flops, intops, nInstr, nFused)
+	m.dflush(steps, cyc, flops, intops, nInstr, nFused, qhits, &fhits)
 	return nil
 }
 
@@ -874,13 +1556,17 @@ func (m *machine) dispatch(bf *bfunc, fr *bframe) error {
 // run profile. Dispatch calls it on every success-path return; error
 // returns skip it because Run never surfaces the profile, the counters,
 // or the step total of a failed run.
-func (m *machine) dflush(steps int64, cyc float64, flops, intops, nInstr, nFused int64) {
+func (m *machine) dflush(steps int64, cyc float64, flops, intops, nInstr, nFused, qhits int64, fhits *[NumFusePats]int64) {
 	m.steps = steps
 	m.prof.Cycles += cyc
 	m.prof.Flops += flops
 	m.prof.IntOps += intops
 	m.bcInstrs += nInstr
 	m.bcFused += nFused
+	m.qHits += qhits
+	if m.trace != nil {
+		m.trace.fold(fhits)
+	}
 }
 
 // operandNB resolves one fused operand without step accounting (the

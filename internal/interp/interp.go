@@ -57,6 +57,16 @@ const (
 	CounterBCInstrs    = "interp.bytecode.instructions"
 	CounterBCFused     = "interp.bytecode.fused"
 	CounterBCFallbacks = "interp.bytecode.fallbacks"
+	// Quickening counters: in-place rewrites of hot generic opcodes to
+	// type-specialized forms, dispatches served by a quickened form, and
+	// deoptimizations back to the generic form on a guard miss.
+	CounterBCQuickenRewrites = "interp.bytecode.quicken.rewrites"
+	CounterBCQuickenHits     = "interp.bytecode.quicken.hits"
+	CounterBCQuickenDeopts   = "interp.bytecode.quicken.deopts"
+	// Program-cache counters: lowerings actually performed vs Runs served
+	// from an already-lowered (and possibly already-quickened) program.
+	CounterBCLowerings = "interp.bytecode.lowerings"
+	CounterBCProgHits  = "interp.bytecode.progcache.hits"
 )
 
 // Config configures one execution.
@@ -82,6 +92,22 @@ type Config struct {
 	// path), kept as a second reference oracle for the three-way
 	// differential suite and for defensive fallback.
 	Closures bool
+	// QuickenThreshold is the per-instruction execution count after which
+	// the bytecode VM rewrites a generic opcode in place to its
+	// type-specialized (quickened) form. 0 selects DefaultQuickenThreshold;
+	// negative disables quickening. Quickened execution is bit-for-bit
+	// equivalent to generic execution (a guard miss deoptimizes back), so
+	// the threshold is purely a performance knob.
+	QuickenThreshold int
+	// Progs, when non-nil, caches lowered bytecode programs keyed by
+	// Fingerprint so repeat Runs of the same program skip lowering and
+	// inherit quickened instruction state from earlier runs. The first run
+	// of a fingerprint also captures a dispatch trace that mines the
+	// superinstruction set used by later lowerings of that program.
+	// Requires a nonzero Fingerprint; ignored for the non-bytecode engines.
+	Progs *ProgramCache
+	// Fingerprint identifies the program for Progs (minic.Fingerprint).
+	Fingerprint uint64
 }
 
 // Result is the outcome of one execution.
@@ -147,13 +173,27 @@ type machine struct {
 	// (superinstruction) dispatches this run.
 	bcInstrs int64
 	bcFused  int64
-	// framePool recycles bytecode frames (calls nest strictly LIFO);
+	// Quickening state: quickenAt is the hot-counter trip point (0
+	// disables), trace receives per-pattern dispatch counts when
+	// superinstruction mining is active, and the q* totals feed the
+	// interp.bytecode.quicken.* counters.
+	quickenAt int32
+	trace     *DispatchTrace
+	qRewrites int64
+	qHits     int64
+	qDeopts   int64
 	// biArgs is the fused-builtin argument scratch (builtins are leaf
 	// calls, so one buffer per machine suffices and keeps the argument
-	// slice off the heap).
-	framePool []*bframe
-	biArgs    [2]Value
+	// slice off the heap). Frames themselves recycle through the
+	// package-level frameArena.
+	biArgs [2]Value
 }
+
+// DefaultQuickenThreshold is the hot-counter trip point used when
+// Config.QuickenThreshold is 0: low enough that the bench kernels
+// quicken within their first loop entries, high enough that one-shot
+// straight-line code never pays the rewrite.
+const DefaultQuickenThreshold = 64
 
 // Run executes cfg.Entry in prog and returns the result with its profile.
 // By default the program is first lowered to slot-indexed closures
@@ -176,7 +216,6 @@ func Run(prog *minic.Program, cfg Config) (*Result, error) {
 		prof:     newProfile(watch),
 		maxSteps: maxSteps,
 		watch:    watch,
-		loopInfo: buildLoopInfo(prog),
 	}
 	if cfg.Ctx != nil {
 		if err := cfg.Ctx.Err(); err != nil {
@@ -190,18 +229,37 @@ func Run(prog *minic.Program, cfg Config) (*Result, error) {
 	var compileNanos int64
 	var compiledFuncs int64
 	var fallbacks int64
+	var progHits int64
 	switch {
 	case cfg.TreeWalk:
+		m.loopInfo = buildLoopInfo(prog)
 		ret, err = m.call(entry, cfg.Args, entry.NodePos())
 	case cfg.Closures:
+		m.loopInfo = buildLoopInfo(prog)
 		compileStart := time.Now()
 		cp := compileProgram(prog)
 		compileNanos = time.Since(compileStart).Nanoseconds()
 		compiledFuncs = int64(len(cp.funcs))
 		ret, err = m.callCompiled(cp.funcs[cfg.Entry], cfg.Args, entry.NodePos())
 	default:
+		m.quickenAt = quickenTrip(cfg.QuickenThreshold)
 		compileStart := time.Now()
-		bp := lowerBytecode(prog)
+		var bp *bprog
+		var lease *progLease
+		if cfg.Progs != nil && cfg.Fingerprint != 0 {
+			lease = cfg.Progs.lease(cfg.Fingerprint, prog)
+			bp = lease.bp
+			m.trace = lease.trace
+			m.loopInfo = lease.loops
+			if !lease.lowered {
+				progHits = 1
+			}
+		} else {
+			bp = lowerBytecode(prog, AllFusion)
+			if bp != nil {
+				m.loopInfo = buildLoopInfo(prog)
+			}
+		}
 		compileNanos = time.Since(compileStart).Nanoseconds()
 		if bp != nil {
 			compiledFuncs = int64(len(bp.funcs))
@@ -212,9 +270,14 @@ func Run(prog *minic.Program, cfg Config) (*Result, error) {
 			// the CI bench-smoke gate can assert it never fires on the
 			// bundled benchmarks.
 			fallbacks = 1
+			m.loopInfo = buildLoopInfo(prog)
 			cp := compileProgram(prog)
 			compiledFuncs = int64(len(cp.funcs))
 			ret, err = m.callCompiled(cp.funcs[cfg.Entry], cfg.Args, entry.NodePos())
+		}
+		if lease != nil {
+			m.trace = nil
+			cfg.Progs.release(lease, err == nil)
 		}
 	}
 	if err != nil {
@@ -224,7 +287,7 @@ func Run(prog *minic.Program, cfg Config) (*Result, error) {
 		cfg.Counters.Add(CounterRuns, 1)
 		cfg.Counters.Add(CounterOps, m.steps)
 		cfg.Counters.Add(CounterCycles, int64(m.prof.Cycles))
-		if compiledFuncs > 0 {
+		if compiledFuncs > 0 && progHits == 0 {
 			cfg.Counters.Add(CounterCompileFuncs, compiledFuncs)
 			cfg.Counters.Add(CounterCompileNanos, compileNanos)
 		}
@@ -232,23 +295,55 @@ func Run(prog *minic.Program, cfg Config) (*Result, error) {
 			cfg.Counters.Add(CounterBCInstrs, m.bcInstrs)
 			cfg.Counters.Add(CounterBCFused, m.bcFused)
 		}
+		if m.qRewrites > 0 {
+			cfg.Counters.Add(CounterBCQuickenRewrites, m.qRewrites)
+		}
+		if m.qHits > 0 {
+			cfg.Counters.Add(CounterBCQuickenHits, m.qHits)
+		}
+		if m.qDeopts > 0 {
+			cfg.Counters.Add(CounterBCQuickenDeopts, m.qDeopts)
+		}
 		if fallbacks > 0 {
 			cfg.Counters.Add(CounterBCFallbacks, fallbacks)
+		}
+		if compiledFuncs > 0 && !cfg.Closures {
+			if progHits > 0 {
+				cfg.Counters.Add(CounterBCProgHits, progHits)
+			} else if fallbacks == 0 {
+				cfg.Counters.Add(CounterBCLowerings, 1)
+			}
 		}
 	}
 	return &Result{Ret: ret, Prof: m.prof, Steps: m.steps, Output: m.output}, nil
 }
 
+// quickenTrip maps Config.QuickenThreshold onto the machine's int32 hot
+// trip point: 0 selects the default, negative disables (the hot counter
+// never reaches a zero trip in any bounded run), and large values clamp.
+func quickenTrip(threshold int) int32 {
+	switch {
+	case threshold < 0:
+		return 0
+	case threshold == 0:
+		return DefaultQuickenThreshold
+	case threshold > 1<<30:
+		return 1 << 30
+	default:
+		return int32(threshold)
+	}
+}
+
 // lowerBytecode wraps compileBytecode with a panic guard: the lowering is
 // exercised by the differential fuzzer and never expected to fail, but a
 // defect must degrade to the closure oracle, not crash a flow.
-func lowerBytecode(prog *minic.Program) (bp *bprog) {
+func lowerBytecode(prog *minic.Program, policy FusionPolicy) (bp *bprog) {
 	defer func() {
 		if recover() != nil {
 			bp = nil
 		}
 	}()
-	return compileBytecode(prog)
+	return compileBytecode(prog, policy)
 }
 
 // buildLoopInfo precomputes enclosing function and nesting depth for every

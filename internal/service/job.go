@@ -165,8 +165,12 @@ type Job struct {
 	ID   string
 	Spec JobSpec
 
-	bench     *bench.Benchmark
-	prog      *minic.Program // custom source, pre-parsed; nil = bundled
+	bench *bench.Benchmark
+	prog  *minic.Program // custom source, pre-parsed; nil = bundled
+	// fp is the program's fingerprint (custom source when set, bundled
+	// otherwise) and batchKey the derived batching identity (batch.go).
+	fp        uint64
+	batchKey  string
 	submitted time.Time
 	// events is the job's live stream broker, created by Server.register
 	// before the job is queued and closed when the job reaches a terminal
@@ -237,6 +241,14 @@ type JobResult struct {
 	// fault.degradations counter) — nonzero means the result is valid but
 	// was produced with fewer live substrates than requested.
 	DegradedDesigns int64 `json:"degraded_designs,omitempty"`
+	// Batched marks a job whose flow executed as part of a batch group of
+	// identical jobs (same program fingerprint and result-affecting spec):
+	// one leader execution produced the designs shared by the whole group.
+	// BatchSize is the group size and BatchLeader the job whose worker ran
+	// the flow (the leader carries its own ID).
+	Batched     bool   `json:"batched,omitempty"`
+	BatchSize   int    `json:"batch_size,omitempty"`
+	BatchLeader string `json:"batch_leader,omitempty"`
 	// Telemetry carries the job-scoped recorder's spans and counters.
 	Telemetry *telemetry.Report `json:"telemetry,omitempty"`
 }

@@ -15,6 +15,7 @@ import (
 	"psaflow/internal/events"
 	"psaflow/internal/experiments"
 	"psaflow/internal/faults"
+	"psaflow/internal/interp"
 	"psaflow/internal/telemetry"
 )
 
@@ -51,6 +52,17 @@ type Config struct {
 	// blank NDJSON line / SSE comment, so proxies don't kill the
 	// connection). Default 10s.
 	EventHeartbeat time.Duration
+	// Batch groups queued jobs that would execute the identical flow
+	// (same benchmark, program fingerprint, and result-affecting spec
+	// fields) behind one leader execution; followers receive copies of
+	// the leader's result (see batch.go). Off by default: batching is
+	// semantically transparent for results — the flow is deterministic —
+	// but follower cancellation becomes best-effort.
+	Batch bool
+	// QuickenThreshold tunes the interpreter's profile-guided opcode
+	// specialization for every job flow (0 = interp default, negative
+	// disables; see interp.Config.QuickenThreshold).
+	QuickenThreshold int
 	// RetainJobs caps terminal jobs kept in the in-memory registry; the
 	// oldest are evicted (with their event rings) beyond it. Status and
 	// result lookups for evicted jobs fall back to the persisted result
@@ -72,8 +84,9 @@ type Server struct {
 	cfg Config
 	mux *http.ServeMux
 
-	rec  *telemetry.Recorder // process-wide service recorder (/metrics)
-	runs *core.RunCache      // process-wide profiled-run cache
+	rec   *telemetry.Recorder  // process-wide service recorder (/metrics)
+	runs  *core.RunCache       // process-wide profiled-run cache
+	progs *interp.ProgramCache // process-wide lowered-bytecode cache
 
 	// ioFaults injects transient failures into persistence writes when
 	// Config.Faults includes the io kind (nil otherwise). Long-lived on
@@ -82,8 +95,12 @@ type Server struct {
 	ioFaults *faults.Injector
 	retry    faults.RetryPolicy // resolved Config.Retry (WithDefaults applied)
 
-	mu       sync.Mutex // guards jobs, retired, queue close, leftovers
+	mu       sync.Mutex // guards jobs, retired, queue close, leftovers, pendingBatch
 	jobs     map[string]*Job
+	// pendingBatch indexes still-queued jobs by batch key so a batch
+	// leader can claim identical jobs in one sweep (see batch.go). Only
+	// populated when Config.Batch is set.
+	pendingBatch map[string][]*Job
 	retired  []string // terminal job IDs, oldest first, for registry eviction
 	queue    chan *Job
 	draining atomic.Bool
@@ -108,13 +125,15 @@ func New(cfg Config) *Server {
 		cfg.QueueSize = 64
 	}
 	s := &Server{
-		cfg:    cfg,
-		rec:    telemetry.New(),
-		runs:   core.NewRunCache(),
-		jobs:   make(map[string]*Job),
-		queue:  make(chan *Job, cfg.QueueSize),
-		idBase: fmt.Sprintf("j%08x", uint32(time.Now().UnixNano())),
-		retry:  cfg.Retry.WithDefaults(),
+		cfg:          cfg,
+		rec:          telemetry.New(),
+		runs:         core.NewRunCache(),
+		progs:        interp.NewProgramCache(),
+		jobs:         make(map[string]*Job),
+		pendingBatch: make(map[string][]*Job),
+		queue:        make(chan *Job, cfg.QueueSize),
+		idBase:       fmt.Sprintf("j%08x", uint32(time.Now().UnixNano())),
+		retry:        cfg.Retry.WithDefaults(),
 	}
 	ioInj, err := faults.ParseSpec(cfg.Faults)
 	if err != nil {
@@ -137,6 +156,11 @@ func New(cfg Config) *Server {
 		if err != nil {
 			return nil, err
 		}
+		// Every job shares the process-wide program cache: identical
+		// programs submitted across jobs lower once and keep accumulating
+		// quickened instruction state.
+		env.Progs = s.progs
+		env.QuickenThreshold = s.cfg.QuickenThreshold
 		return experiments.RunBenchmarkEnv(ctx, job.bench, job.prog, opts, env, nil, rec, s.runs)
 	}
 	s.mux = http.NewServeMux()
@@ -244,10 +268,14 @@ func (s *Server) runJob(job *Job) {
 		defer cancel()
 	}
 	if !job.markRunning(cancel) {
-		// Cancelled while queued: the cancel handler already recorded the
-		// terminal state and counter; nothing to run.
+		// Cancelled while queued, or claimed as a batch follower: the
+		// cancel handler (or the batch leader) records the terminal state
+		// and counter; nothing to run.
 		return
 	}
+	// With batching on, this job leads every still-queued identical job:
+	// the flow below runs once and finishFollowers fans the result out.
+	followers := s.claimFollowers(job)
 	st := job.Status()
 	s.rec.Add(telemetry.CounterJobsStarted, 1)
 	s.rec.Add(telemetry.CounterQueueWaitMillis, int64(st.QueueWaitMS))
@@ -279,8 +307,18 @@ func (s *Server) runJob(job *Job) {
 	}
 	job.finish(state, msg, nil)
 	// The result embeds the terminal status, so build it after finish.
-	job.setResult(buildResult(job.Status(), class, results, rep))
+	res := buildResult(job.Status(), class, results, rep)
+	if len(followers) > 0 {
+		res.Batched = true
+		res.BatchSize = len(followers) + 1
+		res.BatchLeader = job.ID
+	}
+	job.setResult(res)
 	s.finalizeJob(job, counter)
+	s.finishFollowers(job, followers, &batchOutcome{
+		state: state, msg: msg, class: class,
+		results: results, rep: rep, counter: counter,
+	})
 }
 
 // Failure classes reported in JobResult.FailureClass.
@@ -347,6 +385,7 @@ func (s *Server) register(job *Job) (ok bool, draining bool) {
 	select {
 	case s.queue <- job:
 		s.jobs[job.ID] = job
+		s.enrollBatch(job)
 		s.rec.Add(telemetry.CounterQueueDepth, 1)
 		s.rec.Add(telemetry.CounterJobsSubmitted, 1)
 		s.rec.Add(telemetry.CounterEventsPublished, 1)
@@ -435,9 +474,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Spec:      spec,
 		bench:     b,
 		prog:      prog,
+		fp:        programFingerprint(b, prog),
 		submitted: time.Now(),
 		state:     StateQueued,
 	}
+	job.batchKey = batchKey(job)
 	ok, draining := s.register(job)
 	if draining {
 		writeErr(w, http.StatusServiceUnavailable, "server is draining")
@@ -546,6 +587,9 @@ type serviceMetrics struct {
 	RunCacheHits  int64          `json:"runcache_hits"`
 	RunCacheMiss  int64          `json:"runcache_misses"`
 	RunCacheSize  int            `json:"runcache_entries"`
+	ProgCacheSize int            `json:"progcache_entries"`
+	BatchGroups   int64          `json:"batch_groups"`
+	BatchJobs     int64          `json:"batch_jobs"`
 	QueueWaitMSav float64        `json:"queue_wait_ms_avg"`
 	// Live event-stream counters: events published across all job rings,
 	// events lost to ring eviction past slow watchers, and the current
@@ -591,6 +635,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			RunCacheHits:  hits,
 			RunCacheMiss:  misses,
 			RunCacheSize:  s.runs.Len(),
+			ProgCacheSize: s.progs.Len(),
+			BatchGroups:   rep.Counters[telemetry.CounterBatchGroups],
+			BatchJobs:     rep.Counters[telemetry.CounterBatchJobs],
 			QueueWaitMSav: waitAvg,
 
 			EventsPublished: rep.Counters[telemetry.CounterEventsPublished],

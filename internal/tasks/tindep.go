@@ -56,13 +56,20 @@ func runWorkload(ctx *core.Context, d *core.Design, watch string) (*interp.Resul
 	if ctx.Telemetry != nil {
 		counters = ctx.Telemetry
 	}
+	// One fingerprint serves both the run cache key and the bytecode
+	// program cache: repeat executions of an unchanged program reuse one
+	// lowered (and progressively quickened) bytecode image.
+	fp := minic.Fingerprint(d.Prog)
 	run := func() (*interp.Result, error) {
 		return interp.Run(d.Prog, interp.Config{
-			Entry:    ctx.Workload.Entry(),
-			Args:     ctx.Workload.Args(),
-			Watch:    watch,
-			Counters: counters,
-			Ctx:      ctx.Ctx,
+			Entry:            ctx.Workload.Entry(),
+			Args:             ctx.Workload.Args(),
+			Watch:            watch,
+			Counters:         counters,
+			Ctx:              ctx.Ctx,
+			QuickenThreshold: ctx.QuickenThreshold,
+			Progs:            ctx.Progs,
+			Fingerprint:      fp,
 		})
 	}
 	if ctx.Runs == nil {
@@ -73,7 +80,7 @@ func runWorkload(ctx *core.Context, d *core.Design, watch string) (*interp.Resul
 		w = ctx.Workload.Entry() // match interp.Run's watch default
 	}
 	key := core.RunKey{
-		Fingerprint: minic.Fingerprint(d.Prog),
+		Fingerprint: fp,
 		Workload:    ctx.Workload.Name(),
 		Entry:       ctx.Workload.Entry(),
 		Watch:       w,

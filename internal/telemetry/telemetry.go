@@ -85,6 +85,12 @@ const (
 	CounterJobsEvicted     = "service.jobs_evicted"  // terminal jobs evicted from the registry
 	CounterQueueDepth      = "service.queue_depth"
 	CounterQueueWaitMillis = "service.queue_wait_ms" // cumulative submit→start wait
+	// CounterBatchGroups / Jobs count batched multi-job executions: groups
+	// of queued jobs with identical program fingerprint and spec that ran
+	// through one leader flow (groups counts leader executions that carried
+	// at least one follower; jobs totals group members, leaders included).
+	CounterBatchGroups = "dse.batch.groups"
+	CounterBatchJobs   = "dse.batch.jobs"
 )
 
 // Event-stream counters fed by the psaflowd job-event broker and the

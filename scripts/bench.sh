@@ -43,6 +43,8 @@ awk -v date="$stamp" -v label="$label" '
             hit[name] = v
         } else if (unit == "interp-Mops/s") {
             if (!(name in mops) || v + 0 > mops[name] + 0) mops[name] = v
+        } else if (unit == "allocs/op") {
+            if (!(name in allocs) || v + 0 < allocs[name] + 0) allocs[name] = v
         }
     }
 }
@@ -53,6 +55,7 @@ END {
         printf "    \"%s\": {\"ns_per_op\": %s", name, ns[name]
         if (name in hit)  printf ", \"cache_hit_pct\": %s", hit[name]
         if (name in mops) printf ", \"interp_mops_per_s\": %s", mops[name]
+        if (name in allocs) printf ", \"allocs_per_op\": %s", allocs[name]
         printf "}%s\n", (i < n ? "," : "")
     }
     printf "  }\n}\n"
@@ -60,3 +63,12 @@ END {
 ' "$raw" > "$out"
 
 echo "wrote $out"
+
+# Informational diff against the previous snapshot (override with
+# BENCH_BASE=<file>). Regressions print but never fail a bench run —
+# gating happens in ci.sh via benchdiff's exit status.
+base="${BENCH_BASE:-$(grep -l '"ns_per_op"' BENCH_*.json 2>/dev/null | grep -v -F "$out" | tail -1 || true)}"
+if [ -n "$base" ] && [ -r "$base" ]; then
+    echo "diff vs $base:"
+    scripts/benchdiff.sh "$base" "$out" || true
+fi

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Diffs two perf-trajectory snapshots produced by scripts/bench.sh and
+# fails on regressions beyond a threshold.
+#
+# Usage: scripts/benchdiff.sh [-t pct] BASE.json NEW.json
+#
+#   -t pct   regression threshold in percent on ns/op (default 10; also
+#            settable via BENCHDIFF_THRESHOLD). A benchmark whose ns/op
+#            grew by more than this fails the diff; throughput and alloc
+#            columns are informational.
+#
+# Output is one row per benchmark: ns/op base -> new with the delta
+# (negative = faster), plus interp-throughput and allocs/op deltas where
+# both snapshots report them. Exit status: 0 = no regression beyond the
+# threshold, 1 = at least one, 2 = usage/parse error.
+set -euo pipefail
+
+threshold="${BENCHDIFF_THRESHOLD:-10}"
+while getopts "t:" opt; do
+    case "$opt" in
+    t) threshold="$OPTARG" ;;
+    *) echo "usage: $0 [-t pct] BASE.json NEW.json" >&2; exit 2 ;;
+    esac
+done
+shift $((OPTIND - 1))
+if [ $# -ne 2 ]; then
+    echo "usage: $0 [-t pct] BASE.json NEW.json" >&2
+    exit 2
+fi
+base="$1"
+new="$2"
+[ -r "$base" ] || { echo "benchdiff: cannot read $base" >&2; exit 2; }
+[ -r "$new" ] || { echo "benchdiff: cannot read $new" >&2; exit 2; }
+
+awk -v threshold="$threshold" -v basefile="$base" -v newfile="$new" '
+# bench.sh emits one benchmark per line:
+#   "Name": {"ns_per_op": N, "cache_hit_pct": H, "interp_mops_per_s": M, "allocs_per_op": A},
+/^[[:space:]]*"[^"]+": \{"ns_per_op":/ {
+    line = $0
+    match(line, /"[^"]+"/)
+    name = substr(line, RSTART + 1, RLENGTH - 2)
+    ns = field(line, "ns_per_op")
+    mops = field(line, "interp_mops_per_s")
+    allocs = field(line, "allocs_per_op")
+    if (FNR == NR) {
+        bns[name] = ns; bmops[name] = mops; ballocs[name] = allocs
+        if (!(name in bseen)) { border[++bn] = name; bseen[name] = 1 }
+    } else {
+        nns[name] = ns; nmops[name] = mops; nallocs[name] = allocs
+        if (!(name in nseen)) { norder[++nn] = name; nseen[name] = 1 }
+    }
+}
+function field(line, key,    rest) {
+    if (!match(line, "\"" key "\": [0-9.eE+-]+")) return ""
+    rest = substr(line, RSTART, RLENGTH)
+    sub(/^.*: /, "", rest)
+    return rest
+}
+function pct(old, cur) { return (cur - old) * 100.0 / old }
+END {
+    if (bn == 0 || nn == 0) {
+        printf "benchdiff: no benchmarks parsed (base %d, new %d)\n", bn, nn > "/dev/stderr"
+        exit 2
+    }
+    printf "%-28s %14s %14s %9s %9s %9s\n", "benchmark", "base ns/op", "new ns/op", "ns %", "mops %", "allocs %"
+    fails = 0
+    for (i = 1; i <= nn; i++) {
+        name = norder[i]
+        if (!(name in bns)) { printf "%-28s %14s (new benchmark)\n", name, nns[name]; continue }
+        d = pct(bns[name], nns[name])
+        flag = ""
+        if (d > threshold + 0) { flag = "  REGRESSION"; fails++ }
+        md = ""
+        if (bmops[name] != "" && nmops[name] != "") md = sprintf("%+8.1f%%", pct(bmops[name], nmops[name]))
+        ad = ""
+        if (ballocs[name] != "" && nallocs[name] != "" && ballocs[name] + 0 > 0)
+            ad = sprintf("%+8.1f%%", pct(ballocs[name], nallocs[name]))
+        printf "%-28s %14s %14s %+8.1f%% %9s %9s%s\n", name, bns[name], nns[name], d, md, ad, flag
+    }
+    for (i = 1; i <= bn; i++) {
+        name = border[i]
+        if (!(name in nns)) printf "%-28s %14s (dropped from new)\n", name, bns[name]
+    }
+    if (fails > 0) {
+        printf "benchdiff: %d benchmark(s) regressed beyond %s%% (%s -> %s)\n", fails, threshold, basefile, newfile > "/dev/stderr"
+        exit 1
+    }
+}
+' "$base" "$new"

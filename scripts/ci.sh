@@ -17,6 +17,14 @@ go test -race -run 'Equivalence' ./internal/interp/ ./internal/tasks/
 # gate — the VM must execute all five benchmarks natively, never via its
 # defensive closure fallback.
 go test -race -run 'ThreeWay|BytecodeNoFallback|BytecodeCancel' ./internal/interp/
+# Quickening equivalence under -race: type-specialized opcodes must match
+# generic dispatch bit-for-bit (results, buffers, error paths) and the
+# in-place rewrite must stay race-free on a shared program-cache image;
+# DispatchTrace covers hot-counter saturation.
+go test -race -run 'Quicken|DispatchTrace' ./internal/interp/
+# Batched multi-job execution: identical-fingerprint jobs must coalesce
+# behind one flow execution (one bytecode lowering for the whole group).
+go test -race -run 'Batch' ./internal/service/
 # Parallel DSE determinism under -race: pooled candidate evaluation must
 # stay bit-for-bit identical to the serial walk, faults included.
 go test -race -run 'ParallelDSE' ./internal/experiments/
@@ -27,6 +35,11 @@ go test -race -run 'Chaos|ZeroFault' ./internal/tasks/
 # Bench smoke: one shot of every harness benchmark, so a regression that
 # breaks a figure harness (not just a unit) fails CI.
 go test -run '^$' -bench . -benchtime=1x .
+# Perf-trajectory diff (informational): compare the two most recent
+# committed bench snapshots so regressions are visible in the CI log.
+# Never fails the build — the ns/op gate is for release branches via
+# `scripts/benchdiff.sh -t <pct>` directly.
+sh -c 'set -- $(grep -l "\"ns_per_op\"" BENCH_*.json | tail -2); [ $# -eq 2 ] && scripts/benchdiff.sh "$1" "$2" || true' || true
 # Docs gate: markdown links resolve, go code fences are gofmt-clean.
 scripts/checkdocs.sh
 # Chaos smoke (low seed count): every seeded informed flow must finish
