@@ -1,15 +1,19 @@
 // Command psaflowd serves PSA-flows over HTTP: clients POST MiniC source +
 // workload + mode to /v1/jobs, a bounded worker pool executes the flows
-// against one process-wide profiled-run cache, and results persist as JSON
-// under -data-dir. SIGINT/SIGTERM drains gracefully: the listener stops,
-// in-flight jobs finish, and still-queued jobs are snapshotted to disk and
-// restored on the next start.
+// against one process-wide profiled-run cache, and every job transition is
+// logged durably to a write-ahead store under -data-dir (submissions are
+// acknowledged only after the fsync). A crash loses nothing acknowledged:
+// the next start replays the WAL, serves finished results, and requeues
+// jobs that were queued or running. SIGINT/SIGTERM drains gracefully: the
+// listener stops, in-flight jobs finish, still-queued jobs stay in the
+// store, and a clean-shutdown marker suppresses the recovery log line.
 //
 // Usage:
 //
 //	psaflowd [-addr :8080] [-workers 4] [-queue 64] [-data-dir DIR]
 //	         [-timeout 5m] [-faults seed=1,rate=0.1,kinds=hls,run]
 //	         [-event-ring 1024] [-event-watchers 1024] [-retain 1024]
+//	         [-max-body 1048576] [-store-retain 0]
 //	         [-batch=true] [-quicken-threshold 0] [-v]
 //
 // Endpoints:
@@ -43,12 +47,14 @@ func main() {
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	workers := flag.Int("workers", 4, "worker pool size (concurrent flows)")
 	queueSize := flag.Int("queue", 64, "job queue capacity (beyond it, submissions get 429)")
-	dataDir := flag.String("data-dir", "", "persist job results and the drain snapshot here (empty = no persistence)")
+	dataDir := flag.String("data-dir", "", "root the durable job store (WAL, replayed on start) here (empty = no persistence)")
 	timeout := flag.Duration("timeout", 5*time.Minute, "default per-job run-time bound (0 = unbounded)")
 	faultSpec := flag.String("faults", "", `default fault-injection spec for jobs without their own ("" or "off" disables; kinds=io also targets persistence writes)`)
 	eventRing := flag.Int("event-ring", 0, "per-job event ring size: the /events replay window (0 = default 1024)")
 	eventWatchers := flag.Int("event-watchers", 0, "max concurrent /events watchers per job, beyond it 429 (0 = default 1024)")
-	retainJobs := flag.Int("retain", 0, "terminal jobs kept in memory before eviction to disk-backed lookups (0 = default 1024, negative = never evict)")
+	retainJobs := flag.Int("retain", 0, "terminal jobs kept in memory before eviction to store-backed lookups (0 = default 1024, negative = never evict)")
+	maxBody := flag.Int64("max-body", 0, "max submit request body in bytes, beyond it 413 (0 = default 1 MiB)")
+	storeRetain := flag.Int("store-retain", 0, "terminal job records kept in the durable store before tombstoning (0 = unlimited)")
 	batch := flag.Bool("batch", true, "batch queued jobs with identical program+spec behind one flow execution (followers receive copied results)")
 	quickenThreshold := flag.Int("quicken-threshold", 0, "interpreter hot-counter trip for profile-guided opcode specialization (0 = default, negative disables)")
 	verbose := flag.Bool("v", false, "log job lifecycle events")
@@ -75,6 +81,8 @@ func main() {
 		EventRingSize:     *eventRing,
 		MaxWatchersPerJob: *eventWatchers,
 		RetainJobs:        *retainJobs,
+		MaxBody:           *maxBody,
+		StoreRetain:       *storeRetain,
 
 		Batch:            *batch,
 		QuickenThreshold: *quickenThreshold,
@@ -94,24 +102,24 @@ func main() {
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigCh:
-		logger.Printf("%s: draining (in-flight jobs finish, queued jobs snapshot)", sig)
+		logger.Printf("%s: draining (in-flight jobs finish, queued jobs stay durable in the store)", sig)
 	case err := <-errCh:
 		logger.Fatalf("serve: %v", err)
 	}
 
 	// Stop accepting connections first, then drain the queue so no new job
-	// can slip in behind the snapshot.
+	// can slip in behind the clean-shutdown marker.
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		logger.Printf("http shutdown: %v", err)
 	}
-	snapshotted, err := s.Drain()
+	leftover, err := s.Drain()
 	if err != nil {
 		logger.Fatalf("drain: %v", err)
 	}
-	if snapshotted > 0 {
-		fmt.Fprintf(os.Stderr, "psaflowd: snapshotted %d queued job(s)\n", snapshotted)
+	if leftover > 0 {
+		fmt.Fprintf(os.Stderr, "psaflowd: %d queued job(s) remain durable in the store\n", leftover)
 	}
 	logger.Printf("drained cleanly")
 }

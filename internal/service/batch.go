@@ -99,6 +99,7 @@ func (s *Server) claimFollowers(leader *Job) []*Job {
 		if !f.markRunning(func() {}) {
 			continue // cancelled while queued (or already claimed)
 		}
+		s.logStart(f)
 		followers = append(followers, f)
 		st := f.Status()
 		s.rec.Add(telemetry.CounterJobsStarted, 1)

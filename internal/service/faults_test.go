@@ -11,13 +11,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"os"
-	"path/filepath"
 	"testing"
 	"time"
 
 	"psaflow/internal/experiments"
 	"psaflow/internal/faults"
+	"psaflow/internal/store"
 	"psaflow/internal/telemetry"
 )
 
@@ -151,13 +150,16 @@ func TestFailureClassification(t *testing.T) {
 func TestPersistIOFaultsRetried(t *testing.T) {
 	dir := t.TempDir()
 	s := New(Config{DataDir: dir, Faults: "seed=1,rate=0.4,kinds=io", Retry: fastRetry})
+	if err := s.openStore(); err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 20; i++ {
 		id := fmt.Sprintf("job-%02d", i)
 		if err := s.saveResult(id, &JobResult{JobStatus: JobStatus{ID: id, State: StateDone}}); err != nil {
 			t.Fatalf("saveResult %s: %v", id, err)
 		}
-		if _, err := os.Stat(filepath.Join(dir, "jobs", id+".json")); err != nil {
-			t.Fatalf("result %s not on disk: %v", id, err)
+		if e, ok := s.store.Get(id); !ok || e.Phase != store.PhaseTerminal {
+			t.Fatalf("result %s not in the store: %+v ok=%v", id, e, ok)
 		}
 	}
 	if got := s.rec.Counter(telemetry.CounterFaultsInjected); got == 0 {
@@ -174,6 +176,9 @@ func TestPersistIOFaultsRetried(t *testing.T) {
 func TestPersistIOFaultsExhaust(t *testing.T) {
 	dir := t.TempDir()
 	s := New(Config{DataDir: dir, Faults: "seed=1,rate=1,kinds=io", Retry: fastRetry})
+	if err := s.openStore(); err != nil {
+		t.Fatal(err)
+	}
 	err := s.saveResult("doomed", &JobResult{JobStatus: JobStatus{ID: "doomed"}})
 	if err == nil {
 		t.Fatal("rate=1 I/O injection still succeeded")
@@ -181,8 +186,10 @@ func TestPersistIOFaultsExhaust(t *testing.T) {
 	if faults.AsFault(err) == nil {
 		t.Errorf("exhausted persist error should carry the fault chain, got %v", err)
 	}
-	if _, statErr := os.Stat(filepath.Join(dir, "jobs", "doomed.json")); statErr == nil {
-		t.Error("failed write left a result file behind")
+	// The injection fires before the WAL append, so the failed write left
+	// no record behind.
+	if _, ok := s.store.Get("doomed"); ok {
+		t.Error("failed write left a store record behind")
 	}
 }
 

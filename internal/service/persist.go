@@ -7,20 +7,26 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"psaflow/internal/faults"
+	"psaflow/internal/store"
 	"psaflow/internal/telemetry"
 )
 
 // Persistence layout under Config.DataDir:
 //
-//	jobs/<id>.json   one JobResult per finished job (terminal states only)
-//	queue.json       drain snapshot: specs of the jobs that were still
-//	                 queued at SIGTERM, re-enqueued on the next Start
+//	store/           WAL-backed job store (internal/store): every submit,
+//	                 start, result, and cancel is appended durably, so a
+//	                 crash loses nothing that was acknowledged
+//	queue.json       clean-shutdown marker written by Drain; its absence at
+//	                 startup (with pending jobs in the store) means the
+//	                 previous process died and recovery ran
 //
-// Both are written atomically (temp file + rename) so a crash mid-write
-// never leaves a half-readable file.
+// Earlier releases kept loose per-job results under jobs/<id>.json and used
+// queue.json as a drain snapshot of still-queued specs. Both legacy forms
+// are migrated into the store on first open (see openStore).
 
 // validJobID rejects path-traversal in client-supplied job IDs before they
 // reach the filesystem.
@@ -79,7 +85,7 @@ func writeFileAtomic(path string, data []byte) error {
 		return cleanup(err)
 	}
 	// CreateTemp's 0600 would make results unreadable to other readers of
-	// the data dir (e.g. operators inspecting jobs/ directly).
+	// the data dir (e.g. operators inspecting the marker directly).
 	if err := tmp.Chmod(0o644); err != nil {
 		return cleanup(err)
 	}
@@ -100,129 +106,371 @@ func writeFileAtomic(path string, data []byte) error {
 	return d.Sync()
 }
 
-// saveResult persists one finished job's result.
-func (s *Server) saveResult(id string, res *JobResult) error {
-	if s.cfg.DataDir == "" {
-		return nil
-	}
-	dir := filepath.Join(s.cfg.DataDir, "jobs")
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	data, err := json.MarshalIndent(res, "", "  ")
-	if err != nil {
-		return err
-	}
-	return s.persistIO("persist:result:"+id, func() error {
-		return writeFileAtomic(filepath.Join(dir, id+".json"), data)
-	})
-}
+func (s *Server) storePath() string  { return filepath.Join(s.cfg.DataDir, "store") }
+func (s *Server) markerPath() string { return filepath.Join(s.cfg.DataDir, "queue.json") }
 
-// errNoResult distinguishes "never persisted" from real I/O failures.
-var errNoResult = errors.New("service: no persisted result")
-
-// loadResult reads a previously persisted result (possibly from an earlier
-// daemon run).
-func (s *Server) loadResult(id string) (*JobResult, error) {
-	if s.cfg.DataDir == "" || !validJobID(id) {
-		return nil, errNoResult
-	}
-	data, err := os.ReadFile(filepath.Join(s.cfg.DataDir, "jobs", id+".json"))
-	if err != nil {
-		return nil, errNoResult
-	}
-	var res JobResult
-	if err := json.Unmarshal(data, &res); err != nil {
-		return nil, fmt.Errorf("service: corrupt result %s: %w", id, err)
-	}
-	return &res, nil
-}
-
-// snapshotEntry is one queued job in the drain snapshot.
+// snapshotEntry is one queued job in the legacy drain snapshot (and in the
+// clean-shutdown marker's leftover list, which reuses the shape).
 type snapshotEntry struct {
 	ID          string  `json:"id"`
 	Spec        JobSpec `json:"spec"`
 	SubmittedAt string  `json:"submitted_at"`
 }
 
-func (s *Server) snapshotPath() string { return filepath.Join(s.cfg.DataDir, "queue.json") }
+// cleanMarker is the queue.json payload Drain writes. Distinguished from
+// the legacy drain snapshot (a JSON array) by being an object.
+type cleanMarker struct {
+	CleanShutdown bool   `json:"clean_shutdown"`
+	At            string `json:"at"`
+}
 
-// saveSnapshot writes the drained queue to disk (removing any stale file
-// when the queue drained empty).
-func (s *Server) saveSnapshot(jobs []*Job) error {
+// openStore opens (creating if needed) the WAL-backed job store and folds
+// in any legacy on-disk state: a pre-store drain snapshot becomes submit
+// records, loose per-job results become result records. It reports whether
+// the previous process shut down cleanly.
+func (s *Server) openStore() error {
 	if s.cfg.DataDir == "" {
-		return nil
-	}
-	if len(jobs) == 0 {
-		err := os.Remove(s.snapshotPath())
-		if err != nil && !os.IsNotExist(err) {
-			return err
-		}
-		return nil
+		return nil // persistence disabled (tests, ephemeral runs)
 	}
 	if err := os.MkdirAll(s.cfg.DataDir, 0o755); err != nil {
 		return err
 	}
-	entries := make([]snapshotEntry, 0, len(jobs))
-	for _, j := range jobs {
-		entries = append(entries, snapshotEntry{ID: j.ID, Spec: j.Spec, SubmittedAt: fmtTime(j.submitted)})
-	}
-	data, err := json.MarshalIndent(entries, "", "  ")
+	clean, legacy := s.consumeMarker()
+	st, err := store.Open(s.storePath(), store.Options{
+		RetainTerminal: s.cfg.StoreRetain,
+		Logf:           s.logf,
+	})
 	if err != nil {
+		return fmt.Errorf("service: open job store: %w", err)
+	}
+	s.store = st
+	if err := s.migrateLegacyResults(); err != nil {
 		return err
 	}
-	return s.persistIO("persist:snapshot", func() error {
-		return writeFileAtomic(s.snapshotPath(), data)
-	})
+	if err := s.migrateLegacyQueue(legacy); err != nil {
+		return err
+	}
+	if pending := st.Stats().PendingJobs; pending > 0 && !clean {
+		s.logf("unclean shutdown detected: %d unfinished job(s) recovered from the WAL", pending)
+	}
+	s.syncStoreCounters()
+	return nil
 }
 
-// restoreSnapshot re-enqueues jobs snapshotted by a previous drain,
-// preserving their IDs and submit order, then removes the snapshot. Jobs
-// whose spec no longer validates (or that exceed the queue) are dropped
-// with a log line rather than wedging startup.
-func (s *Server) restoreSnapshot() (int, error) {
-	if s.cfg.DataDir == "" {
-		return 0, nil
-	}
-	data, err := os.ReadFile(s.snapshotPath())
-	if os.IsNotExist(err) {
-		return 0, nil
-	}
+// consumeMarker reads and removes queue.json. A JSON object is the
+// clean-shutdown marker; a JSON array is a legacy drain snapshot whose
+// entries must be re-submitted through the store.
+func (s *Server) consumeMarker() (clean bool, legacy []snapshotEntry) {
+	data, err := os.ReadFile(s.markerPath())
 	if err != nil {
-		return 0, err
+		return false, nil
 	}
-	var entries []snapshotEntry
-	if err := json.Unmarshal(data, &entries); err != nil {
-		return 0, fmt.Errorf("service: corrupt queue snapshot: %w", err)
+	defer os.Remove(s.markerPath())
+	if trimmed := strings.TrimSpace(string(data)); strings.HasPrefix(trimmed, "[") {
+		if err := json.Unmarshal(data, &legacy); err != nil {
+			s.rec.Add(telemetry.CounterStoreSkippedCorrupt, 1)
+			s.logf("corrupt legacy queue snapshot skipped: %v", err)
+			return false, nil
+		}
+		return false, legacy
 	}
-	restored := 0
-	for _, e := range entries {
-		b, prog, err := e.Spec.validate()
-		if err != nil {
-			s.logf("restore %s: dropped: %v", e.ID, err)
+	var m cleanMarker
+	if err := json.Unmarshal(data, &m); err != nil || !m.CleanShutdown {
+		s.rec.Add(telemetry.CounterStoreSkippedCorrupt, 1)
+		s.logf("corrupt shutdown marker skipped: %v", err)
+		return false, nil
+	}
+	return true, nil
+}
+
+// migrateLegacyResults imports loose jobs/<id>.json results (the pre-store
+// layout) into the store as terminal records, then removes them. Corrupt
+// files are renamed aside (<name>.corrupt) and counted, never fatal.
+func (s *Server) migrateLegacyResults() error {
+	dir := filepath.Join(s.cfg.DataDir, "jobs")
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var recs []store.Record
+	var imported []string
+	for _, de := range ents {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ".json") {
 			continue
 		}
-		submitted, err := time.Parse(time.RFC3339Nano, e.SubmittedAt)
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		var res JobResult
+		if err == nil {
+			err = json.Unmarshal(data, &res)
+		}
+		if err == nil && (res.ID == "" || res.ID != strings.TrimSuffix(name, ".json")) {
+			err = fmt.Errorf("result ID %q does not match filename", res.ID)
+		}
 		if err != nil {
+			s.rec.Add(telemetry.CounterStoreSkippedCorrupt, 1)
+			s.logf("migrate %s: corrupt legacy result skipped: %v", name, err)
+			if rerr := os.Rename(path, path+".corrupt"); rerr != nil {
+				s.logf("migrate %s: could not set aside: %v", name, rerr)
+			}
+			continue
+		}
+		recs = append(recs, store.Record{
+			Op:    store.OpResult,
+			ID:    res.ID,
+			State: string(res.State),
+			Time:  res.SubmittedAt,
+			Data:  json.RawMessage(data),
+		})
+		imported = append(imported, path)
+	}
+	if len(recs) == 0 {
+		os.Remove(dir) // succeeds only when empty
+		return nil
+	}
+	// One batch, one fsync: a crash mid-migration leaves the legacy files
+	// in place and the next open retries (duplicate result records are
+	// harmless — the last one wins on replay).
+	if err := s.persistIO("wal:migrate", func() error { return s.store.AppendBatch(recs) }); err != nil {
+		return fmt.Errorf("service: migrate legacy results: %w", err)
+	}
+	for _, path := range imported {
+		os.Remove(path)
+	}
+	os.Remove(dir)
+	s.rec.Add(telemetry.CounterStoreMigrated, int64(len(recs)))
+	s.logf("migrated %d legacy result(s) into the job store", len(recs))
+	return nil
+}
+
+// migrateLegacyQueue imports a pre-store drain snapshot's queued jobs as
+// submit records; replayStore then requeues them like any crash-recovered
+// job.
+func (s *Server) migrateLegacyQueue(entries []snapshotEntry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	recs := make([]store.Record, 0, len(entries))
+	for _, e := range entries {
+		spec, err := json.Marshal(e.Spec)
+		if err != nil {
+			s.rec.Add(telemetry.CounterStoreSkippedCorrupt, 1)
+			s.logf("migrate %s: unencodable legacy spec skipped: %v", e.ID, err)
+			continue
+		}
+		recs = append(recs, store.Record{Op: store.OpSubmit, ID: e.ID, Time: e.SubmittedAt, Data: spec})
+	}
+	if err := s.persistIO("wal:migrate-queue", func() error { return s.store.AppendBatch(recs) }); err != nil {
+		return fmt.Errorf("service: migrate legacy queue snapshot: %w", err)
+	}
+	s.rec.Add(telemetry.CounterStoreMigrated, int64(len(recs)))
+	s.logf("migrated %d legacy queued job(s) into the job store", len(recs))
+	return nil
+}
+
+// replayStore re-enqueues every job the store reports as queued or running
+// — the crash-recovery path (and, for jobs imported by migrateLegacyQueue,
+// the restore path). Jobs whose spec no longer validates are evicted with
+// a log line and counter rather than wedging startup; a full queue leaves
+// the job in the store for the next start.
+func (s *Server) replayStore() (int, error) {
+	if s.store == nil {
+		return 0, nil
+	}
+	requeued := 0
+	for _, e := range s.store.Pending() {
+		var spec JobSpec
+		if err := json.Unmarshal(e.Spec, &spec); err != nil {
+			s.rec.Add(telemetry.CounterStoreSkippedCorrupt, 1)
+			s.logf("replay %s: dropped: corrupt spec: %v", e.ID, err)
+			s.evictUnreplayable(e.ID)
+			continue
+		}
+		b, prog, err := spec.validate()
+		if err != nil {
+			s.rec.Add(telemetry.CounterStoreSkippedCorrupt, 1)
+			s.logf("replay %s: dropped: %v", e.ID, err)
+			s.evictUnreplayable(e.ID)
+			continue
+		}
+		submitted, terr := time.Parse(time.RFC3339Nano, e.Submitted)
+		if terr != nil {
 			submitted = time.Now()
 		}
 		job := &Job{
 			ID:        e.ID,
-			Spec:      e.Spec,
+			Spec:      spec,
 			bench:     b,
 			prog:      prog,
+			fp:        programFingerprint(b, prog),
 			submitted: submitted,
 			state:     StateQueued,
 		}
+		job.batchKey = batchKey(job)
 		if ok, _ := s.register(job); !ok {
-			s.logf("restore %s: dropped: queue full", e.ID)
+			// Not evicted: the submit record stays durable and the next
+			// start (with a larger queue, or fewer jobs) retries.
+			s.logf("replay %s: queue full; left in store for next start", e.ID)
 			continue
 		}
-		restored++
+		requeued++
 	}
-	s.rec.Add(telemetry.CounterJobsRestored, int64(restored))
-	if err := os.Remove(s.snapshotPath()); err != nil {
-		return restored, err
+	if requeued > 0 {
+		s.rec.Add(telemetry.CounterJobsRestored, int64(requeued))
+		s.rec.Add(telemetry.CounterStoreRequeued, int64(requeued))
 	}
-	return restored, nil
+	return requeued, nil
+}
+
+// evictUnreplayable tombstones a pending record replayStore cannot turn
+// back into a job, so it stops resurfacing on every start.
+func (s *Server) evictUnreplayable(id string) {
+	if err := s.store.Append(store.Record{Op: store.OpEvict, ID: id}); err != nil {
+		s.logf("replay %s: evict: %v", id, err)
+	}
+}
+
+// errNoResult distinguishes "never persisted" from real I/O failures.
+var errNoResult = errors.New("service: no persisted result")
+
+// loadResult serves a previously persisted result from the store (possibly
+// from an earlier daemon run). A corrupt stored document is logged and
+// counted, and reads as absent — one bad record never breaks lookups.
+func (s *Server) loadResult(id string) (*JobResult, error) {
+	if s.store == nil || !validJobID(id) {
+		return nil, errNoResult
+	}
+	e, ok := s.store.Get(id)
+	if !ok || e.Phase != store.PhaseTerminal || len(e.Result) == 0 {
+		return nil, errNoResult
+	}
+	var res JobResult
+	if err := json.Unmarshal(e.Result, &res); err != nil {
+		s.rec.Add(telemetry.CounterStoreSkippedCorrupt, 1)
+		s.logf("job %s: corrupt stored result skipped: %v", id, err)
+		return nil, errNoResult
+	}
+	return &res, nil
+}
+
+// logSubmit appends a job's submit record durably. Submission is
+// acknowledged to the client only after this returns: an acked job exists
+// in the WAL, whatever happens to the process next.
+func (s *Server) logSubmit(job *Job) error {
+	if s.store == nil {
+		return nil
+	}
+	spec, err := json.Marshal(job.Spec)
+	if err != nil {
+		return err
+	}
+	return s.persistIO("wal:submit:"+job.ID, func() error {
+		return s.store.Append(store.Record{
+			Op:   store.OpSubmit,
+			ID:   job.ID,
+			Time: fmtTime(job.submitted),
+			Data: spec,
+		})
+	})
+}
+
+// rollbackSubmit evicts a submit record whose registration failed (queue
+// full or draining): the client got an error, so the job must not be
+// requeued by a later replay.
+func (s *Server) rollbackSubmit(id string) {
+	if s.store == nil {
+		return
+	}
+	err := s.persistIO("wal:rollback:"+id, func() error {
+		return s.store.Append(store.Record{Op: store.OpEvict, ID: id})
+	})
+	if err != nil {
+		// Harmless even if it sticks: replaying the submit just requeues a
+		// job the client was told to retry anyway.
+		s.logf("job %s: rollback: %v (job may be requeued on restart)", id, err)
+	}
+}
+
+// logStart appends a job's start transition. Best-effort: if the append
+// fails the job still runs, and a crash replays it as queued — re-running
+// a job is safe, losing one is not.
+func (s *Server) logStart(job *Job) {
+	if s.store == nil {
+		return
+	}
+	err := s.persistIO("wal:start:"+job.ID, func() error {
+		return s.store.Append(store.Record{Op: store.OpStart, ID: job.ID})
+	})
+	if err != nil {
+		s.logf("job %s: log start: %v", job.ID, err)
+	}
+}
+
+// saveResult persists one finished job's terminal result.
+func (s *Server) saveResult(id string, res *JobResult) error {
+	return s.saveTerminal(store.OpResult, id, res)
+}
+
+// saveCancel persists a queued-job cancellation (terminal without a run).
+func (s *Server) saveCancel(id string, res *JobResult) error {
+	return s.saveTerminal(store.OpCancel, id, res)
+}
+
+func (s *Server) saveTerminal(op store.Op, id string, res *JobResult) error {
+	if s.store == nil {
+		return nil
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	return s.persistIO("wal:"+string(op)+":"+id, func() error {
+		return s.store.Append(store.Record{
+			Op:    op,
+			ID:    id,
+			State: string(res.State),
+			Time:  res.SubmittedAt,
+			Data:  data,
+		})
+	})
+}
+
+// writeCleanMarker records a graceful shutdown so the next start can tell
+// a drain from a crash.
+func (s *Server) writeCleanMarker() error {
+	if s.cfg.DataDir == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(cleanMarker{CleanShutdown: true, At: fmtTime(time.Now())}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return s.persistIO("persist:marker", func() error {
+		return writeFileAtomic(s.markerPath(), data)
+	})
+}
+
+// syncStoreCounters mirrors the store's cumulative stats into the service
+// recorder as deltas, so /metrics and telemetry snapshots carry live
+// store.* counters without double counting.
+func (s *Server) syncStoreCounters() {
+	if s.store == nil {
+		return
+	}
+	cur := s.store.Stats()
+	s.storeStatsMu.Lock()
+	last := s.lastStoreStats
+	s.lastStoreStats = cur
+	s.storeStatsMu.Unlock()
+	s.rec.Add(telemetry.CounterStoreAppends, cur.Appends-last.Appends)
+	s.rec.Add(telemetry.CounterStoreFsyncs, cur.Fsyncs-last.Fsyncs)
+	s.rec.Add(telemetry.CounterStoreReplayed, cur.Replayed-last.Replayed)
+	s.rec.Add(telemetry.CounterStoreCompactions, cur.Compactions-last.Compactions)
+	s.rec.Add(telemetry.CounterStoreTornTail, cur.TornTails-last.TornTails)
+	s.rec.Add(telemetry.CounterStoreSkippedCorrupt, cur.SkippedCorrupt-last.SkippedCorrupt)
+	s.rec.Add(telemetry.CounterStoreEvicted, cur.Evicted-last.Evicted)
 }

@@ -1,0 +1,406 @@
+package service
+
+// Crash-recovery tests: the durability contract of the WAL-backed store
+// under hard process death. A "crash" here is a server abandoned without
+// Drain or Close — no flush, no marker, workers parked — which is exactly
+// the on-disk state a SIGKILL leaves behind, because every acknowledged
+// transition was fsynced before the ack. scripts/crashtest.sh repeats the
+// same scenario across a real kill -9 of the daemon binary.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"psaflow/internal/experiments"
+	"psaflow/internal/telemetry"
+)
+
+// gateHook is a runFlow stand-in with a per-job release valve, so a test
+// can finish some jobs and leave others mid-flight at "crash" time.
+type gateHook struct {
+	started chan string
+	gates   map[string]chan struct{} // job ID suffix → release
+}
+
+// hookServer builds a started server whose flows block until released
+// through the returned hook.
+func crashServer(t *testing.T, dir string, workers int) (*Server, *gateHook) {
+	t.Helper()
+	s := New(Config{Workers: workers, QueueSize: 16, DataDir: dir})
+	h := &gateHook{started: make(chan string, 64), gates: make(map[string]chan struct{})}
+	s.runFlow = func(ctx context.Context, job *Job, rec *telemetry.Recorder) ([]experiments.DesignResult, error) {
+		h.started <- job.ID
+		gate, ok := h.gates[job.ID]
+		if !ok {
+			return nil, nil // ungated jobs run through
+		}
+		select {
+		case <-gate:
+			return nil, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return s, h
+}
+
+// submitDirect registers a job without the HTTP layer (the handlers are
+// exercised elsewhere; these tests drive the persistence path).
+func submitDirect(t *testing.T, s *Server, spec JobSpec) *Job {
+	t.Helper()
+	b, prog, err := spec.validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := &Job{
+		ID:        s.newID(),
+		Spec:      spec,
+		bench:     b,
+		prog:      prog,
+		fp:        programFingerprint(b, prog),
+		submitted: time.Now(),
+		state:     StateQueued,
+	}
+	job.batchKey = batchKey(job)
+	if err := s.logSubmit(job); err != nil {
+		t.Fatalf("logSubmit: %v", err)
+	}
+	if ok, _ := s.register(job); !ok {
+		t.Fatalf("register %s failed", job.ID)
+	}
+	return job
+}
+
+func waitJobState(t *testing.T, job *Job, want JobState) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for job.State() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s, want %s", job.ID, job.State(), want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCrashRecoveryRequeuesAcknowledged is the core durability contract:
+// after a hard stop with jobs done, running, and queued, a fresh server
+// over the same data dir serves the finished job's result byte-identically
+// and requeues every unfinished acknowledged job — zero lost, zero
+// duplicated.
+func TestCrashRecoveryRequeuesAcknowledged(t *testing.T) {
+	dir := t.TempDir()
+	s1, h := crashServer(t, dir, 1)
+
+	// Job 1 runs to completion before the crash.
+	done := submitDirect(t, s1, JobSpec{Bench: "nbody"})
+	if id := <-h.started; id != done.ID {
+		t.Fatalf("started %s, want %s", id, done.ID)
+	}
+	waitJobState(t, done, StateDone)
+	preCrash, err := json.Marshal(done.Result())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Job 2 is mid-flight at crash time; jobs 3 and 4 never left the queue.
+	gateID := fmt.Sprintf("%s-%06d", s1.idBase, s1.nextID.Load()+1)
+	h.gates[gateID] = make(chan struct{}) // never released: "running at crash"
+	running := submitDirect(t, s1, JobSpec{Bench: "kmeans", Mode: "uninformed"})
+	if running.ID != gateID {
+		t.Fatalf("gate aimed at %s but job is %s", gateID, running.ID)
+	}
+	if id := <-h.started; id != running.ID {
+		t.Fatalf("started %s, want %s", id, running.ID)
+	}
+	queuedA := submitDirect(t, s1, JobSpec{Bench: "bezier"})
+	queuedB := submitDirect(t, s1, JobSpec{Bench: "adpredictor", TimeoutMS: 30000})
+
+	// CRASH: s1 is abandoned — no Drain, no Close, the worker still parked
+	// on the gate. Every acknowledged record is already fsynced.
+	s2, h2 := crashServer(t, dir, 2)
+	defer func() {
+		if _, err := s2.Drain(); err != nil {
+			t.Errorf("final drain: %v", err)
+		}
+	}()
+
+	if n := s2.rec.Counter(telemetry.CounterStoreRequeued); n != 3 {
+		t.Errorf("requeued counter = %d, want 3 (running + 2 queued)", n)
+	}
+	if n := s2.rec.Counter(telemetry.CounterJobsRestored); n != 3 {
+		t.Errorf("restored counter = %d, want 3", n)
+	}
+
+	// The finished job was NOT requeued (no duplicate execution) and its
+	// result replays byte-identically through the fresh server's handler.
+	if j := s2.lookup(done.ID); j != nil {
+		t.Errorf("finished job %s requeued after crash", done.ID)
+	}
+	res, err := s2.loadResult(done.ID)
+	if err != nil {
+		t.Fatalf("post-crash result load: %v", err)
+	}
+	postCrash, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(preCrash) != string(postCrash) {
+		t.Errorf("replayed result differs:\n pre: %s\npost: %s", preCrash, postCrash)
+	}
+
+	// Every unfinished acknowledged job came back under its old ID with
+	// its spec intact, and runs to completion.
+	for _, id := range []string{running.ID, queuedA.ID, queuedB.ID} {
+		j := s2.lookup(id)
+		if j == nil {
+			t.Fatalf("acknowledged job %s lost in the crash", id)
+		}
+	}
+	if j := s2.lookup(running.ID); j.Spec.Mode != "uninformed" {
+		t.Errorf("requeued job %s lost its spec: %+v", running.ID, j.Spec)
+	}
+	if j := s2.lookup(queuedB.ID); j.Spec.TimeoutMS != 30000 {
+		t.Errorf("requeued job %s lost its spec: %+v", queuedB.ID, j.Spec)
+	}
+	seen := map[string]int{}
+	for i := 0; i < 3; i++ {
+		select {
+		case id := <-h2.started:
+			seen[id]++
+		case <-time.After(10 * time.Second):
+			t.Fatalf("only %d of 3 requeued jobs started: %v", i, seen)
+		}
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Errorf("job %s executed %d times after recovery", id, n)
+		}
+	}
+	for _, j := range []*Job{s2.lookup(running.ID), s2.lookup(queuedA.ID), s2.lookup(queuedB.ID)} {
+		waitJobState(t, j, StateDone)
+	}
+}
+
+// TestCleanShutdownNoRecoveryNoise: a drained server leaves the marker, so
+// the next start requeues leftover queued jobs without declaring an
+// unclean shutdown, and with nothing pending starts silently.
+func TestCleanShutdownNoRecoveryNoise(t *testing.T) {
+	dir := t.TempDir()
+	var lines []string
+	s1 := New(Config{Workers: 1, QueueSize: 8, DataDir: dir})
+	h := &blockingHook{started: make(chan string, 8), release: make(chan struct{})}
+	s1.runFlow = func(ctx context.Context, job *Job, rec *telemetry.Recorder) ([]experiments.DesignResult, error) {
+		h.started <- job.ID
+		<-h.release
+		return nil, nil
+	}
+	if err := s1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	running := submitDirect(t, s1, JobSpec{Bench: "nbody"})
+	<-h.started
+	queued := submitDirect(t, s1, JobSpec{Bench: "kmeans"})
+
+	drainDone := make(chan error, 1)
+	go func() { _, err := s1.Drain(); drainDone <- err }()
+	// Release the in-flight job only once the drain flag is up, so the
+	// worker routes the queued job to the leftover list instead of running
+	// it (the nondeterminism a real SIGTERM doesn't have: its release is
+	// the flow finishing, well after draining is set).
+	for !s1.draining.Load() {
+		time.Sleep(time.Millisecond)
+	}
+	close(h.release)
+	if err := <-drainDone; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	waitJobState(t, running, StateDone)
+	if _, err := os.Stat(filepath.Join(dir, "queue.json")); err != nil {
+		t.Fatalf("no clean-shutdown marker after drain: %v", err)
+	}
+
+	s2 := New(Config{Workers: 1, QueueSize: 8, DataDir: dir, Logf: func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}})
+	s2.runFlow = func(ctx context.Context, job *Job, rec *telemetry.Recorder) ([]experiments.DesignResult, error) {
+		return nil, nil
+	}
+	if err := s2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range lines {
+		if strings.Contains(line, "unclean shutdown") {
+			t.Errorf("clean restart logged recovery noise: %q", line)
+		}
+	}
+	if j := s2.lookup(queued.ID); j == nil {
+		t.Fatalf("drained queued job %s not requeued", queued.ID)
+	}
+	waitJobState(t, s2.lookup(queued.ID), StateDone)
+	if _, err := os.Stat(filepath.Join(dir, "queue.json")); !os.IsNotExist(err) {
+		t.Errorf("marker not consumed on start (err=%v)", err)
+	}
+	if _, err := s2.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCancelledQueuedJobNotRequeued: a client-cancelled queued job is
+// terminal in the store, so a crash later must not resurrect it.
+func TestCancelledQueuedJobNotRequeued(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts := newTestServer(t, Config{Workers: 1, QueueSize: 8, DataDir: dir})
+	h := installBlockingHook(s1)
+	if err := s1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	run := submitOK(t, ts.URL, JobSpec{Bench: "nbody"})
+	h.waitStarted(t)
+	queued := submitOK(t, ts.URL, JobSpec{Bench: "kmeans"})
+	if code, _ := httpDelete(t, ts.URL+"/v1/jobs/"+queued.ID); code != http.StatusOK {
+		t.Fatalf("cancel queued job failed")
+	}
+	_ = run
+
+	// Crash without drain; the worker is still parked on the hook.
+	s2, _ := crashServer(t, dir, 1)
+	defer s2.Drain()
+	if j := s2.lookup(queued.ID); j != nil {
+		t.Errorf("cancelled job %s requeued after crash", queued.ID)
+	}
+	// Its cancel record still serves a terminal result.
+	res, err := s2.loadResult(queued.ID)
+	if err != nil {
+		t.Fatalf("cancelled job's stored result: %v", err)
+	}
+	if res.State != StateCancelled || res.FailureClass != FailureCancelled {
+		t.Errorf("stored cancel result wrong: %+v", res)
+	}
+}
+
+// TestLegacyLayoutMigration: a pre-store data dir — loose jobs/<id>.json
+// results plus a queue.json drain snapshot — is imported transparently on
+// first open: results serve from the store, snapshotted jobs requeue, and
+// one corrupt result file is skipped with a counter, not a failed start.
+func TestLegacyLayoutMigration(t *testing.T) {
+	dir := t.TempDir()
+	jobsDir := filepath.Join(dir, "jobs")
+	if err := os.MkdirAll(jobsDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	legacyRes := &JobResult{
+		JobStatus:  JobStatus{ID: "legacy-done", State: StateDone, Bench: "nbody", SubmittedAt: "2026-08-01T00:00:00Z"},
+		AutoTarget: "cpu-mt",
+	}
+	data, err := json.MarshalIndent(legacyRes, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(jobsDir, "legacy-done.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(jobsDir, "legacy-bad.json"), []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snapshot := `[{"id":"legacy-queued","spec":{"bench":"kmeans","mode":"uninformed"},"submitted_at":"2026-08-01T01:00:00Z"}]`
+	if err := os.WriteFile(filepath.Join(dir, "queue.json"), []byte(snapshot), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, h := crashServer(t, dir, 1)
+	defer s.Drain()
+	if n := s.rec.Counter(telemetry.CounterStoreMigrated); n != 2 {
+		t.Errorf("migrated counter = %d, want 2 (one result + one queued)", n)
+	}
+	if n := s.rec.Counter(telemetry.CounterStoreSkippedCorrupt); n != 1 {
+		t.Errorf("skipped_corrupt counter = %d, want 1", n)
+	}
+
+	// The good result serves; the corrupt one was set aside, not imported.
+	res, err := s.loadResult("legacy-done")
+	if err != nil || res.AutoTarget != "cpu-mt" {
+		t.Fatalf("migrated result wrong: %+v err=%v", res, err)
+	}
+	if _, err := os.Stat(filepath.Join(jobsDir, "legacy-bad.json.corrupt")); err != nil {
+		t.Errorf("corrupt legacy file not set aside: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(jobsDir, "legacy-done.json")); !os.IsNotExist(err) {
+		t.Errorf("migrated legacy file not removed (err=%v)", err)
+	}
+
+	// The snapshotted job requeued under its old ID and runs.
+	j := s.lookup("legacy-queued")
+	if j == nil {
+		t.Fatal("legacy queued job not requeued")
+	}
+	if j.Spec.Mode != "uninformed" {
+		t.Errorf("legacy job lost its spec: %+v", j.Spec)
+	}
+	if id := <-h.started; id != "legacy-queued" {
+		t.Errorf("started %s, want legacy-queued", id)
+	}
+	waitJobState(t, j, StateDone)
+
+	// Second open: nothing left to migrate, the result still serves.
+	if _, err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := crashServer(t, dir, 1)
+	defer s2.Drain()
+	if n := s2.rec.Counter(telemetry.CounterStoreMigrated); n != 0 {
+		t.Errorf("second open migrated %d records, want 0", n)
+	}
+	if _, err := s2.loadResult("legacy-done"); err != nil {
+		t.Errorf("migrated result lost after restart: %v", err)
+	}
+}
+
+// TestRejectedSubmitNotRequeued: a submission the client saw fail (queue
+// full → 429) must not come back from the WAL after a crash.
+func TestRejectedSubmitNotRequeued(t *testing.T) {
+	dir := t.TempDir()
+	s1 := New(Config{Workers: 1, QueueSize: 1, DataDir: dir})
+	h := installBlockingHook(s1)
+	if err := s1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ts := newHTTPServer(t, s1)
+	run := submitOK(t, ts, JobSpec{Bench: "nbody"})
+	h.waitStarted(t)
+	queued := submitOK(t, ts, JobSpec{Bench: "kmeans"})
+	code, _ := submit(t, ts, JobSpec{Bench: "bezier"})
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit: got %d, want 429", code)
+	}
+	_ = run
+
+	// Crash; only the two acknowledged jobs may return.
+	s2, _ := crashServer(t, dir, 1)
+	defer s2.Drain()
+	if n := s2.rec.Counter(telemetry.CounterStoreRequeued); n != 2 {
+		t.Errorf("requeued = %d, want 2 (running + queued, not the 429)", n)
+	}
+	if s2.lookup(queued.ID) == nil {
+		t.Errorf("acknowledged queued job %s lost", queued.ID)
+	}
+}
+
+// newHTTPServer wraps a prebuilt Server in a test listener (newTestServer
+// constructs its own Server, which these tests sometimes can't use).
+func newHTTPServer(t *testing.T, s *Server) string {
+	t.Helper()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}

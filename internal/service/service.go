@@ -6,7 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,6 +15,7 @@ import (
 	"psaflow/internal/experiments"
 	"psaflow/internal/faults"
 	"psaflow/internal/interp"
+	"psaflow/internal/store"
 	"psaflow/internal/telemetry"
 )
 
@@ -27,9 +27,17 @@ type Config struct {
 	// QueueSize bounds the FIFO job queue; a full queue rejects new
 	// submissions with 429 (backpressure). Default 64.
 	QueueSize int
-	// DataDir persists per-job results and the drain snapshot. Empty
-	// disables persistence (tests, ephemeral runs).
+	// MaxBody bounds the POST /v1/jobs request body in bytes; oversized
+	// submissions get 413. Default 1 MiB.
+	MaxBody int64
+	// DataDir roots the durable job store (DataDir/store, a write-ahead
+	// log replayed on start — see internal/store) and the clean-shutdown
+	// marker. Empty disables persistence (tests, ephemeral runs).
 	DataDir string
+	// StoreRetain caps terminal job records kept in the durable store;
+	// beyond it the oldest are tombstoned and reclaimed by compaction.
+	// 0 = unlimited.
+	StoreRetain int
 	// DefaultTimeout bounds a job's run time when the spec does not set
 	// timeout_ms; 0 means unbounded.
 	DefaultTimeout time.Duration
@@ -94,6 +102,15 @@ type Server struct {
 	// not of one job, so the occurrence counter spans the process.
 	ioFaults *faults.Injector
 	retry    faults.RetryPolicy // resolved Config.Retry (WithDefaults applied)
+
+	// store is the WAL-backed durability layer (nil when DataDir is
+	// empty): submits are acked only after their record is fsynced here,
+	// and startup replay requeues whatever a crash left unfinished.
+	store *store.Store
+	// storeStatsMu guards lastStoreStats, the high-water mark used to
+	// mirror the store's cumulative stats into the recorder as deltas.
+	storeStatsMu   sync.Mutex
+	lastStoreStats store.Stats
 
 	mu       sync.Mutex // guards jobs, retired, queue close, leftovers, pendingBatch
 	jobs     map[string]*Job
@@ -186,14 +203,19 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// Start restores any drain snapshot and spawns the worker pool.
+// Start opens the durable job store, replays it — requeueing every job
+// that was queued or running when the previous process stopped — and
+// spawns the worker pool.
 func (s *Server) Start() error {
-	restored, err := s.restoreSnapshot()
+	if err := s.openStore(); err != nil {
+		return err
+	}
+	requeued, err := s.replayStore()
 	if err != nil {
 		return err
 	}
-	if restored > 0 {
-		s.logf("restored %d queued job(s) from snapshot", restored)
+	if requeued > 0 {
+		s.logf("requeued %d job(s) from the durable store", requeued)
 	}
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -203,9 +225,11 @@ func (s *Server) Start() error {
 }
 
 // Drain stops the queue for good: no new submissions are accepted, workers
-// finish their in-flight jobs, and the jobs still queued are snapshotted to
-// DataDir for the next start. It returns the number of snapshotted jobs.
-// Call after the HTTP listener has shut down.
+// finish their in-flight jobs, and jobs still queued simply stay in the
+// durable store (their submit records were never superseded), to be
+// requeued by the next start. A clean-shutdown marker distinguishes this
+// from a crash. Returns the number of jobs left in the store. Call after
+// the HTTP listener has shut down.
 func (s *Server) Drain() (int, error) {
 	s.mu.Lock()
 	if s.drained {
@@ -223,14 +247,19 @@ func (s *Server) Drain() (int, error) {
 	leftover := s.leftover
 	s.leftover = nil
 	s.mu.Unlock()
-	sort.Slice(leftover, func(i, j int) bool { return leftover[i].submitted.Before(leftover[j].submitted) })
-	// Snapshotted jobs will resume in another process; end their event
+	// Leftover jobs will resume in another process; end their event
 	// streams here so attached watchers see the stream close, not a hang.
 	for _, job := range leftover {
 		job.events.Close()
 	}
-	if err := s.saveSnapshot(leftover); err != nil {
+	if err := s.writeCleanMarker(); err != nil {
 		return 0, err
+	}
+	s.syncStoreCounters()
+	if s.store != nil {
+		if err := s.store.Close(); err != nil {
+			return 0, err
+		}
 	}
 	return len(leftover), nil
 }
@@ -273,6 +302,7 @@ func (s *Server) runJob(job *Job) {
 		// and counter; nothing to run.
 		return
 	}
+	s.logStart(job)
 	// With batching on, this job leads every still-queued identical job:
 	// the flow below runs once and finishFollowers fans the result out.
 	followers := s.claimFollowers(job)
@@ -439,7 +469,9 @@ func (s *Server) newID() string {
 
 // --- HTTP handlers ---
 
-const maxRequestBody = 1 << 20 // untrusted MiniC source is capped at 1 MiB
+// defaultMaxBody caps the submit request body when Config.MaxBody is zero
+// (untrusted MiniC source should never approach a mebibyte).
+const defaultMaxBody = 1 << 20
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -454,13 +486,27 @@ func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
 	var spec JobSpec
-	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	maxBody := s.cfg.MaxBody
+	if maxBody <= 0 {
+		maxBody = defaultMaxBody
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
 	dec := json.NewDecoder(r.Body)
 	// A typoed field (time_out_ms) silently running with defaults is worse
 	// than a 400; the decoder's error names the offending field.
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.rec.Add(telemetry.CounterJobsRejected, 1)
+			writeErr(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
 		writeErr(w, http.StatusBadRequest, "invalid request body: %v", err)
 		return
 	}
@@ -479,12 +525,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		state:     StateQueued,
 	}
 	job.batchKey = batchKey(job)
+	// WAL first, ack second: once the 202 leaves, the job must survive a
+	// crash, so the submit record is fsynced before registration. If the
+	// registration then fails, the record is rolled back with a tombstone
+	// (and even an unrolled-back record is safe — see applyLocked's
+	// terminal-entry guard and the client's instruction to retry).
+	if err := s.logSubmit(job); err != nil {
+		s.logf("job %s: persist submit: %v", job.ID, err)
+		writeErr(w, http.StatusServiceUnavailable, "could not persist job submission; retry later")
+		return
+	}
 	ok, draining := s.register(job)
 	if draining {
+		s.rollbackSubmit(job.ID)
 		writeErr(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
 	if !ok {
+		s.rollbackSubmit(job.ID)
 		s.rec.Add(telemetry.CounterJobsRejected, 1)
 		writeErr(w, http.StatusTooManyRequests, "job queue is full (%d queued); retry later", s.cfg.QueueSize)
 		return
@@ -535,10 +593,17 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	if job.cancelQueued() {
 		// The worker will skip it when dequeued; the terminal state and
-		// counter are recorded here so the cancel is immediately visible.
+		// counter are recorded here so the cancel is immediately visible,
+		// and the store gets a cancel record so a restart doesn't requeue
+		// the job its client already killed.
 		s.rec.Add(telemetry.CounterJobsCancelled, 1)
 		s.publish(job, events.Event{Type: events.TypeCancelled, Detail: "cancelled before start"})
 		job.events.Close()
+		res := buildResult(job.Status(), FailureCancelled, nil, nil)
+		job.setResult(res)
+		if err := s.saveCancel(job.ID, res); err != nil {
+			s.logf("job %s: persist cancel: %v", job.ID, err)
+		}
 		s.retireJob(job)
 		s.logf("job %s: cancelled while queued", id)
 		writeJSON(w, http.StatusOK, job.Status())
@@ -604,6 +669,27 @@ type serviceMetrics struct {
 	RetryAttempts  int64 `json:"retry_attempts"`
 	Degradations   int64 `json:"fault_degradations"`
 	Fallbacks      int64 `json:"fault_fallbacks"`
+	// Store mirrors the durable job store's counters and gauges; nil when
+	// persistence is disabled (no -data-dir).
+	Store *storeMetrics `json:"store,omitempty"`
+}
+
+// storeMetrics is the /metrics view of the WAL-backed job store.
+type storeMetrics struct {
+	Appends        int64 `json:"appends"`
+	Fsyncs         int64 `json:"fsyncs"`
+	Replayed       int64 `json:"replayed"`
+	Requeued       int64 `json:"requeued"`
+	Compactions    int64 `json:"compactions"`
+	TornTails      int64 `json:"torn_tails"`
+	SkippedCorrupt int64 `json:"skipped_corrupt"`
+	Migrated       int64 `json:"migrated"`
+	Evicted        int64 `json:"evicted"`
+	Segments       int   `json:"segments"`
+	IndexedJobs    int   `json:"indexed_jobs"`
+	PendingJobs    int   `json:"pending_jobs"`
+	LiveFrames     int64 `json:"live_frames"`
+	DeadFrames     int64 `json:"dead_frames"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -613,6 +699,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		byState[string(j.State())]++
 	}
 	s.mu.Unlock()
+	// Fold the latest store deltas into the recorder before snapshotting
+	// so the telemetry counters and the service.store block agree.
+	s.syncStoreCounters()
+	var storeM *storeMetrics
+	if s.store != nil {
+		st := s.store.Stats()
+		storeM = &storeMetrics{
+			Appends:        st.Appends,
+			Fsyncs:         st.Fsyncs,
+			Replayed:       st.Replayed,
+			Compactions:    st.Compactions,
+			TornTails:      st.TornTails,
+			SkippedCorrupt: st.SkippedCorrupt,
+			Migrated:       s.rec.Counter(telemetry.CounterStoreMigrated),
+			Requeued:       s.rec.Counter(telemetry.CounterStoreRequeued),
+			Evicted:        st.Evicted,
+			Segments:       st.Segments,
+			IndexedJobs:    st.IndexedJobs,
+			PendingJobs:    st.PendingJobs,
+			LiveFrames:     st.LiveFrames,
+			DeadFrames:     st.DeadFrames,
+		}
+	}
 	hits, misses := s.runs.Stats()
 	rep := s.rec.Snapshot()
 	// Average over the jobs whose wait was actually recorded (every job a
@@ -648,6 +757,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			RetryAttempts:  rep.Counters[telemetry.CounterRetryAttempts],
 			Degradations:   rep.Counters[telemetry.CounterFaultDegradations],
 			Fallbacks:      rep.Counters[telemetry.CounterFaultFallbacks],
+			Store:          storeM,
 		},
 		Telemetry: rep,
 	})

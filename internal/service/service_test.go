@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"psaflow/internal/experiments"
+	"psaflow/internal/store"
 	"psaflow/internal/telemetry"
 )
 
@@ -161,21 +162,28 @@ func TestJobLifecycle(t *testing.T) {
 		t.Error("result has no telemetry")
 	}
 
-	if _, err := os.Stat(filepath.Join(dir, "jobs", st.ID+".json")); err != nil {
-		t.Fatalf("result not persisted: %v", err)
-	}
-
-	// A fresh server over the same data dir serves the old job from disk.
-	_, ts3 := newTestServer(t, Config{DataDir: dir})
-	if code, _ := getJSON(t, ts3.URL+"/v1/jobs/"+st.ID); code != http.StatusOK {
-		t.Errorf("restarted server: status from disk got %d", code)
-	}
-	if code, _ := getJSON(t, ts3.URL+"/v1/jobs/"+st.ID+"/result"); code != http.StatusOK {
-		t.Errorf("restarted server: result from disk got %d", code)
+	if e, ok := s.store.Get(st.ID); !ok || e.Phase != store.PhaseTerminal {
+		t.Fatalf("result not in the durable store: entry %+v ok=%v", e, ok)
 	}
 
 	if code, _ := getJSON(t, base+"/v1/jobs/nosuchjob"); code != http.StatusNotFound {
 		t.Errorf("unknown job: got %d, want 404", code)
+	}
+
+	// A fresh server over the same data dir serves the old job from the
+	// replayed store.
+	if _, err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	s3, ts3 := newTestServer(t, Config{DataDir: dir})
+	if err := s3.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := getJSON(t, ts3.URL+"/v1/jobs/"+st.ID); code != http.StatusOK {
+		t.Errorf("restarted server: status from store got %d", code)
+	}
+	if code, _ := getJSON(t, ts3.URL+"/v1/jobs/"+st.ID+"/result"); code != http.StatusOK {
+		t.Errorf("restarted server: result from store got %d", code)
 	}
 }
 
@@ -448,13 +456,34 @@ func TestDrainIdempotent(t *testing.T) {
 
 func TestRequestBodyLimit(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	big := fmt.Sprintf(`{"bench":"nbody","source":%q}`, strings.Repeat("x", maxRequestBody+1))
+	big := fmt.Sprintf(`{"bench":"nbody","source":%q}`, strings.Repeat("x", defaultMaxBody+1))
 	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(big))
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("oversized body: got %d, want 400", resp.StatusCode)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: got %d, want 413", resp.StatusCode)
+	}
+
+	// A custom -max-body tightens the cap; a body the default would have
+	// accepted is now rejected, and a small one still goes through.
+	_, tsSmall := newTestServer(t, Config{MaxBody: 512})
+	mid := fmt.Sprintf(`{"bench":"nbody","source":%q}`, strings.Repeat("x", 600))
+	resp, err = http.Post(tsSmall.URL+"/v1/jobs", "application/json", strings.NewReader(mid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over custom cap: got %d, want 413", resp.StatusCode)
+	}
+	resp, err = http.Post(tsSmall.URL+"/v1/jobs", "application/json", strings.NewReader(`{"bench":"nbody"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("small body under custom cap: got %d, want 202", resp.StatusCode)
 	}
 }

@@ -1,0 +1,537 @@
+// Package store is psaflowd's durability layer: a crash-safe, append-only
+// write-ahead log (WAL) of job records with an in-memory index rebuilt by
+// replay on open.
+//
+// Layout (one directory per store):
+//
+//	wal-<seq>.log    append-only segments of length+CRC32-framed records
+//	snap-<seq>.log   compaction snapshot, same frame format, covering
+//	                 every segment with a sequence number <= <seq>
+//
+// An append returns only after its record is fsynced; concurrent
+// appenders share fsyncs (group commit: whoever reaches the sync lock
+// first flushes everything buffered so far, and the rest observe their
+// record already durable). Replay tolerates a truncated final record —
+// a crash mid-append — by dropping it, and skips corrupt records with
+// counters instead of aborting the whole restore. Once dead frames
+// (superseded states, evicted jobs) outnumber live ones, a background
+// compaction rewrites the live index into a snapshot plus a fresh active
+// segment and deletes the old files.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Op is a job-record operation.
+type Op string
+
+// The five WAL record operations. Submit carries the job spec, Result
+// and Cancel carry the terminal result document; Start and Evict are
+// state-only.
+const (
+	OpSubmit Op = "submit"
+	OpStart  Op = "start"
+	OpResult Op = "result"
+	OpCancel Op = "cancel"
+	OpEvict  Op = "evict"
+)
+
+// Record is one WAL entry. Data is opaque to the store: the caller's
+// job spec for OpSubmit, its result document for OpResult/OpCancel.
+type Record struct {
+	Op    Op              `json:"op"`
+	ID    string          `json:"id"`
+	Time  string          `json:"t,omitempty"`     // caller timestamp (submit time)
+	State string          `json:"state,omitempty"` // terminal state for OpResult/OpCancel
+	Data  json.RawMessage `json:"data,omitempty"`
+}
+
+// Phase is a replayed job's coarse position.
+type Phase int
+
+// Queued and Running jobs are the ones a restart must requeue; Terminal
+// jobs serve their Result document.
+const (
+	PhaseQueued Phase = iota
+	PhaseRunning
+	PhaseTerminal
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseQueued:
+		return "queued"
+	case PhaseRunning:
+		return "running"
+	default:
+		return "terminal"
+	}
+}
+
+// Entry is the live, replayed view of one job.
+type Entry struct {
+	ID        string
+	Phase     Phase
+	State     string // terminal state string, "" until terminal
+	Submitted string // the submit record's timestamp, verbatim
+	Seq       uint64 // submission order (monotonic per store lifetime)
+	Spec      json.RawMessage
+	Result    json.RawMessage
+}
+
+// weight is the number of frames a compaction keeps for the entry:
+// queued = submit; running = submit + start; terminal = result only.
+func (e *Entry) weight() int64 {
+	if e.Phase == PhaseRunning {
+		return 2
+	}
+	return 1
+}
+
+// Options tunes a Store.
+type Options struct {
+	// NoSync skips fsyncs (fuzzing and hot test loops only — durability
+	// is the whole point of the store).
+	NoSync bool
+	// CompactMinDead is the dead-frame floor before background
+	// compaction triggers; dead frames must also outnumber live ones.
+	// 0 = default 1024; negative disables compaction.
+	CompactMinDead int
+	// RetainTerminal caps terminal job records kept in the store; beyond
+	// it the oldest-submitted terminal jobs are tombstoned (OpEvict) and
+	// reclaimed by the next compaction. 0 = unlimited.
+	RetainTerminal int
+	// Logf receives replay/compaction diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// Stats is a point-in-time snapshot of the store's counters and gauges.
+type Stats struct {
+	Appends        int64 // records appended since open (replay excluded)
+	Fsyncs         int64 // file syncs performed (group commit batches appends)
+	Replayed       int64 // records applied from disk by the open replay
+	Compactions    int64 // completed snapshot compactions
+	TornTails      int64 // truncated final records dropped at replay
+	SkippedCorrupt int64 // corrupt records/regions skipped instead of aborting
+	Evicted        int64 // retention tombstones appended
+	Segments       int   // on-disk files, the active segment included
+	IndexedJobs    int   // jobs in the in-memory index
+	PendingJobs    int   // indexed jobs still queued or running
+	LiveFrames     int64 // frames a compaction would keep
+	DeadFrames     int64 // superseded frames a compaction would drop
+}
+
+type counters struct {
+	appends, fsyncs, replayed, compactions, tornTails, skippedCorrupt, evicted int64
+}
+
+type diskFile struct {
+	seq  uint64
+	snap bool
+	path string
+}
+
+// Store is the WAL-backed job store. All methods are safe for concurrent
+// use.
+type Store struct {
+	dir  string
+	opts Options
+
+	// mu guards the index, accounting, stats, and the active segment's
+	// buffered writer; it is never held across an fsync.
+	mu          sync.Mutex
+	closed      bool
+	index       map[string]*Entry
+	terminal    []string // terminal job IDs, retention-eviction order
+	nextSeq     uint64
+	active      *segment
+	disk        []diskFile // sealed read-only files behind the active segment
+	writeSeq    uint64     // frames buffered/written to the active segment
+	liveFrames  int64
+	totalFrames int64
+	stats       counters
+
+	// syncMu serializes fsyncs and segment rotation; syncedSeq is the
+	// highest writeSeq known durable (guarded by syncMu).
+	syncMu    sync.Mutex
+	syncedSeq uint64
+
+	compacting atomic.Bool
+}
+
+var errClosed = errors.New("store: closed")
+
+func (s *Store) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// Open replays the WAL in dir (created if missing) and returns a store
+// appending to a fresh segment. Torn final records are dropped and
+// corrupt records skipped, both counted in Stats; only real I/O errors
+// fail the open.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, opts: opts, index: make(map[string]*Entry)}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []diskFile
+	for _, de := range ents {
+		name := de.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			os.Remove(s.path(name)) // interrupted compaction leftovers
+			continue
+		}
+		seq, snap, ok := parseSegmentName(name)
+		if !ok {
+			continue
+		}
+		files = append(files, diskFile{seq: seq, snap: snap, path: s.path(name)})
+	}
+	// The highest snapshot supersedes every file with a lower-or-equal
+	// sequence number; anything it covers is a leftover from a crash
+	// between a compaction's rename and its deletes.
+	var base uint64
+	hasSnap := false
+	for _, f := range files {
+		if f.snap && (!hasSnap || f.seq > base) {
+			base, hasSnap = f.seq, true
+		}
+	}
+	var replay []diskFile
+	var stale []string
+	var maxSeq uint64
+	for _, f := range files {
+		if f.seq > maxSeq {
+			maxSeq = f.seq
+		}
+		covered := hasSnap && (f.seq < base || (f.seq <= base && !f.snap))
+		if covered || (f.snap && f.seq != base) {
+			stale = append(stale, f.path)
+			continue
+		}
+		replay = append(replay, f)
+	}
+	sort.Slice(replay, func(i, j int) bool {
+		if replay[i].seq != replay[j].seq {
+			return replay[i].seq < replay[j].seq
+		}
+		return replay[i].snap // a snapshot precedes the segments above it
+	})
+	for i, f := range replay {
+		applied, skipped, goodOff, damaged, err := s.scanSegment(f.path)
+		if err != nil {
+			return nil, fmt.Errorf("store: replay %s: %w", f.path, err)
+		}
+		s.stats.replayed += applied
+		s.stats.skippedCorrupt += skipped
+		if damaged {
+			if i == len(replay)-1 {
+				// The newest file's tail tore mid-append; drop the
+				// partial record so the next open scans clean.
+				s.stats.tornTails++
+				s.logf("store: dropped torn tail of %s at offset %d", f.path, goodOff)
+				if err := os.Truncate(f.path, goodOff); err != nil {
+					s.logf("store: truncate %s: %v", f.path, err)
+				}
+			} else {
+				// Damage with newer files behind it is corruption, not a
+				// crash artifact; skip the remainder, keep the evidence.
+				s.stats.skippedCorrupt++
+				s.logf("store: %s corrupt beyond offset %d; skipping its remainder", f.path, goodOff)
+			}
+		}
+	}
+	for _, p := range stale {
+		os.Remove(p)
+	}
+	s.disk = replay
+	active, err := createSegment(dir, maxSeq+1, false)
+	if err != nil {
+		return nil, err
+	}
+	s.active = active
+	if err := syncDir(dir); err != nil {
+		return nil, err
+	}
+	s.enforceRetentionLocked()
+	if s.writeSeq > 0 { // retention tombstones were appended
+		if err := s.syncTo(s.writeSeq); err != nil {
+			return nil, err
+		}
+	}
+	s.maybeCompact()
+	return s, nil
+}
+
+func (s *Store) path(name string) string {
+	return filepath.Join(s.dir, name)
+}
+
+// Append logs one record durably: it returns only after the record is
+// framed, written, and fsynced (shared with concurrent appenders).
+func (s *Store) Append(rec Record) error {
+	return s.AppendBatch([]Record{rec})
+}
+
+// AppendBatch logs several records under one frame-write pass and at
+// most one fsync — the bulk path for migrations.
+func (s *Store) AppendBatch(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	payloads := make([][]byte, len(recs))
+	for i := range recs {
+		p, err := json.Marshal(recs[i])
+		if err != nil {
+			return err
+		}
+		if len(p) > maxFrame {
+			return fmt.Errorf("store: record %s/%s exceeds %d bytes", recs[i].Op, recs[i].ID, maxFrame)
+		}
+		payloads[i] = p
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errClosed
+	}
+	for i, p := range payloads {
+		if err := s.writeFrameLocked(p); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		s.writeSeq++
+		s.totalFrames++
+		s.stats.appends++
+		s.applyLocked(recs[i])
+	}
+	s.enforceRetentionLocked()
+	seq := s.writeSeq
+	s.mu.Unlock()
+	if err := s.syncTo(seq); err != nil {
+		return err
+	}
+	s.maybeCompact()
+	return nil
+}
+
+// syncTo makes every frame up to seq durable. Group commit: the caller
+// that wins syncMu flushes and fsyncs everything written so far; callers
+// queued behind it find their seq already covered and return without
+// touching the disk.
+func (s *Store) syncTo(seq uint64) error {
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
+	if s.syncedSeq >= seq {
+		return nil
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errClosed
+	}
+	seg := s.active
+	err := seg.w.Flush()
+	flushed := s.writeSeq
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if !s.opts.NoSync {
+		if err := seg.f.Sync(); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	s.stats.fsyncs++
+	s.mu.Unlock()
+	s.syncedSeq = flushed
+	return nil
+}
+
+// applyLocked folds one record into the index. Caller holds s.mu (or,
+// during Open, has exclusive ownership).
+func (s *Store) applyLocked(rec Record) {
+	switch rec.Op {
+	case OpSubmit:
+		if e := s.index[rec.ID]; e != nil {
+			if e.Phase == PhaseTerminal {
+				// Never resurrect a finished job into the queue: a
+				// crash-reordered or rolled-back submit must lose to the
+				// terminal record.
+				return
+			}
+			s.liveFrames -= e.weight()
+		}
+		s.nextSeq++
+		s.index[rec.ID] = &Entry{ID: rec.ID, Phase: PhaseQueued, Submitted: rec.Time, Seq: s.nextSeq, Spec: rec.Data}
+		s.liveFrames++
+	case OpStart:
+		e := s.index[rec.ID]
+		if e == nil || e.Phase != PhaseQueued {
+			return // unknown or duplicate start: the frame is just dead weight
+		}
+		e.Phase = PhaseRunning
+		s.liveFrames++
+	case OpResult, OpCancel:
+		e := s.index[rec.ID]
+		if e == nil {
+			// Migration imports results for jobs the WAL never saw.
+			s.nextSeq++
+			e = &Entry{ID: rec.ID, Seq: s.nextSeq, Submitted: rec.Time}
+			s.index[rec.ID] = e
+		} else {
+			if e.Phase == PhaseTerminal {
+				s.removeTerminalLocked(rec.ID)
+			}
+			s.liveFrames -= e.weight()
+		}
+		e.Phase = PhaseTerminal
+		e.State = rec.State
+		if rec.Op == OpCancel && e.State == "" {
+			e.State = "cancelled"
+		}
+		e.Result = rec.Data
+		e.Spec = nil
+		s.liveFrames++
+		s.terminal = append(s.terminal, rec.ID)
+	case OpEvict:
+		e := s.index[rec.ID]
+		if e == nil {
+			return
+		}
+		s.liveFrames -= e.weight()
+		if e.Phase == PhaseTerminal {
+			s.removeTerminalLocked(rec.ID)
+		}
+		delete(s.index, rec.ID)
+	default:
+		// Forward compatibility: an op this build doesn't know is noted,
+		// not fatal.
+		s.stats.skippedCorrupt++
+		s.logf("store: skipping record with unknown op %q", rec.Op)
+	}
+}
+
+func (s *Store) removeTerminalLocked(id string) {
+	for i, t := range s.terminal {
+		if t == id {
+			s.terminal = append(s.terminal[:i], s.terminal[i+1:]...)
+			return
+		}
+	}
+}
+
+// enforceRetentionLocked tombstones the oldest terminal jobs beyond
+// Options.RetainTerminal. The evict frames ride the caller's fsync.
+func (s *Store) enforceRetentionLocked() {
+	if s.opts.RetainTerminal <= 0 {
+		return
+	}
+	for len(s.terminal) > s.opts.RetainTerminal {
+		rec := Record{Op: OpEvict, ID: s.terminal[0]}
+		payload, err := json.Marshal(rec)
+		if err == nil {
+			err = s.writeFrameLocked(payload)
+		}
+		if err != nil {
+			s.logf("store: retention evict %s: %v", rec.ID, err)
+			return
+		}
+		s.writeSeq++
+		s.totalFrames++
+		s.stats.appends++
+		s.stats.evicted++
+		s.applyLocked(rec) // drops terminal[0]
+	}
+}
+
+// Get returns the live view of one job.
+func (s *Store) Get(id string) (Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.index[id]
+	if e == nil {
+		return Entry{}, false
+	}
+	return *e, true
+}
+
+// Pending returns the jobs a restart must requeue — queued or running at
+// the time the WAL went quiet — in submission order.
+func (s *Store) Pending() []Entry {
+	s.mu.Lock()
+	var out []Entry
+	for _, e := range s.index {
+		if e.Phase != PhaseTerminal {
+			out = append(out, *e)
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Stats snapshots the store's counters and gauges.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pending := 0
+	for _, e := range s.index {
+		if e.Phase != PhaseTerminal {
+			pending++
+		}
+	}
+	return Stats{
+		Appends:        s.stats.appends,
+		Fsyncs:         s.stats.fsyncs,
+		Replayed:       s.stats.replayed,
+		Compactions:    s.stats.compactions,
+		TornTails:      s.stats.tornTails,
+		SkippedCorrupt: s.stats.skippedCorrupt,
+		Evicted:        s.stats.evicted,
+		Segments:       len(s.disk) + 1,
+		IndexedJobs:    len(s.index),
+		PendingJobs:    pending,
+		LiveFrames:     s.liveFrames,
+		DeadFrames:     s.totalFrames - s.liveFrames,
+	}
+}
+
+// Close flushes and fsyncs the active segment and stops accepting
+// appends. The in-memory index stays readable.
+func (s *Store) Close() error {
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	seg := s.active
+	err := seg.w.Flush()
+	s.mu.Unlock()
+	if err == nil && !s.opts.NoSync {
+		err = seg.f.Sync()
+	}
+	if cerr := seg.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -102,6 +102,24 @@ const (
 	CounterEventWatchers   = "service.events.watchers"
 )
 
+// Durable-store counters mirrored from the WAL-backed job store (see
+// internal/store and docs/OPERATIONS.md). Appends/fsyncs gauge write and
+// group-commit traffic; replayed/requeued describe the last startup
+// recovery; torn_tail and skipped_corrupt count damage tolerated (not
+// fatal) during replay; migrated counts legacy loose-JSON records
+// imported on first open of an old data dir.
+const (
+	CounterStoreAppends        = "store.appends"
+	CounterStoreFsyncs         = "store.fsyncs"
+	CounterStoreReplayed       = "store.replayed"
+	CounterStoreRequeued       = "store.requeued" // queued/running jobs re-enqueued at startup
+	CounterStoreCompactions    = "store.compactions"
+	CounterStoreTornTail       = "store.torn_tail"
+	CounterStoreSkippedCorrupt = "store.skipped_corrupt"
+	CounterStoreMigrated       = "store.migrated"
+	CounterStoreEvicted        = "store.evicted" // retention tombstones in the WAL
+)
+
 // Fault-injection and retry counters fed by the resilience layer (see
 // internal/faults and docs/FAULTS.md). All stay zero when injection is off.
 const (

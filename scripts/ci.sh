@@ -48,9 +48,22 @@ CHAOS_SEEDS=2 CHAOS_OUT="$(mktemp -u)" scripts/chaos.sh
 # Event-streaming focus under -race: the per-job ring broker and the
 # NDJSON/SSE handlers serve concurrent watchers off shared cursors.
 go test -race -run 'Event|Stream|Watch' ./internal/events/ ./internal/service/
+# Durable store focus under -race: WAL group commit serves concurrent
+# appenders, and background compaction races live appends by design.
+go test -race ./internal/store/
+# WAL frame-decode fuzz (short budget): replay must tolerate arbitrary
+# torn/corrupt segment bytes without panicking or failing the open.
+go test -run '^$' -fuzz 'FuzzReplay' -fuzztime 10s ./internal/store/
+# Crash-recovery focus under -race: in-process hard-stop scenarios (done/
+# running/queued at crash time, legacy-layout migration, clean-shutdown
+# marker, rejected submissions).
+go test -race -run 'Crash|Recover|CleanShutdown|Migrat|RejectedSubmit|CancelledQueuedJob' ./internal/service/
 # Daemon smoke: boot psaflowd, run jobs through the HTTP API, SIGTERM,
 # require a graceful drain.
 scripts/smoke_service.sh
+# Crash-recovery gate: kill -9 the daemon mid-job, restart, require every
+# acknowledged job served byte-identically or requeued — zero lost.
+scripts/crashtest.sh
 # Streaming smoke under load: 4 jobs watched by 256 concurrent event
 # streams; fails if time-to-first-event p95 breaches 100ms.
 LOADTEST_OUT="$(mktemp -u)" scripts/loadtest.sh 4 256

@@ -36,8 +36,8 @@ done
 # any of the 8 jobs fails to reach state=done.
 "$tmp/client" -addr "http://$addr" -bench nbody -n 8 -json -wait 120s
 
-# Results were persisted.
-ls "$tmp/data/jobs/"*.json >/dev/null
+# Results were persisted into the durable store's WAL.
+ls "$tmp/data/store/"wal-*.log >/dev/null
 
 # Graceful drain: SIGTERM, clean exit, and the log says so.
 kill -TERM "$pid"
