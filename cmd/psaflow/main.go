@@ -3,11 +3,17 @@
 // and device, tuned parameters, estimated performance, execution trace,
 // and (optionally) the full generated target source.
 //
+// The flow graph defaults to the built-in PSA-flow of paper Fig. 4; -flow
+// runs a user-defined .psa document instead (see docs/FLOWS.md), and
+// -check validates a document without running anything.
+//
 // Usage:
 //
 //	psaflow -bench nbody [-mode informed|uninformed] [-timeout 30s] [-trace]
+//	        [-flow examples/flows/paper.psa] [-budget 0.5]
 //	        [-faults seed=1,rate=0.1,kinds=hls,run] [-task-timeout 10s]
 //	        [-emit] [-metrics] [-metrics-json out.json] [-v]
+//	psaflow -check examples/flows/paper.psa
 //	psaflow -list
 package main
 
@@ -21,6 +27,7 @@ import (
 	"psaflow/internal/core"
 	"psaflow/internal/experiments"
 	"psaflow/internal/faults"
+	"psaflow/internal/flowlang"
 	"psaflow/internal/tasks"
 	"psaflow/internal/telemetry"
 )
@@ -28,6 +35,9 @@ import (
 func main() {
 	name := flag.String("bench", "", "benchmark to run (see -list)")
 	mode := flag.String("mode", "informed", "branch point A mode: informed or uninformed")
+	flowFile := flag.String("flow", "", "run this .psa flow document instead of the built-in PSA-flow (see docs/FLOWS.md)")
+	check := flag.String("check", "", "parse and validate this .psa flow document, print diagnostics, and exit")
+	budget := flag.Float64("budget", 0, "cost budget for gated branches (0 = gate off; overrides the flow's budget setting)")
 	list := flag.Bool("list", false, "list available benchmarks")
 	sharing := flag.Bool("sharing", false, "enable FPGA resource sharing (recovers overmapped designs)")
 	trace := flag.Bool("trace", false, "print the provenance trace of each design")
@@ -43,10 +53,22 @@ func main() {
 	verbose := flag.Bool("v", false, "log flow execution")
 	flag.Parse()
 
-	inj, err := faults.ParseSpec(*faultSpec)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+	if *check != "" {
+		src, err := os.ReadFile(*check)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		f, err := flowlang.Parse(string(src))
+		if err == nil {
+			err = flowlang.Validate(f)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", *check, err)
+			os.Exit(2)
+		}
+		fmt.Printf("%s: ok (flow %q)\n", *check, f.Flow.Name)
+		return
 	}
 
 	if *list {
@@ -89,7 +111,42 @@ func main() {
 		runCtx, cancel = context.WithTimeout(runCtx, *timeout)
 		defer cancel()
 	}
-	env := experiments.JobEnv{Faults: inj, TaskTimeout: *taskTimeout, DSEWorkers: *dseWorkers, QuickenThreshold: *quickenThreshold}
+	env := experiments.JobEnv{TaskTimeout: *taskTimeout, DSEWorkers: *dseWorkers, QuickenThreshold: *quickenThreshold}
+	flowFaults := *faultSpec
+	if *flowFile != "" {
+		src, err := os.ReadFile(*flowFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		compiled, err := flowlang.CompileSource(string(src),
+			flowlang.Options{Mode: m, Sharing: *sharing, Strategy: tasks.DefaultStrategy})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", *flowFile, err)
+			os.Exit(2)
+		}
+		env.Flow = compiled.Flow
+		env.Budget = compiled.Budget
+		if compiled.HasRetry {
+			env.Retry = compiled.Retry
+		}
+		// CLI flags win over the document's settings.
+		if flowFaults == "" {
+			flowFaults = compiled.Faults
+		}
+	}
+	inj, err := faults.ParseSpec(flowFaults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	env.Faults = inj
+	if *budget > 0 {
+		env.Budget = *budget
+	}
+	if env.Budget > 0 {
+		env.Cost = experiments.DefaultCost
+	}
 	results, err := experiments.RunBenchmarkEnv(runCtx, b, nil,
 		tasks.FlowOptions{Mode: m, Strategy: tasks.DefaultStrategy, ResourceSharing: *sharing},
 		env, logf, rec, core.NewRunCache())

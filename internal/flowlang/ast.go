@@ -1,0 +1,205 @@
+package flowlang
+
+// The AST mirrors the document structure one-to-one. Every node keeps the
+// position of its leading keyword (and of every name it binds), so the
+// validator can anchor each diagnostic to the exact source span.
+
+// File is one parsed .psa document: named reusable fragments followed by
+// the flow itself.
+type File struct {
+	Defs []*DefDecl
+	Flow *FlowDecl
+}
+
+// DefDecl is a named, reusable statement sequence ("def" string block),
+// inlined wherever a UseStmt names it.
+type DefDecl struct {
+	KwPos   Pos
+	Name    string
+	NamePos Pos
+	Body    []Stmt
+}
+
+// FlowDecl is the document's flow: settings first, then statements.
+type FlowDecl struct {
+	KwPos    Pos
+	Name     string
+	NamePos  Pos
+	Settings []*Setting
+	Body     []Stmt
+}
+
+// SettingKind discriminates flow-level settings.
+type SettingKind int
+
+// Flow-level settings: a cost budget for gated branches, a default
+// fault-injection spec, and the engine retry policy.
+const (
+	SetBudget SettingKind = iota
+	SetFaults
+	SetRetry
+)
+
+func (k SettingKind) String() string {
+	switch k {
+	case SetBudget:
+		return "budget"
+	case SetFaults:
+		return "faults"
+	default:
+		return "retry"
+	}
+}
+
+// Setting is one flow-level setting. Budget uses Value; Faults uses Text;
+// Retry uses Attempts/RetryBudget with their Has* flags.
+type Setting struct {
+	KwPos Pos
+	Kind  SettingKind
+
+	Value    float64 // budget <number>
+	ValuePos Pos
+
+	Text    string // faults "<spec>"
+	TextPos Pos
+
+	Attempts    int // retry attempts=<int> [budget=<int>]
+	RetryBudget int
+	HasAttempts bool
+	HasBudget   bool
+}
+
+// Stmt is a flow statement: a task step, a branch point, a conditional
+// group, or a fragment use.
+type Stmt interface {
+	Pos() Pos
+	stmtNode()
+}
+
+// TaskStmt is "task" ident [ "(" ident ")" ]: one engine task, with the
+// device loop variable for device-parameterized tasks.
+type TaskStmt struct {
+	KwPos   Pos
+	Name    string
+	NamePos Pos
+	Arg     string // device variable; "" for parameterless tasks
+	ArgPos  Pos
+}
+
+// UseStmt is "use" string: inline the named def's statements here.
+type UseStmt struct {
+	KwPos   Pos
+	Name    string
+	NamePos Pos
+}
+
+// Cond is a when-condition: an optionally negated flow option ("sharing",
+// "informed", "uninformed") or a device property ("<var>.usm").
+type Cond struct {
+	NotPos  Pos
+	Neg     bool
+	Name    string // base identifier
+	NamePos Pos
+	Prop    string // property after '.'; "" for flow options
+	PropPos Pos
+}
+
+// String renders the condition as written.
+func (c Cond) String() string {
+	s := c.Name
+	if c.Prop != "" {
+		s += "." + c.Prop
+	}
+	if c.Neg {
+		s = "!" + s
+	}
+	return s
+}
+
+// WhenStmt is "when" cond block: the body is included only when the
+// condition holds for the compile-time flow options (mode, sharing) or the
+// bound device.
+type WhenStmt struct {
+	KwPos Pos
+	Cond  Cond
+	Body  []Stmt
+}
+
+// BranchArm is one alternative group at a branch point: an explicit path
+// or a foreach generating one path per catalog device.
+type BranchArm interface {
+	Pos() Pos
+	armNode()
+}
+
+// PathArm is `path "name" [as "flow-name"] block`. The sub-flow's
+// telemetry name defaults to the path name; "as" overrides it (the paper
+// flow names its target sub-flows "gpu-path"/"fpga-path"/"cpu-path" while
+// the paths stay "gpu"/"fpga"/"cpu" for the informed strategy).
+type PathArm struct {
+	KwPos       Pos
+	Name        string
+	NamePos     Pos
+	FlowName    string // "" = path name
+	FlowNamePos Pos
+	Body        []Stmt
+}
+
+// ForeachArm is `foreach var in set block`: one path per device of the
+// named catalog set ("gpus" or "fpgas"), the path named after the device
+// and its sub-flow "<enclosing path>/<device>". The loop variable binds
+// device-parameterized tasks and device-property conditions in the body.
+type ForeachArm struct {
+	KwPos  Pos
+	Var    string
+	VarPos Pos
+	Set    string
+	SetPos Pos
+	Body   []Stmt
+}
+
+// Strategy names a branch selector, with optional tuning arguments
+// (ai-threshold, transfer-bw) for the informed strategies.
+type Strategy struct {
+	Pos  Pos
+	Name string // "auto", "informed", or "all"
+	Args []StrategyArg
+}
+
+// StrategyArg is one key=number tuning argument.
+type StrategyArg struct {
+	Key    string
+	KeyPos Pos
+	Val    float64
+	ValPos Pos
+}
+
+// BranchStmt is a PSA branch point: named alternatives plus a selection
+// strategy, optionally gated by the budget feedback loop.
+type BranchStmt struct {
+	KwPos     Pos
+	Name      string
+	NamePos   Pos
+	Strategy  Strategy
+	Gated     bool
+	Revisions int
+	HasRev    bool
+	RevPos    Pos
+	Arms      []BranchArm
+}
+
+func (s *TaskStmt) Pos() Pos   { return s.KwPos }
+func (s *UseStmt) Pos() Pos    { return s.KwPos }
+func (s *WhenStmt) Pos() Pos   { return s.KwPos }
+func (s *BranchStmt) Pos() Pos { return s.KwPos }
+
+func (*TaskStmt) stmtNode()   {}
+func (*UseStmt) stmtNode()    {}
+func (*WhenStmt) stmtNode()   {}
+func (*BranchStmt) stmtNode() {}
+
+func (a *PathArm) Pos() Pos    { return a.KwPos }
+func (a *ForeachArm) Pos() Pos { return a.KwPos }
+
+func (*PathArm) armNode()    {}
+func (*ForeachArm) armNode() {}

@@ -1,0 +1,108 @@
+package flowlang_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"psaflow/internal/bench"
+	"psaflow/internal/core"
+	"psaflow/internal/experiments"
+	"psaflow/internal/flowlang"
+	"psaflow/internal/tasks"
+	"psaflow/internal/telemetry"
+)
+
+// resultFingerprint flattens everything Fig. 5 reports about one design —
+// label, verdict, speedup, breakdown, and the full provenance trace — into
+// a comparable string.
+func resultFingerprint(rs []experiments.DesignResult) []string {
+	var out []string
+	for _, r := range rs {
+		s := fmt.Sprintf("%s infeasible=%v speedup=%v kernel=%v total=%v note=%q",
+			r.Design.Label(), r.Infeasible, r.Speedup,
+			r.Breakdown.KernelTime, r.Breakdown.Total, r.Breakdown.Note)
+		for _, ev := range r.Design.Trace {
+			s += fmt.Sprintf("\n  %s %s %s", ev.Kind, ev.Name, ev.Detail)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// TestPaperFlowExecutionDiff is the execution half of the correctness
+// anchor: running examples/flows/paper.psa through the Fig. 5 harness must
+// produce bit-identical results — labels, speedups, verdicts, traces, and
+// the engine's telemetry counters — to the hard-coded graph, in both modes.
+func TestPaperFlowExecutionDiff(t *testing.T) {
+	src := readExample(t, "paper.psa")
+	b, err := bench.ByName("nbody")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counters := []string{
+		telemetry.CounterInterpRuns, telemetry.CounterInterpOps, telemetry.CounterInterpCycles,
+		telemetry.CounterHLSPartialCompiles, telemetry.CounterDesignsForked,
+		telemetry.CounterRunCacheHits, telemetry.CounterRunCacheMisses,
+		telemetry.CounterBudgetRevisions,
+	}
+	for _, mode := range []tasks.Mode{tasks.Informed, tasks.Uninformed} {
+		opts := tasks.FlowOptions{Mode: mode, Strategy: tasks.DefaultStrategy}
+
+		recWant := telemetry.New()
+		want, err := experiments.RunBenchmarkEnv(context.Background(), b, nil, opts,
+			experiments.JobEnv{}, nil, recWant, core.NewRunCache())
+		if err != nil {
+			t.Fatalf("mode %v: hard-coded flow: %v", mode, err)
+		}
+
+		compiled, err := flowlang.CompileSource(src, flowlang.Options{Mode: mode})
+		if err != nil {
+			t.Fatalf("mode %v: compile: %v", mode, err)
+		}
+		recGot := telemetry.New()
+		got, err := experiments.RunBenchmarkEnv(context.Background(), b, nil, opts,
+			experiments.JobEnv{Flow: compiled.Flow}, nil, recGot, core.NewRunCache())
+		if err != nil {
+			t.Fatalf("mode %v: DSL flow: %v", mode, err)
+		}
+
+		wantFP, gotFP := resultFingerprint(want), resultFingerprint(got)
+		if len(wantFP) != len(gotFP) {
+			t.Fatalf("mode %v: %d designs != %d\nhard-coded: %v\nDSL: %v",
+				mode, len(wantFP), len(gotFP), wantFP, gotFP)
+		}
+		for i := range wantFP {
+			if wantFP[i] != gotFP[i] {
+				t.Errorf("mode %v: design %d differs\nhard-coded: %s\nDSL:        %s",
+					mode, i, wantFP[i], gotFP[i])
+			}
+		}
+		for _, c := range counters {
+			if w, g := recWant.Counter(c), recGot.Counter(c); w != g {
+				t.Errorf("mode %v: counter %s: hard-coded %d, DSL %d", mode, c, w, g)
+			}
+		}
+	}
+}
+
+// TestMinimalFlowRuns smoke-runs the bundled two-task flow end to end.
+func TestMinimalFlowRuns(t *testing.T) {
+	b, err := bench.ByName("nbody")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := flowlang.CompileSource(readExample(t, "minimal.psa"), flowlang.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := experiments.RunBenchmarkEnv(context.Background(), b, nil,
+		tasks.FlowOptions{Mode: tasks.Uninformed, Strategy: tasks.DefaultStrategy},
+		experiments.JobEnv{Flow: c.Flow}, nil, nil, core.NewRunCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 {
+		t.Fatalf("got %d designs, want 1", len(rs))
+	}
+}

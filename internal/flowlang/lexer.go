@@ -1,0 +1,213 @@
+package flowlang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// LexError describes a lexical error with its position.
+type LexError struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *LexError) Error() string { return fmt.Sprintf("lex %s: %s", e.Pos, e.Msg) }
+
+// Lexer turns flow-DSL source text into a token stream. Comments run from
+// '#' or "//" to end of line. Identifiers may contain '-' (task names are
+// kebab-case), so "a-b" is one identifier, never a subtraction — the
+// language has no arithmetic.
+type Lexer struct {
+	src  []rune
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: []rune(src), line: 1, col: 1}
+}
+
+// Lex tokenizes the entire input, returning the token list terminated by a
+// TokEOF token.
+func Lex(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *Lexer) peek() rune {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peek2() rune {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *Lexer) advance() rune {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	r := lx.src[lx.off]
+	lx.off++
+	if r == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return r
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *Lexer) errorf(p Pos, format string, args ...any) error {
+	return &LexError{Pos: p, Msg: fmt.Sprintf(format, args...)}
+}
+
+// skipWS consumes whitespace and comments.
+func (lx *Lexer) skipWS() {
+	for {
+		r := lx.peek()
+		switch {
+		case r == ' ' || r == '\t' || r == '\r' || r == '\n':
+			lx.advance()
+		case r == '#', r == '/' && lx.peek2() == '/':
+			for lx.peek() != 0 && lx.peek() != '\n' {
+				lx.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	lx.skipWS()
+	p := lx.pos()
+	r := lx.peek()
+	switch {
+	case r == 0:
+		return Token{Kind: TokEOF, Pos: p}, nil
+	case isIdentStart(r):
+		return lx.lexIdent(p), nil
+	case unicode.IsDigit(r):
+		return lx.lexNumber(p)
+	case r == '"':
+		return lx.lexString(p)
+	}
+	lx.advance()
+	switch r {
+	case '{':
+		return Token{Kind: TokLBrace, Pos: p}, nil
+	case '}':
+		return Token{Kind: TokRBrace, Pos: p}, nil
+	case '(':
+		return Token{Kind: TokLParen, Pos: p}, nil
+	case ')':
+		return Token{Kind: TokRParen, Pos: p}, nil
+	case ',':
+		return Token{Kind: TokComma, Pos: p}, nil
+	case '=':
+		return Token{Kind: TokAssign, Pos: p}, nil
+	case '!':
+		return Token{Kind: TokNot, Pos: p}, nil
+	case '.':
+		return Token{Kind: TokDot, Pos: p}, nil
+	}
+	return Token{}, lx.errorf(p, "unexpected character %q", r)
+}
+
+func (lx *Lexer) lexIdent(p Pos) Token {
+	var sb strings.Builder
+	for isIdentPart(lx.peek()) {
+		sb.WriteRune(lx.advance())
+	}
+	name := sb.String()
+	if kw, ok := keywords[name]; ok {
+		return Token{Kind: kw, Lit: name, Pos: p}
+	}
+	return Token{Kind: TokIdent, Lit: name, Pos: p}
+}
+
+func (lx *Lexer) lexNumber(p Pos) (Token, error) {
+	var sb strings.Builder
+	for unicode.IsDigit(lx.peek()) {
+		sb.WriteRune(lx.advance())
+	}
+	if lx.peek() == '.' && unicode.IsDigit(lx.peek2()) {
+		sb.WriteRune(lx.advance())
+		for unicode.IsDigit(lx.peek()) {
+			sb.WriteRune(lx.advance())
+		}
+	}
+	if lx.peek() == 'e' || lx.peek() == 'E' {
+		sb.WriteRune(lx.advance())
+		if lx.peek() == '+' || lx.peek() == '-' {
+			sb.WriteRune(lx.advance())
+		}
+		if !unicode.IsDigit(lx.peek()) {
+			return Token{}, lx.errorf(p, "malformed exponent in number %q", sb.String())
+		}
+		for unicode.IsDigit(lx.peek()) {
+			sb.WriteRune(lx.advance())
+		}
+	}
+	return Token{Kind: TokNumber, Lit: sb.String(), Pos: p}, nil
+}
+
+func (lx *Lexer) lexString(p Pos) (Token, error) {
+	lx.advance() // opening quote
+	var sb strings.Builder
+	for {
+		r := lx.peek()
+		if r == 0 || r == '\n' {
+			return Token{}, lx.errorf(p, "unterminated string literal")
+		}
+		if r == '"' {
+			lx.advance()
+			return Token{Kind: TokString, Lit: sb.String(), Pos: p}, nil
+		}
+		if r == '\\' {
+			lx.advance()
+			esc := lx.advance()
+			switch esc {
+			case 'n':
+				sb.WriteRune('\n')
+			case 't':
+				sb.WriteRune('\t')
+			case '\\', '"':
+				sb.WriteRune(esc)
+			default:
+				return Token{}, lx.errorf(p, "unsupported escape \\%c", esc)
+			}
+			continue
+		}
+		sb.WriteRune(lx.advance())
+	}
+}

@@ -1,0 +1,173 @@
+package flowlang_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"psaflow/internal/flowlang"
+)
+
+// readExample loads one bundled .psa document.
+func readExample(t testing.TB, name string) string {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("..", "..", "examples", "flows", name))
+	if err != nil {
+		t.Fatalf("read example %s: %v", name, err)
+	}
+	return string(src)
+}
+
+func TestParseExamples(t *testing.T) {
+	for _, name := range []string{"paper.psa", "minimal.psa", "faults.psa"} {
+		f, err := flowlang.Parse(readExample(t, name))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if f.Flow == nil || f.Flow.Name == "" {
+			t.Errorf("%s: parsed file has no named flow", name)
+		}
+	}
+}
+
+func TestParseStructure(t *testing.T) {
+	src := `
+def "analysis" {
+  task identify-hotspots
+  task extract-hotspot
+}
+flow "demo" {
+  budget 0.5
+  faults "seed=1,rate=0.1"
+  retry attempts=3 budget=8
+  use "analysis"
+  branch "A" strategy informed(ai-threshold=4.5, transfer-bw=9e9) gated revisions 2 {
+    path "gpu" as "gpu-path" {
+      task generate-hip
+      branch "B" strategy all {
+        foreach dev in gpus {
+          task blocksize-dse(dev)
+        }
+      }
+    }
+    path "cpu" {
+      when !sharing { task omp-parallel-loops }
+      task render-design
+    }
+  }
+}`
+	f, err := flowlang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Defs) != 1 || f.Defs[0].Name != "analysis" || len(f.Defs[0].Body) != 2 {
+		t.Fatalf("defs = %+v", f.Defs)
+	}
+	fl := f.Flow
+	if fl.Name != "demo" || len(fl.Settings) != 3 || len(fl.Body) != 2 {
+		t.Fatalf("flow = %q settings=%d body=%d", fl.Name, len(fl.Settings), len(fl.Body))
+	}
+	if s := fl.Settings[0]; s.Kind != flowlang.SetBudget || s.Value != 0.5 {
+		t.Errorf("setting 0 = %+v", s)
+	}
+	if s := fl.Settings[2]; s.Kind != flowlang.SetRetry || s.Attempts != 3 || s.RetryBudget != 8 {
+		t.Errorf("setting 2 = %+v", s)
+	}
+	br, ok := fl.Body[1].(*flowlang.BranchStmt)
+	if !ok {
+		t.Fatalf("body[1] = %T", fl.Body[1])
+	}
+	if br.Name != "A" || !br.Gated || !br.HasRev || br.Revisions != 2 {
+		t.Errorf("branch = %+v", br)
+	}
+	if br.Strategy.Name != "informed" || len(br.Strategy.Args) != 2 ||
+		br.Strategy.Args[0].Key != "ai-threshold" || br.Strategy.Args[0].Val != 4.5 ||
+		br.Strategy.Args[1].Key != "transfer-bw" || br.Strategy.Args[1].Val != 9e9 {
+		t.Errorf("strategy = %+v", br.Strategy)
+	}
+	if len(br.Arms) != 2 {
+		t.Fatalf("arms = %d", len(br.Arms))
+	}
+	gpu := br.Arms[0].(*flowlang.PathArm)
+	if gpu.Name != "gpu" || gpu.FlowName != "gpu-path" {
+		t.Errorf("gpu arm = %+v", gpu)
+	}
+	inner := gpu.Body[1].(*flowlang.BranchStmt)
+	fe, ok := inner.Arms[0].(*flowlang.ForeachArm)
+	if !ok || fe.Var != "dev" || fe.Set != "gpus" {
+		t.Errorf("foreach = %+v", inner.Arms[0])
+	}
+	ts := fe.Body[0].(*flowlang.TaskStmt)
+	if ts.Name != "blocksize-dse" || ts.Arg != "dev" {
+		t.Errorf("task = %+v", ts)
+	}
+	cpu := br.Arms[1].(*flowlang.PathArm)
+	if cpu.FlowName != "" {
+		t.Errorf("cpu arm FlowName = %q", cpu.FlowName)
+	}
+	wh := cpu.Body[0].(*flowlang.WhenStmt)
+	if wh.Cond.String() != "!sharing" {
+		t.Errorf("cond = %q", wh.Cond.String())
+	}
+}
+
+// TestParseErrors pins exact first-error messages and positions: the parser
+// (like minic's) stops at the first syntax error.
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"no flow", `task identify-hotspots`, `parse 1:1: expected flow declaration, found task`},
+		{"flow name", "flow demo {}", `parse 1:6: expected string literal, found identifier "demo"`},
+		{"trailing", "flow \"d\" { task render-design }\nflow \"e\" {}", `parse 2:1: expected EOF after flow declaration, found flow`},
+		{"setting after stmt", "flow \"d\" {\n  task render-design\n  budget 2\n}", `parse 3:3: expected a statement (task, branch, when, use), found budget`},
+		{"bad retry key", "flow \"d\" {\n  retry tries=3\n}", `parse 2:9: unknown retry key "tries" (want attempts or budget)`},
+		{"empty retry", "flow \"d\" {\n  retry\n}", `parse 2:3: retry needs at least one of attempts=N, budget=N`},
+		{"arm", "flow \"d\" {\n  branch \"A\" strategy all {\n    task render-design\n  }\n}", `parse 3:5: expected a branch arm (path or foreach), found task`},
+		{"unterminated string", `flow "d`, `lex 1:6: unterminated string literal`},
+		{"bad char", "flow \"d\" {\n  task a; task b\n}", `lex 2:9: unexpected character ';'`},
+		{"bad exponent", "flow \"d\" {\n  budget 1e\n}", `lex 2:10: malformed exponent in number "1e"`},
+	}
+	for _, tc := range cases {
+		_, err := flowlang.Parse(tc.src)
+		if err == nil {
+			t.Errorf("%s: want error, got none", tc.name)
+			continue
+		}
+		if err.Error() != tc.want {
+			t.Errorf("%s:\n got %q\nwant %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestParseDepthLimit regression-tests the recursion guard: deep nesting
+// must come back as a ParseError, not a goroutine stack overflow — the
+// psaflowd flow registry parses documents straight off the wire.
+func TestParseDepthLimit(t *testing.T) {
+	deep := "flow \"d\" { " + strings.Repeat("when sharing { ", 500000) +
+		"task render-design" + strings.Repeat(" }", 500000) + " }"
+	if _, err := flowlang.Parse(deep); err == nil || !strings.Contains(err.Error(), "nesting too deep") {
+		t.Errorf("want nesting-depth error, got %v", err)
+	}
+	ok := "flow \"d\" { " + strings.Repeat("when sharing { ", 500) +
+		"task render-design" + strings.Repeat(" }", 500) + " }"
+	if _, err := flowlang.Parse(ok); err != nil {
+		t.Errorf("500-deep when should parse: %v", err)
+	}
+}
+
+func TestLexKebabIdent(t *testing.T) {
+	// "a-b" is one identifier: the language has no arithmetic.
+	f, err := flowlang.Parse(`flow "d" { task remove-plus-eq-dep }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := f.Flow.Body[0].(*flowlang.TaskStmt)
+	if ts.Name != "remove-plus-eq-dep" {
+		t.Errorf("task name = %q", ts.Name)
+	}
+}

@@ -47,6 +47,11 @@ type JobSpec struct {
 	Source string `json:"source,omitempty"`
 	// Mode is "informed" (default) or "uninformed" (paper §IV-B).
 	Mode string `json:"mode,omitempty"`
+	// Flow runs a registered flow document instead of the built-in
+	// PSA-flow: "name" (the latest version, pinned to "name@N" at submit
+	// time) or "name@N" (one immutable version). See PUT /v1/flows/{name}
+	// and docs/FLOWS.md. Empty keeps the built-in graph.
+	Flow string `json:"flow,omitempty"`
 	// Sharing enables the FPGA resource-sharing DSE variant.
 	Sharing bool `json:"sharing,omitempty"`
 	// AIThreshold / TransferBW override the PSA strategy's tunables
@@ -132,6 +137,13 @@ func (sp *JobSpec) validate() (*bench.Benchmark, *minic.Program, error) {
 	}
 	if sp.TimeoutMS < 0 {
 		return nil, nil, fmt.Errorf("timeout_ms must be >= 0")
+	}
+	if sp.Flow != "" {
+		// Only the reference's shape: existence is a registry question the
+		// server answers at submit (and again at run time after a replay).
+		if _, _, err := parseFlowRef(sp.Flow); err != nil {
+			return nil, nil, fmt.Errorf("flow: %w", err)
+		}
 	}
 	if _, err := faults.ParseSpec(sp.Faults); err != nil {
 		return nil, nil, fmt.Errorf("faults: %w", err)

@@ -14,6 +14,7 @@ import (
 	"psaflow/internal/events"
 	"psaflow/internal/experiments"
 	"psaflow/internal/faults"
+	"psaflow/internal/flowlang"
 	"psaflow/internal/interp"
 	"psaflow/internal/store"
 	"psaflow/internal/telemetry"
@@ -107,22 +108,25 @@ type Server struct {
 	// empty): submits are acked only after their record is fsynced here,
 	// and startup replay requeues whatever a crash left unfinished.
 	store *store.Store
+	// flowReg is the versioned flow registry (flows.go), WAL-backed at
+	// DataDir/flows when persistence is on.
+	flowReg *flowRegistry
 	// storeStatsMu guards lastStoreStats, the high-water mark used to
 	// mirror the store's cumulative stats into the recorder as deltas.
 	storeStatsMu   sync.Mutex
 	lastStoreStats store.Stats
 
-	mu       sync.Mutex // guards jobs, retired, queue close, leftovers, pendingBatch
-	jobs     map[string]*Job
+	mu   sync.Mutex // guards jobs, retired, queue close, leftovers, pendingBatch
+	jobs map[string]*Job
 	// pendingBatch indexes still-queued jobs by batch key so a batch
 	// leader can claim identical jobs in one sweep (see batch.go). Only
 	// populated when Config.Batch is set.
 	pendingBatch map[string][]*Job
-	retired  []string // terminal job IDs, oldest first, for registry eviction
-	queue    chan *Job
-	draining atomic.Bool
-	drained  bool
-	leftover []*Job // queued jobs collected during drain, for the snapshot
+	retired      []string // terminal job IDs, oldest first, for registry eviction
+	queue        chan *Job
+	draining     atomic.Bool
+	drained      bool
+	leftover     []*Job // queued jobs collected during drain, for the snapshot
 
 	wg     sync.WaitGroup
 	nextID atomic.Int64
@@ -151,6 +155,7 @@ func New(cfg Config) *Server {
 		queue:        make(chan *Job, cfg.QueueSize),
 		idBase:       fmt.Sprintf("j%08x", uint32(time.Now().UnixNano())),
 		retry:        cfg.Retry.WithDefaults(),
+		flowReg:      &flowRegistry{flows: make(map[string][]FlowInfo)},
 	}
 	ioInj, err := faults.ParseSpec(cfg.Faults)
 	if err != nil {
@@ -169,9 +174,49 @@ func New(cfg Config) *Server {
 		if err != nil {
 			return nil, err
 		}
-		env, err := job.Spec.flowEnv(s.cfg.Faults, s.retry)
+		// A flow-registry job compiles its registered document with the
+		// job's own mode and sharing options. The reference was pinned to a
+		// concrete version at submit time, so the lookup only fails when
+		// the registry history itself is gone (e.g. a job WAL restored
+		// without its flows WAL).
+		var compiled *flowlang.Compiled
+		if job.Spec.Flow != "" {
+			info, _, err := s.resolveFlowRef(job.Spec.Flow)
+			if err != nil {
+				return nil, err
+			}
+			c, err := flowlang.CompileSource(info.Source, flowlang.Options{
+				Mode: opts.Mode, Sharing: opts.ResourceSharing, Strategy: opts.Strategy,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("flow %s@%d: %w", info.Name, info.Version, err)
+			}
+			rec.Add(telemetry.CounterFlowCompiles, 1)
+			compiled = c
+		}
+		// Resilience precedence: job spec > flow document > server default.
+		// flowEnv layers the spec's overrides on whatever defaults it gets,
+		// so substituting the document's settings as the defaults gives the
+		// middle tier.
+		defaultFaults, defaultRetry := s.cfg.Faults, s.retry
+		if compiled != nil {
+			if compiled.Faults != "" {
+				defaultFaults = compiled.Faults
+			}
+			if compiled.HasRetry {
+				defaultRetry = compiled.Retry.WithDefaults()
+			}
+		}
+		env, err := job.Spec.flowEnv(defaultFaults, defaultRetry)
 		if err != nil {
 			return nil, err
+		}
+		if compiled != nil {
+			env.Flow = compiled.Flow
+			env.Budget = compiled.Budget
+			if env.Budget > 0 {
+				env.Cost = experiments.DefaultCost
+			}
 		}
 		// Every job shares the process-wide program cache: identical
 		// programs submitted across jobs lower once and keep accumulating
@@ -186,6 +231,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("PUT /v1/flows/{name}", s.handleFlowPut)
+	s.mux.HandleFunc("GET /v1/flows/{name}", s.handleFlowGet)
+	s.mux.HandleFunc("GET /v1/flows", s.handleFlowList)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -208,6 +256,11 @@ func (s *Server) logf(format string, args ...any) {
 // spawns the worker pool.
 func (s *Server) Start() error {
 	if err := s.openStore(); err != nil {
+		return err
+	}
+	// Flow history first: crash-recovered jobs may reference registered
+	// flows, and their run-time resolution needs the replayed registry.
+	if err := s.openFlowRegistry(); err != nil {
 		return err
 	}
 	requeued, err := s.replayStore()
@@ -260,6 +313,9 @@ func (s *Server) Drain() (int, error) {
 		if err := s.store.Close(); err != nil {
 			return 0, err
 		}
+	}
+	if err := s.closeFlowRegistry(); err != nil {
+		return 0, err
 	}
 	return len(leftover), nil
 }
@@ -515,6 +571,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "invalid job: %v", err)
 		return
 	}
+	// Pin a flow reference to its concrete version before anything is
+	// persisted: the submit record then names an immutable document, so a
+	// crash replay — or a version registered a millisecond later — can
+	// never change which graph this job runs.
+	if spec.Flow != "" {
+		_, pinned, err := s.resolveFlowRef(spec.Flow)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "invalid job: %v", err)
+			return
+		}
+		spec.Flow = pinned
+	}
 	job := &Job{
 		ID:        s.newID(),
 		Spec:      spec,
@@ -656,6 +724,9 @@ type serviceMetrics struct {
 	BatchGroups   int64          `json:"batch_groups"`
 	BatchJobs     int64          `json:"batch_jobs"`
 	QueueWaitMSav float64        `json:"queue_wait_ms_avg"`
+	// FlowsRegistered counts flow-registry names (gauge); the cumulative
+	// registry traffic is in the telemetry counters (flowlang.registry.*).
+	FlowsRegistered int `json:"flows_registered"`
 	// Live event-stream counters: events published across all job rings,
 	// events lost to ring eviction past slow watchers, and the current
 	// number of attached watchers (gauge).
@@ -735,19 +806,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, metricsResponse{
 		Service: serviceMetrics{
-			Workers:       s.cfg.Workers,
-			QueueDepth:    rep.Counters[telemetry.CounterQueueDepth],
-			QueueCap:      s.cfg.QueueSize,
-			JobsByState:   byState,
-			JobsStarted:   started,
-			JobsEvicted:   rep.Counters[telemetry.CounterJobsEvicted],
-			RunCacheHits:  hits,
-			RunCacheMiss:  misses,
-			RunCacheSize:  s.runs.Len(),
-			ProgCacheSize: s.progs.Len(),
-			BatchGroups:   rep.Counters[telemetry.CounterBatchGroups],
-			BatchJobs:     rep.Counters[telemetry.CounterBatchJobs],
-			QueueWaitMSav: waitAvg,
+			Workers:         s.cfg.Workers,
+			QueueDepth:      rep.Counters[telemetry.CounterQueueDepth],
+			QueueCap:        s.cfg.QueueSize,
+			JobsByState:     byState,
+			JobsStarted:     started,
+			JobsEvicted:     rep.Counters[telemetry.CounterJobsEvicted],
+			RunCacheHits:    hits,
+			RunCacheMiss:    misses,
+			RunCacheSize:    s.runs.Len(),
+			ProgCacheSize:   s.progs.Len(),
+			BatchGroups:     rep.Counters[telemetry.CounterBatchGroups],
+			BatchJobs:       rep.Counters[telemetry.CounterBatchJobs],
+			QueueWaitMSav:   waitAvg,
+			FlowsRegistered: len(s.listFlows()),
 
 			EventsPublished: rep.Counters[telemetry.CounterEventsPublished],
 			EventsDropped:   rep.Counters[telemetry.CounterEventsDropped],

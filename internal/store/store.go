@@ -487,6 +487,20 @@ func (s *Store) Pending() []Entry {
 	return out
 }
 
+// Entries returns every indexed record — terminal included — in
+// append order. The flow registry replays its version history this way
+// (each registered version is one terminal record, retained forever).
+func (s *Store) Entries() []Entry {
+	s.mu.Lock()
+	out := make([]Entry, 0, len(s.index))
+	for _, e := range s.index {
+		out = append(out, *e)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
 // Stats snapshots the store's counters and gauges.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()

@@ -146,6 +146,19 @@ const (
 	CounterRetryBudgetExhausted = "retry.budget_exhausted"
 )
 
+// Flow-DSL counters fed by internal/flowlang and the psaflowd flow
+// registry (see docs/FLOWS.md).
+const (
+	// CounterFlowCompiles counts successful DSL flow compilations
+	// (parse + validate + lower), across the CLI and the service.
+	CounterFlowCompiles = "flowlang.compiles"
+	// Registry traffic: versions registered, documents fetched, and job
+	// submissions resolved against a registered flow.
+	CounterFlowRegistryPuts     = "flowlang.registry.puts"
+	CounterFlowRegistryGets     = "flowlang.registry.gets"
+	CounterFlowRegistryResolves = "flowlang.registry.resolves"
+)
+
 // FaultCounter returns the per-kind injected-fault counter name, e.g.
 // FaultCounter("hls") = "fault.injected.hls".
 func FaultCounter(kind string) string { return "fault.injected." + kind }

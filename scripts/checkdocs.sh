@@ -55,6 +55,16 @@ for doc in README.md docs/*.md; do
     done
 done
 
+# --- 3. FLOWS.md coverage --------------------------------------------------
+# The flow-language reference must document every DSL keyword, task name,
+# and validation error code the implementation exports; the coverage test
+# in internal/flowlang diffs docs/FLOWS.md against the live catalogs.
+if ! go test -run 'DocsCoverage' ./internal/flowlang/ >/dev/null; then
+    echo "checkdocs: docs/FLOWS.md does not cover the flowlang catalogs" >&2
+    echo "checkdocs: run: go test -v -run 'DocsCoverage' ./internal/flowlang/" >&2
+    fail=1
+fi
+
 if [ "$fail" -ne 0 ]; then
     echo "checkdocs: FAILED" >&2
     exit 1

@@ -40,7 +40,28 @@ go test -run '^$' -bench . -benchtime=1x .
 # Never fails the build — the ns/op gate is for release branches via
 # `scripts/benchdiff.sh -t <pct>` directly.
 sh -c 'set -- $(grep -l "\"ns_per_op\"" BENCH_*.json | tail -2); [ $# -eq 2 ] && scripts/benchdiff.sh "$1" "$2" || true' || true
-# Docs gate: markdown links resolve, go code fences are gofmt-clean.
+# Flow-DSL focus under -race: the full flowlang suite plus the paper-flow
+# differential — examples/flows/paper.psa must compile to a task graph
+# bit-identical to the built-in Fig. 4 flow, structure and executed
+# results both, in informed and uninformed modes.
+go test -race ./internal/flowlang/
+go test -race -run 'PaperFlow' ./internal/flowlang/
+# Flow-parse fuzz (short budget): the parser must return an error or an
+# AST on arbitrary input, never panic — the registry feeds it raw bytes
+# off the wire.
+go test -run '^$' -fuzz 'FuzzFlowParse' -fuzztime 10s ./internal/flowlang/
+# Flow registry under -race: versioning/immutability, validation at the
+# PUT boundary, WAL persistence across restart, and the serving-layer
+# differential (a job referencing the registered paper flow must produce
+# the built-in flow's designs).
+go test -race -run 'FlowRegistry|FlowJob' ./internal/service/
+# Bundled flow documents must stay valid: -check parses + validates each.
+flowtmp=$(mktemp -d)
+go build -o "$flowtmp/psaflow" ./cmd/psaflow
+for f in examples/flows/*.psa; do "$flowtmp/psaflow" -check "$f"; done
+rm -rf "$flowtmp"
+# Docs gate: markdown links resolve, go code fences are gofmt-clean, and
+# docs/FLOWS.md covers the flowlang keyword/task/error catalogs.
 scripts/checkdocs.sh
 # Chaos smoke (low seed count): every seeded informed flow must finish
 # with a feasible design; the full sweep is scripts/chaos.sh.

@@ -61,31 +61,43 @@ start_daemon() {
 
 start_daemon
 
+# Register a flow document before the crash; its acknowledged version must
+# survive kill -9 like any acknowledged job.
+put_code=$(curl -sS -o "$tmp/flowput.json" -w '%{http_code}' -X PUT \
+    --data-binary @examples/flows/minimal.psa "http://$addr/v1/flows/crash")
+[ "$put_code" = "201" ] ||
+    { echo "crashtest: flow registration failed ($put_code)"; cat "$tmp/flowput.json"; exit 1; }
+curl -sS "http://$addr/v1/flows/crash" >"$tmp/flow.pre"
+
 # Job 1 finishes before the crash; keep its result bytes for comparison.
 done_id=$(submit '{"bench":"nbody"}')
 [ -n "$done_id" ] || { echo "crashtest: submit failed"; cat "$tmp/log"; exit 1; }
 wait_state "$done_id" done 300
 curl -sS "http://$addr/v1/jobs/$done_id/result" >"$tmp/result.pre"
 
-# Job 2 spins on the single worker; jobs 3 and 4 wait behind it.
+# Job 2 spins on the single worker; jobs 3-5 wait behind it. Job 5
+# references the registered flow — its pinned crash@1 reference must
+# still resolve when it is requeued after the crash.
 running_id=$(submit "$(spin_spec)")
 wait_state "$running_id" running 100
 q1_id=$(submit '{"bench":"kmeans"}')
 q2_id=$(submit '{"bench":"bezier"}')
+q3_id=$(submit '{"bench":"nbody","flow":"crash"}')
 wait_state "$q1_id" queued 10
 wait_state "$q2_id" queued 10
+wait_state "$q3_id" queued 10
 
 # CRASH: no drain, no marker, a job mid-flight.
 kill -9 "$pid"
 wait "$pid" 2>/dev/null || true
 pid=""
 
-# Restart over the same data dir: recovery must requeue the 3 unfinished
+# Restart over the same data dir: recovery must requeue the 4 unfinished
 # acknowledged jobs and say so.
 start_daemon
-grep -q "unclean shutdown detected: 3 unfinished job(s)" "$tmp/log" ||
+grep -q "unclean shutdown detected: 4 unfinished job(s)" "$tmp/log" ||
     { echo "crashtest: recovery not detected"; cat "$tmp/log"; exit 1; }
-grep -q "requeued 3 job(s) from the durable store" "$tmp/log" ||
+grep -q "requeued 4 job(s) from the durable store" "$tmp/log" ||
     { echo "crashtest: jobs not requeued"; cat "$tmp/log"; exit 1; }
 
 # The finished job's result replays byte-identically.
@@ -93,10 +105,18 @@ curl -sS "http://$addr/v1/jobs/$done_id/result" >"$tmp/result.post"
 cmp -s "$tmp/result.pre" "$tmp/result.post" ||
     { echo "crashtest: replayed result differs"; diff "$tmp/result.pre" "$tmp/result.post" | head; exit 1; }
 
+# The registered flow replays byte-identically (same version, same source).
+curl -sS "http://$addr/v1/flows/crash" >"$tmp/flow.post"
+cmp -s "$tmp/flow.pre" "$tmp/flow.post" ||
+    { echo "crashtest: replayed flow differs"; diff "$tmp/flow.pre" "$tmp/flow.post" | head; exit 1; }
+
 # Every requeued job completes (the spinner hits its 60s timeout at worst;
-# kmeans/bezier run through). None may be lost (404) or stuck queued.
+# kmeans/bezier run through, and the flow-referencing job resolves its
+# pinned crash@1 against the replayed registry). None may be lost (404)
+# or stuck queued.
 wait_state "$q1_id" done 600
 wait_state "$q2_id" done 600
+wait_state "$q3_id" done 600
 for ((i = 0; i < 600; i++)); do
     state=$(curl -sS "http://$addr/v1/jobs/$running_id" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p' | head -1)
     case "$state" in
@@ -133,6 +153,9 @@ fi
 curl -sS "http://$addr/v1/jobs/$done_id/result" >"$tmp/result.final"
 grep -q '"state": "done"' "$tmp/result.final" ||
     { echo "crashtest: result lost after clean restart"; exit 1; }
+curl -sS "http://$addr/v1/flows/crash" >"$tmp/flow.final"
+cmp -s "$tmp/flow.pre" "$tmp/flow.final" ||
+    { echo "crashtest: flow lost after clean restart"; exit 1; }
 kill -TERM "$pid"
 wait "$pid" 2>/dev/null || true
 pid=""
