@@ -14,7 +14,16 @@
 //	         [-timeout 5m] [-faults seed=1,rate=0.1,kinds=hls,run]
 //	         [-event-ring 1024] [-event-watchers 1024] [-retain 1024]
 //	         [-max-body 1048576] [-store-retain 0]
-//	         [-batch=true] [-quicken-threshold 0] [-v]
+//	         [-batch=true] [-quicken-threshold 0]
+//	         [-node-id n1 -peers n2=http://...,n3=http://...]
+//	         [-tenant-quota acme=4:2,guest=1] [-v]
+//
+// With -node-id and -peers, N daemons form one logical service: jobs
+// route to their (tenant, program-fingerprint) ring owner, any node
+// proxies status/result/event reads for jobs it does not hold, and
+// profiled-run results are shared cluster-wide through a fingerprint-
+// keyed read-through cache (each unique program+workload is profiled
+// once per cluster, not once per node).
 //
 // Endpoints:
 //
@@ -36,12 +45,46 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"psaflow/internal/cluster"
 	"psaflow/internal/faults"
 	"psaflow/internal/service"
 )
+
+// buildClusterNode turns the -node-id/-peers flags into a cluster node,
+// or nil when clustering is off. The peer table is "id=url" pairs; the
+// local node must not appear in it.
+func buildClusterNode(nodeID, peers string, logf func(string, ...any)) (*cluster.Node, error) {
+	if nodeID == "" {
+		if peers != "" {
+			return nil, fmt.Errorf("-peers requires -node-id")
+		}
+		return nil, nil
+	}
+	if !cluster.ValidNodeID(nodeID) {
+		return nil, fmt.Errorf("-node-id %q: want 1-16 of [a-z0-9]", nodeID)
+	}
+	table := make(map[string]string)
+	for _, entry := range strings.Split(peers, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(entry, "=")
+		id, url = strings.TrimSpace(id), strings.TrimSpace(url)
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("-peers entry %q: want id=http://host:port", entry)
+		}
+		if id == nodeID {
+			return nil, fmt.Errorf("-peers entry %q names this node; list only the others", entry)
+		}
+		table[id] = url
+	}
+	return cluster.New(cluster.Config{Self: nodeID, Peers: table, Logf: logf})
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "HTTP listen address")
@@ -57,6 +100,9 @@ func main() {
 	storeRetain := flag.Int("store-retain", 0, "terminal job records kept in the durable store before tombstoning (0 = unlimited)")
 	batch := flag.Bool("batch", true, "batch queued jobs with identical program+spec behind one flow execution (followers receive copied results)")
 	quickenThreshold := flag.Int("quicken-threshold", 0, "interpreter hot-counter trip for profile-guided opcode specialization (0 = default, negative disables)")
+	nodeID := flag.String("node-id", "", "this node's cluster identity, 1-16 of [a-z0-9] (empty = single-node, no clustering)")
+	peers := flag.String("peers", "", `cluster peer table: comma-separated id=http://host:port entries, e.g. "n2=http://10.0.0.2:8080,n3=http://10.0.0.3:8080"`)
+	tenantQuotas := flag.String("tenant-quota", "", `per-tenant scheduling contracts: comma-separated tenant=maxInflight[:weight], "*" = default, e.g. "acme=4:2,guest=1"`)
 	verbose := flag.Bool("v", false, "log job lifecycle events")
 	flag.Parse()
 
@@ -64,11 +110,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "psaflowd:", err)
 		os.Exit(2)
 	}
-
+	if _, err := service.ParseTenantQuotas(*tenantQuotas); err != nil {
+		fmt.Fprintln(os.Stderr, "psaflowd:", err)
+		os.Exit(2)
+	}
 	logger := log.New(os.Stderr, "psaflowd: ", log.LstdFlags|log.Lmsgprefix)
 	var logf func(string, ...any)
 	if *verbose {
 		logf = logger.Printf
+	}
+
+	node, err := buildClusterNode(*nodeID, *peers, logf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psaflowd:", err)
+		os.Exit(2)
 	}
 
 	s := service.New(service.Config{
@@ -86,6 +141,9 @@ func main() {
 
 		Batch:            *batch,
 		QuickenThreshold: *quickenThreshold,
+
+		TenantQuotas: *tenantQuotas,
+		Cluster:      node,
 
 		Logf: logf,
 	})

@@ -26,6 +26,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -34,6 +35,8 @@ type jobSpec struct {
 	Bench     string `json:"bench"`
 	Mode      string `json:"mode,omitempty"`
 	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+	Tenant    string `json:"tenant,omitempty"`
+	Faults    string `json:"faults,omitempty"`
 }
 
 type jobStatus struct {
@@ -60,6 +63,9 @@ type metrics struct {
 		RunCacheMisses int64   `json:"runcache_misses"`
 		QueueWaitMSAvg float64 `json:"queue_wait_ms_avg"`
 	} `json:"service"`
+	Telemetry struct {
+		Counters map[string]int64 `json:"counters"`
+	} `json:"telemetry"`
 }
 
 func getJSON(url string, v any) error {
@@ -165,7 +171,7 @@ func await(addr, id string, poll, wait time.Duration) (jobStatus, error) {
 }
 
 func main() {
-	addr := flag.String("addr", "http://localhost:8080", "psaflowd base URL")
+	addrFlag := flag.String("addr", "http://localhost:8080", "psaflowd base URL, or a comma-separated list of cluster nodes (submissions round-robin)")
 	benchName := flag.String("bench", "nbody", "benchmark to submit")
 	mode := flag.String("mode", "", "informed (default) or uninformed")
 	n := flag.Int("n", 1, "number of identical jobs to submit concurrently")
@@ -175,19 +181,30 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit a machine-readable run summary")
 	watch := flag.Bool("watch", false, "print the first job's live event stream")
 	watchers := flag.Int("watchers", 0, "attach N concurrent event streams (round-robin over jobs) and report time-to-first-event")
+	tenants := flag.Int("tenants", 0, "spread jobs over K synthetic tenants (lt0..ltK-1) so a cluster places them across nodes (0 = anonymous)")
+	faultSpec := flag.String("faults", "", "per-job fault-injection spec (adds retry wall-time per job)")
 	flag.Parse()
 
-	spec := jobSpec{Bench: *benchName, Mode: *mode, TimeoutMS: *timeoutMS}
+	addrs := strings.Split(*addrFlag, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
 	start := time.Now()
 
 	ids := make([]string, *n)
 	errs := make([]error, *n)
+	submitAddr := make([]string, *n)
 	var wg sync.WaitGroup
 	for i := 0; i < *n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			ids[i], errs[i] = submit(*addr, spec)
+			spec := jobSpec{Bench: *benchName, Mode: *mode, TimeoutMS: *timeoutMS, Faults: *faultSpec}
+			if *tenants > 0 {
+				spec.Tenant = fmt.Sprintf("lt%d", i%*tenants)
+			}
+			submitAddr[i] = addrs[i%len(addrs)]
+			ids[i], errs[i] = submit(submitAddr[i], spec)
 		}(i)
 	}
 	wg.Wait()
@@ -207,14 +224,15 @@ func main() {
 		watchWG.Add(1)
 		go func(i int) {
 			defer watchWG.Done()
-			watched[i] = watchJob(*addr, ids[i%len(ids)], nil)
+			j := i % len(ids)
+			watched[i] = watchJob(submitAddr[j], ids[j], nil)
 		}(i)
 	}
 	if *watch {
 		watchWG.Add(1)
 		go func() {
 			defer watchWG.Done()
-			st := watchJob(*addr, ids[0], func(e event) {
+			st := watchJob(submitAddr[0], ids[0], func(e event) {
 				fmt.Printf("  event %3d %-16s %-40s %s", e.Seq, e.Type, e.Name, e.Detail)
 				if e.DurMS > 0 {
 					fmt.Printf(" (%.1fms)", e.DurMS)
@@ -231,7 +249,7 @@ func main() {
 	// collects the results.
 	states := make([]jobStatus, *n)
 	for i, id := range ids {
-		st, err := await(*addr, id, *poll, *wait)
+		st, err := await(submitAddr[i], id, *poll, *wait)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "job %s: %v\n", id, err)
 			os.Exit(1)
@@ -272,7 +290,7 @@ func main() {
 
 	if *jsonOut {
 		var m metrics
-		_ = getJSON(*addr+"/metrics", &m)
+		_ = getJSON(addrs[0]+"/metrics", &m)
 		out := map[string]any{
 			"jobs":               *n,
 			"done":               done,
@@ -283,6 +301,45 @@ func main() {
 			"runcache_hits":      m.Service.RunCacheHits,
 			"runcache_misses":    m.Service.RunCacheMisses,
 			"server_wait_ms_avg": m.Service.QueueWaitMSAvg,
+		}
+		if len(addrs) > 1 {
+			// Per-node placement from the job-ID prefix (the cluster's
+			// routing scheme: <node>-j<base>-<seq>), plus the cluster
+			// counters summed across every node's /metrics.
+			perNode := make(map[string]int)
+			for _, id := range ids {
+				node := "?"
+				if head, rest, ok := strings.Cut(id, "-"); ok && strings.HasPrefix(rest, "j") {
+					node = head
+				}
+				perNode[node]++
+			}
+			agg := make(map[string]int64)
+			for _, a := range addrs {
+				var nm metrics
+				if getJSON(a+"/metrics", &nm) != nil {
+					continue
+				}
+				for k, v := range nm.Telemetry.Counters {
+					if strings.HasPrefix(k, "cluster.") {
+						agg[k] += v
+					}
+				}
+			}
+			hits := agg["cluster.runcache.peer_hits"]
+			misses := agg["cluster.runcache.peer_misses"]
+			hitPct := 0.0
+			if hits+misses > 0 {
+				hitPct = 100 * float64(hits) / float64(hits+misses)
+			}
+			out["nodes"] = len(addrs)
+			out["jobs_per_node"] = perNode
+			out["jobs_forwarded"] = agg["cluster.jobs_forwarded"]
+			out["requests_proxied"] = agg["cluster.requests_proxied"]
+			out["runcache_peer_hits"] = hits
+			out["runcache_peer_misses"] = misses
+			out["runcache_fills"] = agg["cluster.runcache.fills"]
+			out["cross_node_hit_pct"] = hitPct
 		}
 		if *watchers > 0 {
 			var sum time.Duration
@@ -307,7 +364,7 @@ func main() {
 		}
 		// Show the first job's designs as the walkthrough payload.
 		var res jobResult
-		if err := getJSON(*addr+"/v1/jobs/"+ids[0]+"/result", &res); err == nil {
+		if err := getJSON(submitAddr[0]+"/v1/jobs/"+ids[0]+"/result", &res); err == nil {
 			fmt.Printf("auto-selected target: %s\n", res.AutoTarget)
 			for _, d := range res.Designs {
 				if d.Speedup > 0 {

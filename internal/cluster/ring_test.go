@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDistribution(t *testing.T) {
+	r := NewRing([]string{"n1", "n2", "n3"})
+	counts := map[string]int{}
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		owner := r.Owner(hashString(fmt.Sprintf("key-%d", i)))
+		if owner == "" {
+			t.Fatalf("key %d: no owner", i)
+		}
+		counts[owner]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("keys landed on %d nodes, want 3: %v", len(counts), counts)
+	}
+	for node, c := range counts {
+		frac := float64(c) / keys
+		if frac < 0.15 || frac > 0.55 {
+			t.Errorf("node %s owns %.1f%% of the keyspace (virtual nodes too few?)", node, 100*frac)
+		}
+	}
+}
+
+func TestRingStableAcrossBuilds(t *testing.T) {
+	a := NewRing([]string{"n3", "n1", "n2"})
+	b := NewRing([]string{"n1", "n2", "n3", "n2"}) // order and dupes must not matter
+	for i := 0; i < 1000; i++ {
+		k := hashString(fmt.Sprintf("key-%d", i))
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("key %d: owners differ between equivalent rings", i)
+		}
+	}
+}
+
+func TestRingMinimalReshuffle(t *testing.T) {
+	before := NewRing([]string{"n1", "n2", "n3"})
+	after := NewRing([]string{"n1", "n2", "n3", "n4"})
+	moved := 0
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		k := hashString(fmt.Sprintf("key-%d", i))
+		was, is := before.Owner(k), after.Owner(k)
+		if was != is {
+			if is != "n4" {
+				t.Fatalf("key %d moved %s→%s, not to the new node", i, was, is)
+			}
+			moved++
+		}
+	}
+	// Consistent hashing moves ~1/N of the keyspace to a new node; far
+	// more would mean the hash is not consistent at all.
+	if frac := float64(moved) / keys; frac > 0.45 {
+		t.Errorf("%.1f%% of keys moved when adding one node to three", 100*frac)
+	}
+}
+
+func TestOwnerWhereSkipsRejected(t *testing.T) {
+	r := NewRing([]string{"n1", "n2", "n3"})
+	k := hashString("some-key")
+	canonical := r.Owner(k)
+	spilled := r.OwnerWhere(k, func(id string) bool { return id != canonical })
+	if spilled == "" || spilled == canonical {
+		t.Fatalf("rejecting the canonical owner %q yielded %q", canonical, spilled)
+	}
+	if got := r.OwnerWhere(k, func(string) bool { return false }); got != "" {
+		t.Fatalf("rejecting every node yielded %q, want \"\"", got)
+	}
+	// Re-admitting the canonical owner returns the key home.
+	if got := r.OwnerWhere(k, func(string) bool { return true }); got != canonical {
+		t.Fatalf("healthy ring owner %q, want canonical %q", got, canonical)
+	}
+}
+
+func TestJobKeyTenantsSeparate(t *testing.T) {
+	r := NewRing([]string{"n1", "n2", "n3", "n4", "n5", "n6", "n7", "n8"})
+	owners := map[string]bool{}
+	for i := 0; i < 64; i++ {
+		owners[r.Owner(JobKey(fmt.Sprintf("tenant-%d", i), 0xabcdef))] = true
+	}
+	if len(owners) < 2 {
+		t.Fatalf("64 tenants of one program all landed on one node")
+	}
+	// Same tenant + program must be stable.
+	if JobKey("acme", 1) != JobKey("acme", 1) {
+		t.Fatal("JobKey not deterministic")
+	}
+	if JobKey("acme", 1) == JobKey("zeta", 1) {
+		t.Fatal("tenants share a placement key")
+	}
+}
+
+func TestValidNodeID(t *testing.T) {
+	for _, ok := range []string{"n1", "a", "node12345", "abcdefghij123456"} {
+		if !ValidNodeID(ok) {
+			t.Errorf("ValidNodeID(%q) = false, want true", ok)
+		}
+	}
+	for _, bad := range []string{"", "N1", "n-1", "n_1", "abcdefghij1234567", "n.1"} {
+		if ValidNodeID(bad) {
+			t.Errorf("ValidNodeID(%q) = true, want false", bad)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"psaflow/internal/interp"
+	"psaflow/internal/minic"
+)
+
+// sampleResult builds a result exercising every wire feature: loops,
+// traffic, shared and distinct buffer bindings, output, an exact
+// awkward float.
+func sampleResult() *interp.Result {
+	pos := interp.NewFloatBuffer("pos", minic.Double, make([]float64, 128))
+	vel := interp.NewFloatBuffer("vel", minic.Double, make([]float64, 128))
+	idx := interp.NewIntBuffer("idx", make([]int64, 16))
+	prof := &interp.Profile{
+		Cycles:     12345.6789012345,
+		Flops:      1 << 40,
+		IntOps:     7,
+		LoadBytes:  4096,
+		StoreBytes: 512,
+		Loops: map[int]*interp.LoopProfile{
+			3: {ID: 3, Pos: minic.Pos{Line: 10, Col: 2}, Func: "main", Depth: 1, Entries: 5, Trips: 500, Cycles: 0.1 + 0.2},
+			7: {ID: 7, Pos: minic.Pos{Line: 20, Col: 4}, Func: "kern", Depth: 2, Entries: 500, Trips: 64000, Cycles: math.Nextafter(1, 2)},
+		},
+		WatchFunc:         "kern",
+		WatchCalls:        5,
+		WatchCycles:       9999.25,
+		WatchFlops:        123,
+		WatchLoadBytes:    456,
+		WatchStoreBytes:   789,
+		WatchSpecialFlops: 11,
+		ParamTraffic: map[string]*interp.Traffic{
+			"pos": {Param: "pos", BytesIn: 1024, BytesOut: 1024, ElemReads: 128, ElemWrites: 128},
+			"vel": {Param: "vel", BytesIn: 1024, BytesOut: 0, ElemReads: 128},
+		},
+		Bindings: []map[string]*interp.Buffer{
+			{"a": pos, "b": vel, "c": idx},
+			{"a": pos, "b": vel, "c": idx}, // duplicate of the first
+			{"a": pos, "b": pos, "c": idx}, // a and b alias here
+		},
+	}
+	return &interp.Result{
+		Ret:    interp.Value{K: interp.KDouble, F: 0.30000000000000004},
+		Prof:   prof,
+		Steps:  987654321,
+		Output: []string{"line one", "line two"},
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	res := sampleResult()
+	payload, sum, err := EncodeResult(res)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeResult(payload, sum)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Ret.K != res.Ret.K || got.Ret.F != res.Ret.F {
+		t.Errorf("Ret: got %+v want %+v", got.Ret, res.Ret)
+	}
+	if got.Steps != res.Steps {
+		t.Errorf("Steps: got %d want %d", got.Steps, res.Steps)
+	}
+	if len(got.Output) != 2 || got.Output[0] != "line one" {
+		t.Errorf("Output: got %v", got.Output)
+	}
+	gp, rp := got.Prof, res.Prof
+	if gp.Cycles != rp.Cycles || gp.Flops != rp.Flops || gp.WatchCycles != rp.WatchCycles {
+		t.Errorf("profile scalars differ: got %+v", gp)
+	}
+	if len(gp.Loops) != 2 {
+		t.Fatalf("loops: got %d want 2", len(gp.Loops))
+	}
+	for id, lp := range rp.Loops {
+		g := gp.Loops[id]
+		if g == nil || *g != *lp {
+			t.Errorf("loop %d: got %+v want %+v", id, g, lp)
+		}
+	}
+	for param, tr := range rp.ParamTraffic {
+		g := gp.ParamTraffic[param]
+		if g == nil || *g != *tr {
+			t.Errorf("traffic %s: got %+v want %+v", param, g, tr)
+		}
+	}
+	if len(gp.Bindings) != 3 {
+		t.Fatalf("bindings: got %d want 3", len(gp.Bindings))
+	}
+	// Identity structure: a/b distinct in binding 0, aliased in the
+	// third distinct map; idx shared across all bindings.
+	if gp.Bindings[0]["a"] == gp.Bindings[0]["b"] {
+		t.Error("binding 0: a and b alias after decode, should not")
+	}
+	if gp.Bindings[2]["a"] != gp.Bindings[2]["b"] {
+		t.Error("binding 2: a and b should alias after decode")
+	}
+	if gp.Bindings[0]["c"] != gp.Bindings[2]["c"] {
+		t.Error("c should be the same buffer in every binding")
+	}
+	if gp.Bindings[0]["a"] != gp.Bindings[1]["a"] {
+		t.Error("deduplicated bindings should share buffers")
+	}
+	// Shape: lengths and element sizes drive footprint math downstream.
+	if gp.Bindings[0]["a"].Len() != 128 || gp.Bindings[0]["a"].ElemBytes() != rp.Bindings[0]["a"].ElemBytes() {
+		t.Errorf("buffer shape lost: len=%d", gp.Bindings[0]["a"].Len())
+	}
+	if gp.Bindings[0]["c"].Len() != 16 {
+		t.Errorf("int buffer shape lost: len=%d", gp.Bindings[0]["c"].Len())
+	}
+	// AliasPairs — the actual consumer of binding identity — must agree.
+	if want, got := rp.AliasPairs(), gp.AliasPairs(); len(want) != len(got) {
+		t.Errorf("AliasPairs: got %v want %v", got, want)
+	} else {
+		for i := range want {
+			if want[i] != got[i] {
+				t.Errorf("AliasPairs[%d]: got %v want %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestWireDeterministic(t *testing.T) {
+	// Same result encodes to identical bytes every time (map ordering
+	// must not leak in) — the checksum depends on it.
+	a, sumA, err := EncodeResult(sampleResult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		b, sumB, err := EncodeResult(sampleResult())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) || sumA != sumB {
+			t.Fatalf("encode %d differs from first encode", i)
+		}
+	}
+}
+
+func TestWireRejects(t *testing.T) {
+	if _, _, err := EncodeResult(nil); err == nil {
+		t.Error("nil result encoded")
+	}
+	buf := interp.NewIntBuffer("x", make([]int64, 4))
+	if _, _, err := EncodeResult(&interp.Result{Ret: interp.Value{K: interp.KBuf, Buf: buf}}); err == nil {
+		t.Error("buffer-valued result encoded")
+	}
+	if _, _, err := EncodeResult(&interp.Result{Prof: &interp.Profile{Cycles: math.NaN()}}); err == nil {
+		t.Error("NaN cycles encoded (JSON cannot carry NaN)")
+	}
+	payload, sum, err := EncodeResult(sampleResult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeResult(payload, "deadbeef"); err == nil {
+		t.Error("checksum mismatch not rejected")
+	}
+	tampered := bytes.Replace(payload, []byte("line one"), []byte("line 0ne"), 1)
+	if _, err := DecodeResult(tampered, sum); err == nil {
+		t.Error("tampered payload not rejected")
+	}
+}
+
+func TestRunKeyID(t *testing.T) {
+	a := RunKeyID(1, "nbody", "main", "kern")
+	if len(a) != 64 {
+		t.Fatalf("key ID length %d, want 64 hex chars", len(a))
+	}
+	if a != RunKeyID(1, "nbody", "main", "kern") {
+		t.Error("RunKeyID not deterministic")
+	}
+	if a == RunKeyID(2, "nbody", "main", "kern") || a == RunKeyID(1, "nbody", "main", "") {
+		t.Error("distinct keys collide")
+	}
+}

@@ -37,6 +37,21 @@ type runEntry struct {
 	err  error
 }
 
+// RunPeer is the distributed read-through hook (implemented by
+// cluster.Node). On a local miss the cache asks the peer layer before
+// computing, and publishes successful computations back. Both calls are
+// best-effort by contract: a Fetch that cannot reach its peer reports a
+// miss, a failed Fill is dropped — peer loss degrades the cache to
+// per-node behaviour, it never surfaces as an error.
+type RunPeer interface {
+	// FetchRun returns the cluster's cached result for key, if any node
+	// holds one. It may block briefly (bounded by the peer layer's wait
+	// budget) when another node is computing the same key right now.
+	FetchRun(key RunKey) (*interp.Result, bool)
+	// FillRun publishes a locally computed result for key.
+	FillRun(key RunKey, res *interp.Result)
+}
+
 // RunCache memoizes profiled interpreter runs across the dynamic analyses
 // of one flow, or a whole experiment sweep. It is safe for concurrent use:
 // branch paths forked under Context.Parallel share one cache, and a
@@ -47,8 +62,24 @@ type runEntry struct {
 type RunCache struct {
 	mu      sync.Mutex
 	entries map[RunKey]*runEntry
+	peer    RunPeer // nil on a single-node cache
 	hits    atomic.Int64
 	misses  atomic.Int64
+	// peerHits counts executions avoided by a cluster fetch (reported as
+	// hits to callers — the run was avoided — but split out here so the
+	// local and distributed contributions stay distinguishable).
+	peerHits atomic.Int64
+}
+
+// SetPeer wires the distributed read-through hook. Call before the
+// cache is shared (the serving layer does it at construction).
+func (c *RunCache) SetPeer(p RunPeer) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.peer = p
+	c.mu.Unlock()
 }
 
 // NewRunCache returns an empty cache.
@@ -72,15 +103,32 @@ func (c *RunCache) Do(key RunKey, run func() (*interp.Result, error)) (res *inte
 		e = &runEntry{}
 		c.entries[key] = e
 	}
+	peer := c.peer
 	c.mu.Unlock()
-	executed := false
+	executed, fromPeer := false, false
 	e.once.Do(func() {
+		// Local miss: ask the cluster before computing. The peer call is
+		// inside the singleflight on purpose — concurrent local callers
+		// collapse to one fetch, exactly as they collapse to one run.
+		if peer != nil {
+			if res, ok := peer.FetchRun(key); ok {
+				e.res = res
+				fromPeer = true
+				return
+			}
+		}
 		e.res, e.err = run()
 		executed = true
+		if peer != nil && e.err == nil {
+			peer.FillRun(key, e.res)
+		}
 	})
 	if executed {
 		c.misses.Add(1)
 		return e.res, e.err, false
+	}
+	if fromPeer {
+		c.peerHits.Add(1)
 	}
 	c.hits.Add(1)
 	return e.res, e.err, true
@@ -106,6 +154,16 @@ func (c *RunCache) Stats() (hits, misses int64) {
 		return 0, 0
 	}
 	return c.hits.Load(), c.misses.Load()
+}
+
+// PeerHits returns how many of the hits were served by the cluster
+// (executions this node avoided because a peer had already profiled the
+// key). Always ≤ Stats' hits.
+func (c *RunCache) PeerHits() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.peerHits.Load()
 }
 
 // Len returns the number of distinct runs cached.

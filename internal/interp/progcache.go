@@ -28,6 +28,26 @@ import (
 type ProgramCache struct {
 	mu      sync.Mutex
 	entries map[uint64]*progEntry
+	peer    PolicyPeer // nil on a single-node cache
+}
+
+// PolicyPeer is the distributed hook for mined fusion policies
+// (implemented by cluster.Node): a fingerprint first seen on this node
+// may already have been traced and mined on a peer, in which case the
+// first lowering here starts from the mined policy instead of paying
+// for a local trace. Both calls are best-effort — peer loss simply
+// means the node traces locally, exactly like a single-node cache.
+type PolicyPeer interface {
+	FetchPolicy(fp uint64) (FusionPolicy, bool)
+	FillPolicy(fp uint64, policy FusionPolicy)
+}
+
+// SetPeer wires the distributed policy hook (call at construction,
+// before the cache is shared).
+func (c *ProgramCache) SetPeer(p PolicyPeer) {
+	c.mu.Lock()
+	c.peer = p
+	c.mu.Unlock()
 }
 
 type progEntry struct {
@@ -89,6 +109,7 @@ func (c *ProgramCache) lease(fp uint64, prog *minic.Program) *progLease {
 		return l // bp nil: remembered lowering failure
 	}
 	policy := AllFusion
+	peer := c.peer
 	if ent.mined {
 		policy = ent.policy
 	} else if !ent.tracing {
@@ -98,6 +119,27 @@ func (c *ProgramCache) lease(fp uint64, prog *minic.Program) *progLease {
 		l.trace = &DispatchTrace{}
 	}
 	c.mu.Unlock()
+
+	// The tracing lease checks the cluster before paying for a local
+	// trace: a peer that already mined this fingerprint hands over its
+	// policy and this node lowers pre-fused, no trace run needed. The
+	// tracing flag (set above) keeps concurrent first leases from
+	// stampeding the peer; the fetch runs outside the lock because it
+	// may block on the network.
+	if l.trace != nil && peer != nil {
+		if pol, ok := peer.FetchPolicy(fp); ok {
+			pol &= AllFusion // foreign bits never reach the lowering
+			c.mu.Lock()
+			if !ent.mined {
+				ent.policy = pol
+				ent.mined = true
+			}
+			policy = ent.policy
+			ent.tracing = false
+			c.mu.Unlock()
+			l.trace = nil
+		}
+	}
 
 	// Lowering runs outside the lock: it can be slow, and concurrent
 	// leases of other fingerprints (or extra copies of this one) must
@@ -132,16 +174,27 @@ func (c *ProgramCache) release(l *progLease, ok bool) {
 		return
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	var publish FusionPolicy
+	published := false
 	if l.trace != nil {
 		l.ent.tracing = false
 		if ok && !l.ent.mined {
 			l.ent.policy = l.trace.MineFusion()
 			l.ent.mined = true
+			if c.peer != nil {
+				publish, published = l.ent.policy, true
+			}
 		}
 	}
+	peer := c.peer
 	l.ent.free = append(l.ent.free, l.bp)
 	l.bp = nil
+	c.mu.Unlock()
+	// Publish a freshly mined policy to its cluster owner outside the
+	// lock (the fill may block on the network; best-effort by contract).
+	if published {
+		peer.FillPolicy(l.fp, publish)
+	}
 }
 
 // Len returns the number of distinct fingerprints cached.

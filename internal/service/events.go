@@ -72,6 +72,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusGone, "job %q was evicted from the registry; its result is at /v1/jobs/%s/result", id, id)
 			return
 		}
+		if s.proxyToOwner(w, r, id) {
+			return
+		}
 		writeErr(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}

@@ -256,8 +256,15 @@ func (s *Server) handleFlowPut(w http.ResponseWriter, r *http.Request) {
 	if maxBody <= 0 {
 		maxBody = defaultMaxBody
 	}
-	src, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
-	if err != nil {
+	// A .psa document is raw text, not JSON — the registry needs the whole
+	// source as one string, so this is a streamed bounded copy (fixed
+	// 32 KiB chunks into a builder grown once), not a token decode.
+	var src strings.Builder
+	bounded := http.MaxBytesReader(w, r.Body, maxBody)
+	if r.ContentLength > 0 && r.ContentLength <= maxBody {
+		src.Grow(int(r.ContentLength))
+	}
+	if _, err := io.CopyBuffer(&src, bounded, make([]byte, 32*1024)); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeErr(w, http.StatusRequestEntityTooLarge, "flow document exceeds %d bytes", tooBig.Limit)
@@ -266,7 +273,7 @@ func (s *Server) handleFlowPut(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "read body: %v", err)
 		return
 	}
-	info, err := s.putFlow(name, string(src))
+	info, err := s.putFlow(name, src.String())
 	if err != nil {
 		var el *flowlang.ErrorList
 		if errors.As(err, &el) {
@@ -280,7 +287,7 @@ func (s *Server) handleFlowPut(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "invalid flow document: %v", err)
 		return
 	}
-	s.logf("flow %s@%d: registered (%d bytes, flow %q)", info.Name, info.Version, len(src), info.FlowName)
+	s.logf("flow %s@%d: registered (%d bytes, flow %q)", info.Name, info.Version, src.Len(), info.FlowName)
 	reply := info
 	reply.Source = ""
 	writeJSON(w, http.StatusCreated, reply)

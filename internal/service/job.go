@@ -76,6 +76,14 @@ type JobSpec struct {
 	// for this job (0 or 1 = serial sweeps; results are identical, only
 	// wall-clock and the dse.parallel.* counters change).
 	DSEWorkers int `json:"dse_workers,omitempty"`
+	// Tenant attributes the job for quota and fair-share scheduling
+	// (1-32 of [a-z0-9-]; empty = the anonymous default tenant). In a
+	// cluster the tenant also steers placement: one tenant's submissions
+	// of the same program co-locate on one owning node.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority orders dequeue: 0 (default) through 9, higher first.
+	// Within a priority band tenants share fairly by quota weight.
+	Priority int `json:"priority,omitempty"`
 }
 
 // flowOptions resolves the spec to engine options.
@@ -157,6 +165,12 @@ func (sp *JobSpec) validate() (*bench.Benchmark, *minic.Program, error) {
 	if sp.TaskTimeoutMS < 0 {
 		return nil, nil, fmt.Errorf("task_timeout_ms must be >= 0")
 	}
+	if !validTenant(sp.Tenant) {
+		return nil, nil, fmt.Errorf("tenant must be 1-32 of [a-z0-9-] (or empty)")
+	}
+	if sp.Priority < 0 || sp.Priority > 9 {
+		return nil, nil, fmt.Errorf("priority must be 0-9")
+	}
 	var prog *minic.Program
 	if sp.Source != "" {
 		prog, err = minic.Parse(sp.Source)
@@ -204,6 +218,8 @@ type JobStatus struct {
 	State       JobState `json:"state"`
 	Bench       string   `json:"bench"`
 	Mode        string   `json:"mode,omitempty"`
+	Tenant      string   `json:"tenant,omitempty"`
+	Priority    int      `json:"priority,omitempty"`
 	Error       string   `json:"error,omitempty"`
 	SubmittedAt string   `json:"submitted_at"`
 	StartedAt   string   `json:"started_at,omitempty"`
@@ -281,6 +297,8 @@ func (j *Job) Status() JobStatus {
 		State:       j.state,
 		Bench:       j.Spec.Bench,
 		Mode:        j.Spec.Mode,
+		Tenant:      j.Spec.Tenant,
+		Priority:    j.Spec.Priority,
 		Error:       j.errMsg,
 		SubmittedAt: fmtTime(j.submitted),
 		StartedAt:   fmtTime(j.started),

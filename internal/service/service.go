@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"psaflow/internal/cluster"
 	"psaflow/internal/core"
 	"psaflow/internal/events"
 	"psaflow/internal/experiments"
@@ -77,6 +78,15 @@ type Config struct {
 	// result lookups for evicted jobs fall back to the persisted result
 	// when DataDir is set. Default 1024; negative disables eviction.
 	RetainJobs int
+	// TenantQuotas configures per-tenant scheduling: comma-separated
+	// "tenant=maxInflight[:weight]" entries, "*" naming the default for
+	// unlisted tenants (see queue.go). Empty = no caps, equal weights.
+	TenantQuotas string
+	// Cluster is this node's peer layer (nil = single-node daemon). When
+	// set, the server mints node-prefixed job IDs, routes submissions to
+	// their ring owner, proxies requests for jobs owned elsewhere, and
+	// reads the process-wide caches through the cluster (cluster.go).
+	Cluster *cluster.Node
 	// Logf receives daemon progress lines; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -123,7 +133,7 @@ type Server struct {
 	// populated when Config.Batch is set.
 	pendingBatch map[string][]*Job
 	retired      []string // terminal job IDs, oldest first, for registry eviction
-	queue        chan *Job
+	queue        *jobQueue
 	draining     atomic.Bool
 	drained      bool
 	leftover     []*Job // queued jobs collected during drain, for the snapshot
@@ -145,6 +155,21 @@ func New(cfg Config) *Server {
 	if cfg.QueueSize <= 0 {
 		cfg.QueueSize = 64
 	}
+	quotas, qerr := parseTenantQuotas(cfg.TenantQuotas)
+	if qerr != nil {
+		// Same belt-and-braces stance as the fault spec below: the CLI
+		// validates -tenant-quota before it reaches here.
+		quotas = nil
+		if cfg.Logf != nil {
+			cfg.Logf("ignoring invalid tenant quotas %q: %v", cfg.TenantQuotas, qerr)
+		}
+	}
+	idBase := fmt.Sprintf("j%08x", uint32(time.Now().UnixNano()))
+	if cfg.Cluster != nil {
+		// Node-prefixed job IDs are the cluster's routing table: any node
+		// maps an unknown ID back to its owner by prefix alone.
+		idBase = cfg.Cluster.Self() + "-" + idBase
+	}
 	s := &Server{
 		cfg:          cfg,
 		rec:          telemetry.New(),
@@ -152,10 +177,16 @@ func New(cfg Config) *Server {
 		progs:        interp.NewProgramCache(),
 		jobs:         make(map[string]*Job),
 		pendingBatch: make(map[string][]*Job),
-		queue:        make(chan *Job, cfg.QueueSize),
-		idBase:       fmt.Sprintf("j%08x", uint32(time.Now().UnixNano())),
+		queue:        newJobQueue(cfg.QueueSize, quotas),
+		idBase:       idBase,
 		retry:        cfg.Retry.WithDefaults(),
 		flowReg:      &flowRegistry{flows: make(map[string][]FlowInfo)},
+	}
+	if c := cfg.Cluster; c != nil {
+		c.SetCounters(s.rec)
+		c.SetLoadFunc(s.queue.Load)
+		s.runs.SetPeer(c)
+		s.progs.SetPeer(c)
 	}
 	ioInj, err := faults.ParseSpec(cfg.Faults)
 	if err != nil {
@@ -236,6 +267,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/flows", s.handleFlowList)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.Cluster != nil {
+		cfg.Cluster.Register(s.mux)
+	}
 	return s
 }
 
@@ -274,6 +308,9 @@ func (s *Server) Start() error {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	if c := s.cfg.Cluster; c != nil {
+		c.Start()
+	}
 	return nil
 }
 
@@ -291,9 +328,12 @@ func (s *Server) Drain() (int, error) {
 	}
 	s.drained = true
 	s.draining.Store(true)
-	close(s.queue)
+	s.queue.Close()
 	s.mu.Unlock()
 
+	if c := s.cfg.Cluster; c != nil {
+		c.Stop()
+	}
 	s.wg.Wait()
 
 	s.mu.Lock()
@@ -324,7 +364,11 @@ func (s *Server) Drain() (int, error) {
 // routes still-queued jobs to the snapshot instead of running them.
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for job := range s.queue {
+	for {
+		job, ok := s.queue.Pop()
+		if !ok {
+			return
+		}
 		s.rec.Add(telemetry.CounterQueueDepth, -1)
 		if s.draining.Load() {
 			if job.State() == StateQueued {
@@ -332,9 +376,11 @@ func (s *Server) worker() {
 				s.leftover = append(s.leftover, job)
 				s.mu.Unlock()
 			}
+			s.queue.Release(job.Spec.Tenant)
 			continue
 		}
 		s.runJob(job)
+		s.queue.Release(job.Spec.Tenant)
 	}
 }
 
@@ -453,9 +499,9 @@ func (s *Server) lookup(id string) *Job {
 	return s.jobs[id]
 }
 
-// register inserts a new job and tries to enqueue it. The queue send and
-// the drain's close(queue) are serialized by s.mu, so a submission can
-// never hit a closed channel.
+// register inserts a new job and tries to enqueue it. The queue's own
+// closed flag (set by Drain) backs up the draining check here, so a
+// submission can never land in a closed queue.
 func (s *Server) register(job *Job) (ok bool, draining bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -463,22 +509,24 @@ func (s *Server) register(job *Job) (ok bool, draining bool) {
 		return false, true
 	}
 	// The broker must exist — with the queued event already in its ring —
-	// before the queue send: a worker can dequeue the job and publish
-	// "started" the instant the send completes. (If the send then fails,
-	// the unregistered broker is simply garbage.)
+	// before the push: a worker can dequeue the job and publish "started"
+	// the instant the push completes. (If the push then fails, the
+	// unregistered broker is simply garbage.)
 	job.events = events.NewBroker(job.ID, s.cfg.EventRingSize, s.cfg.MaxWatchersPerJob)
 	job.events.Publish(events.Event{Type: events.TypeQueued, Name: job.Spec.Bench, Detail: job.Spec.Mode})
-	select {
-	case s.queue <- job:
-		s.jobs[job.ID] = job
-		s.enrollBatch(job)
-		s.rec.Add(telemetry.CounterQueueDepth, 1)
-		s.rec.Add(telemetry.CounterJobsSubmitted, 1)
-		s.rec.Add(telemetry.CounterEventsPublished, 1)
-		return true, false
-	default:
+	pushed, closed := s.queue.Push(job)
+	if closed {
+		return false, true
+	}
+	if !pushed {
 		return false, false
 	}
+	s.jobs[job.ID] = job
+	s.enrollBatch(job)
+	s.rec.Add(telemetry.CounterQueueDepth, 1)
+	s.rec.Add(telemetry.CounterJobsSubmitted, 1)
+	s.rec.Add(telemetry.CounterEventsPublished, 1)
+	return true, false
 }
 
 // publish appends one event to the job's stream and counts it.
@@ -546,17 +594,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
-	var spec JobSpec
 	maxBody := s.cfg.MaxBody
 	if maxBody <= 0 {
 		maxBody = defaultMaxBody
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
-	dec := json.NewDecoder(r.Body)
-	// A typoed field (time_out_ms) silently running with defaults is worse
-	// than a 400; the decoder's error names the offending field.
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
+	// Token-streaming decode: fields are parsed as their bytes arrive, so a
+	// chunked submission starts decoding on its first chunk and the body is
+	// never buffered whole. Unknown fields still 400 by name.
+	spec, err := decodeJobSpec(r.Body)
+	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			s.rec.Add(telemetry.CounterJobsRejected, 1)
@@ -582,6 +629,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		spec.Flow = pinned
+	}
+	// Cluster placement: route the job to its ring owner unless this
+	// request is already a forward (one hop maximum — a stale ring can
+	// never orbit a job). A failed forward runs the job locally instead:
+	// peer loss degrades placement, it never fails a submission.
+	if c := s.cfg.Cluster; c != nil && r.Header.Get(cluster.ForwardedHeader) == "" {
+		if owner := c.OwnerForJob(spec.Tenant, programFingerprint(b, prog)); owner != c.Self() {
+			s.logf("cluster: routing job (tenant=%q bench=%s) to owner %s", spec.Tenant, spec.Bench, owner)
+			if s.forwardSubmit(w, r.Context(), owner, spec) {
+				return
+			}
+		}
 	}
 	job := &Job{
 		ID:        s.newID(),
@@ -630,6 +689,9 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, res.JobStatus)
 		return
 	}
+	if s.proxyToOwner(w, r, id) {
+		return
+	}
 	writeErr(w, http.StatusNotFound, "unknown job %q", id)
 }
 
@@ -649,6 +711,9 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, res)
 		return
 	}
+	if s.proxyToOwner(w, r, id) {
+		return
+	}
 	writeErr(w, http.StatusNotFound, "unknown job %q", id)
 }
 
@@ -656,6 +721,9 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	job := s.lookup(id)
 	if job == nil {
+		if s.proxyToOwner(w, r, id) {
+			return
+		}
 		writeErr(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}
@@ -694,12 +762,19 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		status = "draining"
 		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]any{
+	body := map[string]any{
 		"status":      status,
 		"workers":     s.cfg.Workers,
 		"queue_depth": s.rec.Counter(telemetry.CounterQueueDepth),
 		"queue_cap":   s.cfg.QueueSize,
-	})
+	}
+	if c := s.cfg.Cluster; c != nil {
+		body["node"] = c.Self()
+		body["ring"] = c.Nodes()
+		body["peers"] = c.PeerView()
+		body["cluster_peers_healthy"] = c.HealthyCount()
+	}
+	writeJSON(w, code, body)
 }
 
 // metricsResponse is the GET /metrics payload: live service gauges plus
@@ -743,6 +818,12 @@ type serviceMetrics struct {
 	// Store mirrors the durable job store's counters and gauges; nil when
 	// persistence is disabled (no -data-dir).
 	Store *storeMetrics `json:"store,omitempty"`
+	// Tenants is the fair-share scheduler's per-tenant view (queued,
+	// in-flight, quota); empty when no tenant has jobs.
+	Tenants []tenantView `json:"tenants,omitempty"`
+	// Cluster is the peer-layer view; nil on a single-node daemon. The
+	// cumulative cluster.* counters live in the telemetry report.
+	Cluster *clusterMetrics `json:"cluster,omitempty"`
 }
 
 // storeMetrics is the /metrics view of the WAL-backed job store.
@@ -793,6 +874,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			DeadFrames:     st.DeadFrames,
 		}
 	}
+	var clusterM *clusterMetrics
+	if c := s.cfg.Cluster; c != nil {
+		clusterM = &clusterMetrics{
+			Stats:            c.Stats(),
+			RunCachePeerHits: s.runs.PeerHits(),
+			JobsForwarded:    s.rec.Counter(telemetry.CounterClusterForwarded),
+			JobsProxied:      s.rec.Counter(telemetry.CounterClusterProxied),
+			ForwardFailed:    s.rec.Counter(telemetry.CounterClusterForwardFailed),
+			LocalFallbacks:   s.rec.Counter(telemetry.CounterClusterForwardedLocal),
+		}
+	}
 	hits, misses := s.runs.Stats()
 	rep := s.rec.Snapshot()
 	// Average over the jobs whose wait was actually recorded (every job a
@@ -830,6 +922,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Degradations:   rep.Counters[telemetry.CounterFaultDegradations],
 			Fallbacks:      rep.Counters[telemetry.CounterFaultFallbacks],
 			Store:          storeM,
+			Tenants:        s.queue.Tenants(),
+			Cluster:        clusterM,
 		},
 		Telemetry: rep,
 	})

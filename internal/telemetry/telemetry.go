@@ -159,6 +159,39 @@ const (
 	CounterFlowRegistryResolves = "flowlang.registry.resolves"
 )
 
+// Cluster counters fed by internal/cluster and the psaflowd peer layer
+// (see docs/OPERATIONS.md). All stay zero on a single-node daemon.
+const (
+	// Job placement: submissions forwarded to their ring owner, forward
+	// attempts that failed (and fell back to local execution), and
+	// status/result/events/cancel requests proxied to the owning node.
+	CounterClusterForwarded      = "cluster.jobs_forwarded"
+	CounterClusterForwardFailed  = "cluster.forward_failures"
+	CounterClusterForwardedLocal = "cluster.forward_local_fallbacks"
+	CounterClusterProxied        = "cluster.requests_proxied"
+	CounterClusterProxyFailed    = "cluster.proxy_failures"
+	// Distributed run cache: read-through fetches answered by a peer
+	// (peer_hits) or not (peer_misses), fills pushed to the ring owner,
+	// fills the owner rejected (checksum/key mismatch or over-capacity),
+	// and waiters that collapsed onto an in-flight peer computation
+	// (wait_hits — the cluster-wide singleflight at work).
+	CounterClusterRunPeerHits    = "cluster.runcache.peer_hits"
+	CounterClusterRunPeerMisses  = "cluster.runcache.peer_misses"
+	CounterClusterRunFills       = "cluster.runcache.fills"
+	CounterClusterRunFillReject  = "cluster.runcache.fill_rejects"
+	CounterClusterRunWaitHits    = "cluster.runcache.wait_hits"
+	CounterClusterRunFetchErrors = "cluster.runcache.fetch_errors"
+	// Distributed program cache: mined superinstruction policies adopted
+	// from a peer instead of re-traced locally, and policies pushed.
+	CounterClusterPolicyHits  = "cluster.progcache.policy_hits"
+	CounterClusterPolicyFills = "cluster.progcache.policy_fills"
+	// Peer health: ping attempts, failed pings, and the current number of
+	// healthy peers (gauge, self included).
+	CounterClusterPings        = "cluster.pings"
+	CounterClusterPingFailures = "cluster.ping_failures"
+	CounterClusterPeersHealthy = "cluster.peers_healthy"
+)
+
 // FaultCounter returns the per-kind injected-fault counter name, e.g.
 // FaultCounter("hls") = "fault.injected.hls".
 func FaultCounter(kind string) string { return "fault.injected." + kind }
